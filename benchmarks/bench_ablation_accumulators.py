@@ -1,0 +1,22 @@
+"""Ablation — logical accumulator count (why the paper picked four)."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import ablation_accumulators
+
+WORKLOADS = ("gzip", "mcf", "gcc", "vortex", "twolf", "crafty")
+
+
+def test_accumulator_count_ablation(bench_once):
+    result = bench_once(
+        lambda: ablation_accumulators.run(workloads=WORKLOADS,
+                                          budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    spills = {1: avg[1], 2: avg[3], 4: avg[5], 8: avg[7]}
+    copy_pct = {1: avg[2], 2: avg[4], 4: avg[6], 8: avg[8]}
+    # fewer accumulators force more premature strand terminations ...
+    assert spills[1] >= spills[2] >= spills[4] >= spills[8]
+    # ... and the paper's observation holds: with four accumulators,
+    # premature terminations are rare
+    assert spills[4] < spills[1] / 2 + 1
+    # spills surface as extra copies in the basic format
+    assert copy_pct[1] >= copy_pct[4]

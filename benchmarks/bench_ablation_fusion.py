@@ -1,0 +1,20 @@
+"""Ablation — memory-instruction splitting vs fusion (Section 4.5's
+"one way to deal with this instruction count expansion")."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import ablation_fusion
+
+#: memory-light workloads tell us nothing here; use the load/store-heavy
+#: half of the suite
+WORKLOADS = ("gzip", "bzip2", "mcf", "twolf", "vortex", "vpr")
+
+
+def test_memory_fusion_ablation(bench_once):
+    result = bench_once(
+        lambda: ablation_fusion.run(workloads=WORKLOADS,
+                                    budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    split_expansion, fused_expansion = avg[1], avg[2]
+    # fusing effective-address computation must reduce the dynamic
+    # instruction count (that is its entire point)
+    assert fused_expansion < split_expansion

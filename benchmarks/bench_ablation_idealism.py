@@ -1,0 +1,21 @@
+"""Ablation — idealisation knobs (loss decomposition)."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import ablation_idealism
+
+WORKLOADS = ("gzip", "gcc", "mcf", "perlbmk", "vpr", "parser")
+
+
+def test_idealism_ablation(bench_once):
+    result = bench_once(
+        lambda: ablation_idealism.run(workloads=WORKLOADS,
+                                      budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    realistic, perfect_bp, perfect_dcache, both = avg[1:5]
+    # removing a constraint can only help
+    assert perfect_bp >= realistic
+    assert perfect_dcache >= realistic
+    assert both >= max(perfect_bp, perfect_dcache) * 0.98
+    # on branchy integer code, branch prediction dominates memory as the
+    # limiter (the paper's workloads behave the same way)
+    assert (perfect_bp - realistic) > (perfect_dcache - realistic)

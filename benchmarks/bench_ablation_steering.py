@@ -1,0 +1,21 @@
+"""Ablation — strand steering heuristics under communication latency."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import ablation_steering
+
+WORKLOADS = ("gzip", "mcf", "twolf", "vpr", "gcc", "parser")
+
+
+def test_steering_ablation(bench_once):
+    result = bench_once(
+        lambda: ablation_steering.run(workloads=WORKLOADS,
+                                      budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    dep_c0, dep_c2, least_c2, modulo_c2 = avg[1:5]
+    # communication latency costs something under every policy
+    assert dep_c2 < dep_c0
+    # dependence-based steering must tolerate the latency at least as well
+    # as naive least-loaded steering (the ISCA 2002 design point)
+    assert dep_c2 >= 0.98 * least_c2
+    # modulo steering without renaming wastes PEs and loses
+    assert modulo_c2 <= dep_c0

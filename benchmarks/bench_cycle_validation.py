@@ -1,0 +1,44 @@
+"""Model validation — the cycle-stepped ILDP reference vs the fast
+one-pass model used by the experiment harness.
+
+The paper's numbers came from detailed (slow) simulation; our harness uses
+a one-pass model for tractability.  This benchmark quantifies the
+agreement between the two on real traces, which is what licenses using the
+fast model everywhere else.
+"""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.uarch.config import ildp_config
+from repro.uarch.ildp import ILDPModel
+from repro.uarch.ildp_cycle import CycleILDPModel
+from repro.vm.config import VMConfig
+
+WORKLOADS = ("gzip", "mcf", "gcc", "twolf", "vortex", "vpr")
+
+
+def _run():
+    rows = []
+    for name in WORKLOADS:
+        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                        budget=BENCH_BUDGET // 2)
+        fast = ILDPModel(ildp_config(8, 0)).run(result.trace)
+        cycle = CycleILDPModel(ildp_config(8, 0)).run(result.trace)
+        rows.append([name, fast.ipc, cycle.ipc, cycle.ipc / fast.ipc])
+    rows.append(["Avg.",
+                 sum(r[1] for r in rows) / len(rows),
+                 sum(r[2] for r in rows) / len(rows),
+                 sum(r[3] for r in rows) / len(rows)])
+    return ExperimentResult(
+        "Model validation — fast vs cycle-stepped ILDP (8 PE, 0-cycle "
+        "comm)", ("workload", "fast IPC", "cycle IPC", "ratio"), rows)
+
+
+def test_cycle_model_validation(bench_once):
+    result = bench_once(_run)
+    avg = result.row_for("Avg.")
+    assert 0.7 < avg[3] < 1.4   # models agree on average
+    for row in result.rows()[:-1]:
+        assert 0.5 < row[3] < 1.8

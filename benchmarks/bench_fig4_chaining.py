@@ -1,0 +1,16 @@
+"""Fig. 4 — mispredictions per 1,000 instructions under the four chaining
+configurations (original / no_pred / sw_pred.no_ras / sw_pred.ras)."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import fig4
+
+
+def test_fig4_chaining_mispredictions(bench_once):
+    result = bench_once(lambda: fig4.run(budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    original, no_pred, sw_no_ras, sw_ras = avg[1:5]
+    # paper shapes: no_pred worst; software prediction roughly halves it;
+    # the dual-address RAS lands at or below the original's rate
+    assert no_pred > sw_no_ras
+    assert no_pred > original
+    assert sw_ras <= sw_no_ras

@@ -1,0 +1,14 @@
+"""Fig. 5 — relative dynamic instruction count of straightened code."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import fig5
+
+
+def test_fig5_instruction_expansion(bench_once):
+    result = bench_once(lambda: fig5.run(budget=BENCH_BUDGET))
+    rows = {row[0]: row[1] for row in result.rows()}
+    # every workload expands (chaining adds instructions) ...
+    assert all(value >= 1.0 for value in rows.values())
+    # ... and the indirect-jump-heavy workloads expand most (Section 4.3)
+    assert rows["perlbmk"] > rows["gzip"]
+    assert rows["gap"] > rows["gzip"]

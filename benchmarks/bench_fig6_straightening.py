@@ -1,0 +1,15 @@
+"""Fig. 6 — IPC impact of code straightening and the hardware RAS."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import fig6
+
+
+def test_fig6_code_straightening(bench_once):
+    result = bench_once(lambda: fig6.run(budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    orig_noras, orig_ras, straight_noras, straight_ras = avg[1:5]
+    # paper shapes: straightening without RAS underperforms the original
+    # without RAS; with the dual-address RAS it is about level with the
+    # original-with-RAS machine
+    assert straight_noras < orig_noras * 1.05
+    assert straight_ras > 0.85 * orig_ras

@@ -1,0 +1,21 @@
+"""Fig. 7 — output register value usage ("globalness") breakdown."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import fig7
+
+
+def test_fig7_register_usage(bench_once):
+    result = bench_once(lambda: fig7.run(budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    modified_global, basic_global = avg[9], avg[10]
+    # paper: ~25% global outputs for the modified format, rising to ~40%
+    # with the basic format's ->global conversions.  Our synthetic kernels
+    # have much smaller loop bodies than real SPEC superblocks, so a far
+    # larger share of values is loop-carried (live-out) — the absolute
+    # level is inflated, but both orderings must hold (EXPERIMENTS.md).
+    assert 10.0 < modified_global < 90.0
+    assert basic_global > modified_global
+    # a healthy share of values stays purely local (that is the point of
+    # the accumulator ISA)
+    local_share = avg[2] + avg[3]   # local + temp
+    assert local_share > 15.0

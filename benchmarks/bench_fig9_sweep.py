@@ -1,0 +1,22 @@
+"""Fig. 9 — IPC sensitivity of the ILDP machine to accumulator count,
+D-cache size, communication latency and PE count."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import fig9
+
+
+def test_fig9_machine_parameter_sweep(bench_once):
+    result = bench_once(lambda: fig9.run(budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    eight_acc, base, small_dcache, comm2, six_pe, four_pe = avg[1:7]
+    # paper shapes:
+    # - the quarter-size replicated D-cache barely matters
+    assert small_dcache > 0.9 * base
+    # - two-cycle communication latency costs a few percent (our small
+    #   kernels pay more than the paper's 3.4%, see EXPERIMENTS.md)
+    assert comm2 < base
+    # - 6 PEs hold up well; 4 PEs lag clearly more
+    assert six_pe >= four_pe
+    assert four_pe < base
+    # - 8 accumulators never hurt
+    assert eight_acc >= 0.98 * base

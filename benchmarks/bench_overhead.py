@@ -1,0 +1,16 @@
+"""Section 4.2 — translation overhead (modelled Alpha instructions per
+translated source instruction, with phase breakdown)."""
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.experiments import overhead
+
+
+def test_translation_overhead(bench_once):
+    result = bench_once(lambda: overhead.run(budget=BENCH_BUDGET))
+    avg = result.row_for("Avg.")
+    per_instruction, tcache_share = avg[1], avg[2]
+    # paper: ~1,125 Alpha instructions per translated instruction (about a
+    # quarter of DAISY's 4,000+), with ~20% spent copying into the tcache
+    assert 500 < per_instruction < 2500
+    assert 0.10 < tcache_share < 0.35
+    assert per_instruction < 4000   # the DAISY comparison must hold

@@ -1,0 +1,60 @@
+"""Quickstart: run a program through the co-designed VM.
+
+Assembles a small Alpha program, runs it under the full
+interpret -> profile -> translate -> execute pipeline with the paper's
+baseline configuration (modified I-ISA, software prediction + dual-address
+RAS), and prints what the DBT did.
+
+    python examples/quickstart.py
+"""
+
+from repro.asm import assemble
+from repro.ildp_isa.disasm import disassemble_iinstr
+from repro.vm import CoDesignedVM, VMConfig
+
+SOURCE = """
+        ; sum the bytes of a buffer, 150 times over
+_start: li   r15, 150
+        clr  r0
+pass:   la   r16, buf
+        li   r17, 64
+loop:   ldbu r3, 0(r16)
+        addq r0, r3, r0
+        lda  r16, 1(r16)
+        subq r17, 1, r17
+        bne  r17, loop
+        subq r15, 1, r15
+        bne  r15, pass
+        and  r0, 0x7f, r16
+        call_pal putc
+        call_pal halt
+        .data
+buf:    .space 64, 3
+"""
+
+
+def main():
+    program = assemble(SOURCE, source_name="quickstart")
+    vm = CoDesignedVM(program, VMConfig())
+    stats = vm.run(max_v_instructions=500_000)
+
+    print("console output:", repr(vm.console_text()))
+    print()
+    print("V-ISA instructions interpreted :",
+          stats.interpreted_instructions)
+    print("V-ISA instructions translated  :",
+          stats.source_instructions_executed)
+    print("I-ISA instructions executed    :",
+          stats.iinstructions_executed)
+    print("dynamic expansion              :",
+          round(stats.dynamic_expansion(), 3))
+    print("fragments in translation cache :", stats.fragments_created)
+    print()
+    print("hot loop, translated to the modified accumulator I-ISA:")
+    fragment = vm.tcache.fragments[0]
+    for instr in fragment.body:
+        print("   ", disassemble_iinstr(instr, fragment.fmt))
+
+
+if __name__ == "__main__":
+    main()

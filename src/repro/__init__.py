@@ -1,0 +1,52 @@
+"""repro — a reproduction of "Dynamic Binary Translation for
+Accumulator-Oriented Architectures" (Kim & Smith, CGO 2003).
+
+The package implements the paper's full co-designed virtual machine:
+
+* an Alpha-subset V-ISA with assembler, binary encoder and interpreter;
+* the accumulator-oriented I-ISA in its basic and modified forms;
+* the dynamic binary translator — MRET superblock capture, usage
+  classification, strand formation, linear-scan accumulator assignment,
+  precise-trap copy rules, three chaining policies, a translation cache
+  with in-place patching and a shared dispatch sequence;
+* trace-driven timing models of the reference out-of-order superscalar and
+  the ILDP distributed microarchitecture;
+* twelve synthetic SPEC CPU2000 INT stand-in workloads and an experiment
+  harness regenerating every table and figure of the paper's evaluation.
+
+Typical use::
+
+    from repro import CoDesignedVM, VMConfig, assemble
+
+    vm = CoDesignedVM(assemble(source), VMConfig())
+    stats = vm.run(max_v_instructions=1_000_000)
+    print(stats.summary())
+"""
+
+from repro.asm import assemble
+from repro.ildp_isa.opcodes import IFormat
+from repro.interp import Interpreter
+from repro.translator.chaining import ChainingPolicy
+from repro.uarch import ILDPModel, SUPERSCALAR, SuperscalarModel, ildp_config
+from repro.vm import CoDesignedVM, VMConfig, VMTrap
+from repro.workloads import WORKLOAD_NAMES, all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "Interpreter",
+    "IFormat",
+    "ChainingPolicy",
+    "CoDesignedVM",
+    "VMConfig",
+    "VMTrap",
+    "SuperscalarModel",
+    "ILDPModel",
+    "SUPERSCALAR",
+    "ildp_config",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "all_workloads",
+    "__version__",
+]

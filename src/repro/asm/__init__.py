@@ -1,0 +1,11 @@
+"""A small two-pass assembler for the Alpha subset.
+
+Workloads in this repository are written as assembly text and assembled into
+genuine binary images (32-bit encoded words in a sparse memory), which the
+VM's interpreter then decodes — the same front door a real co-designed VM
+presents to conventional binaries.
+"""
+
+from repro.asm.assembler import assemble, AsmError
+
+__all__ = ["assemble", "AsmError"]

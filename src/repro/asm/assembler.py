@@ -1,0 +1,297 @@
+"""Two-pass assembler driver: text -> :class:`~repro.memory.image.Program`.
+
+Pass 1 expands pseudos, lays out sections and records label addresses.
+Pass 2 resolves symbols, encodes instructions to 32-bit words and writes the
+final bytes into a sparse :class:`~repro.memory.image.Memory`.
+"""
+
+import re
+
+from repro.asm.pseudo import expand, expansion_size, is_pseudo, PSEUDO_MNEMONICS
+from repro.asm.source import (
+    AsmSyntaxError,
+    Directive,
+    Label,
+    Statement,
+    parse_source,
+    parse_string_literal,
+)
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    JUMP_OPS,
+    MEMORY_OPS,
+    OPERATE_OPS,
+    PAL_FUNCTIONS,
+    RB_ONLY_OPS,
+)
+from repro.isa.registers import parse_reg
+from repro.memory.image import Memory, Program
+
+#: Default section layout; workloads are far smaller than these gaps.
+DEFAULT_TEXT_BASE = 0x1_0000
+DEFAULT_DATA_BASE = 0x8_0000
+DEFAULT_STACK_BASE = 0x20_0000
+DEFAULT_STACK_SIZE = 0x1_0000
+
+
+class AsmError(ValueError):
+    """Raised for semantic assembly errors (bad operands, unknown symbols)."""
+
+    def __init__(self, message, lineno=None):
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_MEM_RE = re.compile(r"^(?P<disp>.*?)\((?P<base>[^()]+)\)$")
+_HILO_RE = re.compile(r"^%(?P<which>hi|lo)\((?P<symbol>[\w.$]+)\)$")
+
+
+def _parse_int(text):
+    text = text.strip()
+    if not _INT_RE.match(text):
+        raise ValueError(f"not an integer literal: {text!r}")
+    return int(text, 0)
+
+
+def _is_int(text):
+    return bool(_INT_RE.match(text.strip()))
+
+
+class _Item:
+    """A pass-1 layout item awaiting pass-2 resolution."""
+
+    __slots__ = ("address", "kind", "payload", "lineno")
+
+    def __init__(self, address, kind, payload, lineno):
+        self.address = address
+        self.kind = kind          # "instr" | "data"
+        self.payload = payload
+        self.lineno = lineno
+
+
+class Assembler:
+    """Assembles one source file; use the :func:`assemble` convenience API."""
+
+    def __init__(self, text_base=DEFAULT_TEXT_BASE,
+                 data_base=DEFAULT_DATA_BASE,
+                 stack_base=DEFAULT_STACK_BASE,
+                 stack_size=DEFAULT_STACK_SIZE):
+        self.text_base = text_base
+        self.data_base = data_base
+        self.stack_base = stack_base
+        self.stack_size = stack_size
+        self.symbols = {}
+        self._items = []
+        self._counters = {"text": text_base, "data": data_base}
+        self._section = "text"
+
+    # -- pass 1 --------------------------------------------------------------
+
+    def _here(self):
+        return self._counters[self._section]
+
+    def _advance(self, size):
+        self._counters[self._section] += size
+
+    def _layout(self, items):
+        for item in items:
+            if isinstance(item, Label):
+                if item.name in self.symbols:
+                    raise AsmError(f"duplicate label {item.name!r}",
+                                   item.lineno)
+                self.symbols[item.name] = self._here()
+            elif isinstance(item, Directive):
+                self._layout_directive(item)
+            elif isinstance(item, Statement):
+                self._layout_statement(item)
+
+    def _layout_statement(self, stmt):
+        if self._section != "text":
+            raise AsmError("instruction outside .text", stmt.lineno)
+        mnemonic = stmt.mnemonic
+        known = (mnemonic in MEMORY_OPS or mnemonic in OPERATE_OPS
+                 or mnemonic in BRANCH_OPS or mnemonic in JUMP_OPS
+                 or mnemonic in PSEUDO_MNEMONICS or mnemonic == "call_pal")
+        if not known:
+            raise AsmError(f"unknown mnemonic {mnemonic!r}", stmt.lineno)
+        if is_pseudo(mnemonic, stmt.operands):
+            try:
+                count = expansion_size(mnemonic, stmt.operands, _parse_int)
+                expanded = expand(mnemonic, stmt.operands, _parse_int)
+            except (ValueError, IndexError) as exc:
+                raise AsmError(str(exc), stmt.lineno) from exc
+            if len(expanded) != count:
+                raise AsmError("pseudo expansion size mismatch", stmt.lineno)
+            for sub_mnemonic, sub_operands in expanded:
+                self._items.append(_Item(self._here(), "instr",
+                                         (sub_mnemonic, sub_operands),
+                                         stmt.lineno))
+                self._advance(4)
+        else:
+            self._items.append(_Item(self._here(), "instr",
+                                     (mnemonic, stmt.operands), stmt.lineno))
+            self._advance(4)
+
+    def _layout_directive(self, directive):
+        name = directive.name
+        if name == ".text":
+            self._section = "text"
+        elif name == ".data":
+            self._section = "data"
+        elif name == ".align":
+            amount = _parse_int(directive.args[0])
+            here = self._here()
+            pad = (-here) % amount
+            if pad:
+                self._items.append(_Item(here, "data", b"\x00" * pad,
+                                         directive.lineno))
+                self._advance(pad)
+        elif name in (".quad", ".long", ".word", ".byte"):
+            size = {".quad": 8, ".long": 4, ".word": 2, ".byte": 1}[name]
+            for arg in directive.args:
+                self._items.append(_Item(self._here(), "data",
+                                         ("value", size, arg),
+                                         directive.lineno))
+                self._advance(size)
+        elif name == ".space":
+            count = _parse_int(directive.args[0])
+            fill = _parse_int(directive.args[1]) if len(directive.args) > 1 \
+                else 0
+            self._items.append(_Item(self._here(), "data",
+                                     bytes([fill & 0xFF]) * count,
+                                     directive.lineno))
+            self._advance(count)
+        elif name in (".ascii", ".asciz"):
+            text = parse_string_literal(directive.args[0], directive.lineno)
+            data = text.encode("latin-1")
+            if name == ".asciz":
+                data += b"\x00"
+            self._items.append(_Item(self._here(), "data", data,
+                                     directive.lineno))
+            self._advance(len(data))
+        else:
+            raise AsmError(f"unknown directive {name!r}", directive.lineno)
+
+    # -- pass 2 --------------------------------------------------------------
+
+    def _resolve_int(self, text, lineno):
+        text = text.strip()
+        if _is_int(text):
+            return _parse_int(text)
+        hilo = _HILO_RE.match(text)
+        if hilo:
+            address = self._lookup(hilo.group("symbol"), lineno)
+            high = (address + 0x8000) >> 16
+            if hilo.group("which") == "hi":
+                return high
+            return address - (high << 16)
+        return self._lookup(text, lineno)
+
+    def _lookup(self, symbol, lineno):
+        if symbol not in self.symbols:
+            raise AsmError(f"undefined symbol {symbol!r}", lineno)
+        return self.symbols[symbol]
+
+    def _build_instruction(self, address, mnemonic, operands, lineno):
+        try:
+            return self._build_unchecked(address, mnemonic, operands, lineno)
+        except (ValueError, IndexError, KeyError) as exc:
+            raise AsmError(f"{mnemonic}: {exc}", lineno) from exc
+
+    def _build_unchecked(self, address, mnemonic, operands, lineno):
+        if mnemonic in MEMORY_OPS:
+            ra = parse_reg(operands[0])
+            match = _MEM_RE.match(operands[1].strip())
+            if not match:
+                raise ValueError(f"bad memory operand {operands[1]!r}")
+            disp_text = match.group("disp").strip()
+            disp = self._resolve_int(disp_text, lineno) if disp_text else 0
+            rb = parse_reg(match.group("base"))
+            return Instruction(mnemonic, ra=ra, rb=rb, imm=disp)
+        if mnemonic in OPERATE_OPS:
+            if mnemonic in RB_ONLY_OPS:
+                source, dest = operands
+                if _is_int(source):
+                    return Instruction(mnemonic, rc=parse_reg(dest),
+                                       imm=_parse_int(source), islit=True)
+                return Instruction(mnemonic, rb=parse_reg(source),
+                                   rc=parse_reg(dest))
+            ra_text, b_text, rc_text = operands
+            ra = parse_reg(ra_text)
+            rc = parse_reg(rc_text)
+            if _is_int(b_text):
+                return Instruction(mnemonic, ra=ra, rc=rc,
+                                   imm=_parse_int(b_text), islit=True)
+            return Instruction(mnemonic, ra=ra, rb=parse_reg(b_text), rc=rc)
+        if mnemonic in BRANCH_OPS:
+            ra = parse_reg(operands[0])
+            target = self._resolve_int(operands[1], lineno)
+            disp, remainder = divmod(target - (address + 4), 4)
+            if remainder:
+                raise ValueError(f"misaligned branch target {target:#x}")
+            return Instruction(mnemonic, ra=ra, imm=disp)
+        if mnemonic in JUMP_OPS:
+            ra = parse_reg(operands[0])
+            match = _MEM_RE.match(operands[1].strip())
+            if not match or match.group("disp").strip():
+                raise ValueError(f"bad jump operand {operands[1]!r}")
+            rb = parse_reg(match.group("base"))
+            return Instruction(mnemonic, ra=ra, rb=rb)
+        if mnemonic == "call_pal":
+            arg = operands[0].strip().lower()
+            function = PAL_FUNCTIONS.get(arg)
+            if function is None:
+                function = _parse_int(arg)
+            return Instruction("call_pal", imm=function)
+        raise KeyError(f"unknown mnemonic {mnemonic!r}")
+
+    # -- driver ----------------------------------------------------------------
+
+    def assemble(self, source, source_name="<string>"):
+        """Assemble ``source`` text and return a loaded :class:`Program`."""
+        try:
+            parsed = parse_source(source)
+        except AsmSyntaxError as exc:
+            raise AsmError(str(exc)) from exc
+        self._layout(parsed)
+        self.symbols.setdefault("__stack_top",
+                                self.stack_base + self.stack_size)
+
+        memory = Memory()
+        text_size = self._counters["text"] - self.text_base
+        data_size = self._counters["data"] - self.data_base
+        memory.map_segment("text", self.text_base, max(text_size, 4))
+        if data_size or True:
+            memory.map_segment("data", self.data_base, max(data_size, 8))
+        memory.map_segment("stack", self.stack_base, self.stack_size)
+
+        for item in self._items:
+            if item.kind == "instr":
+                mnemonic, operands = item.payload
+                instr = self._build_instruction(item.address, mnemonic,
+                                                operands, item.lineno)
+                word = encode(instr)
+                memory.store(item.address, word, 4)
+            else:
+                payload = item.payload
+                if isinstance(payload, tuple):
+                    _tag, size, arg = payload
+                    value = self._resolve_int(arg, item.lineno)
+                    memory.store(item.address, value & ((1 << (8 * size)) - 1),
+                                 size)
+                else:
+                    memory.write_bytes(item.address, payload)
+
+        entry = self.symbols.get("_start", self.text_base)
+        return Program(memory, entry, symbols=self.symbols,
+                       text_base=self.text_base, text_size=text_size,
+                       source_name=source_name)
+
+
+def assemble(source, source_name="<string>", **layout):
+    """Assemble ``source`` with default section layout; see :class:`Assembler`."""
+    return Assembler(**layout).assemble(source, source_name=source_name)

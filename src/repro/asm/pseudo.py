@@ -1,0 +1,134 @@
+"""Pseudo-instruction expansion.
+
+Pseudos keep workload sources readable while producing only real Alpha
+instructions.  Every expansion has a size that is known from the operand
+*shapes* alone, so the two-pass assembler can lay out code before symbols
+are resolved.
+
+Supported pseudos::
+
+    mov  rA, rB        -> bis rA, rA, rB
+    li   rA, imm       -> bis/lda/ldah+lda depending on magnitude
+    la   rA, symbol    -> ldah+lda pair computing the symbol's address
+    clr  rA            -> bis r31, r31, rA
+    nop                -> bis r31, r31, r31
+    negq rA, rB        -> subq r31, rA, rB
+    negl rA, rB        -> subl r31, rA, rB
+    not  rA, rB        -> ornot r31, rA, rB
+    ret                -> ret r31, (r26)
+"""
+
+from repro.utils.bitops import fits_signed
+
+#: Pseudos whose expansion is a fixed number of instructions.
+_FIXED_SIZES = {
+    "mov": 1,
+    "clr": 1,
+    "nop": 1,
+    "negq": 1,
+    "negl": 1,
+    "not": 1,
+    "la": 2,
+}
+
+PSEUDO_MNEMONICS = frozenset(list(_FIXED_SIZES) + ["li"])
+
+
+def is_pseudo(mnemonic, operands):
+    """True when the statement is a pseudo needing expansion.
+
+    ``ret`` with no operands is also normalised here (it is a real
+    instruction, but the bare form needs default registers filled in).
+    """
+    if mnemonic in PSEUDO_MNEMONICS:
+        return True
+    return mnemonic in ("ret", "br", "bsr", "jmp", "jsr") and _needs_defaults(
+        mnemonic, operands)
+
+
+def _needs_defaults(mnemonic, operands):
+    if mnemonic == "ret":
+        return len(operands) == 0
+    if mnemonic in ("br", "bsr"):
+        return len(operands) == 1
+    if mnemonic in ("jmp", "jsr"):
+        return len(operands) == 1
+    return False
+
+
+def _li_size(value):
+    if 0 <= value <= 255:
+        return 1
+    if fits_signed(value, 16):
+        return 1
+    if fits_signed(value, 32):
+        return 2
+    raise ValueError(f"li immediate out of 32-bit range: {value}")
+
+
+def expansion_size(mnemonic, operands, parse_int):
+    """Number of real instructions the statement expands to.
+
+    ``parse_int`` converts a numeric operand text to an int (the assembler
+    supplies its own literal parser); it must not consult the symbol table,
+    because sizes are computed in pass 1.
+    """
+    if mnemonic in _FIXED_SIZES:
+        return _FIXED_SIZES[mnemonic]
+    if mnemonic == "li":
+        return _li_size(parse_int(operands[1]))
+    return 1
+
+
+def expand(mnemonic, operands, parse_int):
+    """Expand to a list of (mnemonic, operands) real-instruction statements.
+
+    ``la`` expands with symbolic hi/lo markers (``%hi`` / ``%lo``) that the
+    assembler's pass 2 resolves against the symbol table.
+    """
+    if mnemonic == "mov":
+        src, dst = operands
+        return [("bis", [src, src, dst])]
+    if mnemonic == "clr":
+        return [("bis", ["r31", "r31", operands[0]])]
+    if mnemonic == "nop":
+        return [("bis", ["r31", "r31", "r31"])]
+    if mnemonic == "negq":
+        src, dst = operands
+        return [("subq", ["r31", src, dst])]
+    if mnemonic == "negl":
+        src, dst = operands
+        return [("subl", ["r31", src, dst])]
+    if mnemonic == "not":
+        src, dst = operands
+        return [("ornot", ["r31", src, dst])]
+    if mnemonic == "la":
+        dst, symbol = operands
+        return [
+            ("ldah", [dst, f"%hi({symbol})(r31)"]),
+            ("lda", [dst, f"%lo({symbol})({dst})"]),
+        ]
+    if mnemonic == "li":
+        dst, text = operands
+        value = parse_int(text)
+        if 0 <= value <= 255:
+            return [("bis", ["r31", str(value), dst])]
+        if fits_signed(value, 16):
+            return [("lda", [dst, f"{value}(r31)"])]
+        high = (value + 0x8000) >> 16
+        low = value - (high << 16)
+        return [
+            ("ldah", [dst, f"{high}(r31)"]),
+            ("lda", [dst, f"{low}({dst})"]),
+        ]
+    if mnemonic == "ret":
+        return [("ret", ["r31", "(r26)"])]
+    if mnemonic == "br":
+        return [("br", ["r31", operands[0]])]
+    if mnemonic == "bsr":
+        return [("bsr", ["r26", operands[0]])]
+    if mnemonic == "jmp":
+        return [("jmp", ["r31", operands[0]])]
+    if mnemonic == "jsr":
+        return [("jsr", ["r26", operands[0]])]
+    raise KeyError(f"not a pseudo: {mnemonic}")

@@ -1,0 +1,130 @@
+"""Line-level parsing of assembly source into statements.
+
+The grammar is deliberately small:
+
+* ``label:`` possibly followed by a statement on the same line
+* ``mnemonic operand, operand, ...``
+* ``.directive args``
+* comments start with ``;`` or ``#`` and run to end of line
+"""
+
+import re
+
+
+class AsmSyntaxError(ValueError):
+    """Raised for malformed assembly source."""
+
+    def __init__(self, message, lineno):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+class Label:
+    """A label definition."""
+
+    __slots__ = ("name", "lineno")
+
+    def __init__(self, name, lineno):
+        self.name = name
+        self.lineno = lineno
+
+
+class Directive:
+    """An assembler directive such as ``.data`` or ``.quad``."""
+
+    __slots__ = ("name", "args", "lineno")
+
+    def __init__(self, name, args, lineno):
+        self.name = name
+        self.args = args
+        self.lineno = lineno
+
+
+class Statement:
+    """An instruction statement: mnemonic plus raw operand strings."""
+
+    __slots__ = ("mnemonic", "operands", "lineno")
+
+    def __init__(self, mnemonic, operands, lineno):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.lineno = lineno
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_STRING_ARG_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"$')
+
+
+def _strip_comment(line):
+    quote = False
+    for index, char in enumerate(line):
+        if char == '"':
+            quote = not quote
+        elif char in ";#" and not quote:
+            return line[:index]
+    return line
+
+
+def _split_operands(text):
+    """Split an operand list on commas, honouring quoted strings."""
+    parts = []
+    current = []
+    quote = False
+    for char in text:
+        if char == '"':
+            quote = not quote
+            current.append(char)
+        elif char == "," and not quote:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_source(source):
+    """Parse assembly text into a list of Label/Directive/Statement objects."""
+    items = []
+    for lineno, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                items.append(Label(match.group(1), lineno))
+                line = line[match.end():].strip()
+                continue
+            break
+        if not line:
+            continue
+        fields = line.split(None, 1)
+        head = fields[0].lower()
+        rest = fields[1] if len(fields) > 1 else ""
+        operands = _split_operands(rest)
+        if head.startswith("."):
+            items.append(Directive(head, operands, lineno))
+        else:
+            items.append(Statement(head, operands, lineno))
+    return items
+
+
+def parse_string_literal(arg, lineno):
+    """Decode a quoted ``.ascii`` argument, handling simple escapes."""
+    match = _STRING_ARG_RE.match(arg)
+    if not match:
+        raise AsmSyntaxError(f"expected string literal, got {arg!r}", lineno)
+    body = match.group(1)
+    out = []
+    index = 0
+    escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body):
+            out.append(escapes.get(body[index + 1], body[index + 1]))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+::
+
+    python -m repro workloads                 # list the workload suite
+    python -m repro run gzip --fmt modified   # run one workload in the VM
+    python -m repro translate gzip            # dump the hottest fragment
+    python -m repro experiment fig8 -w gzip -w mcf   # one paper experiment
+"""
+
+import argparse
+import sys
+
+from repro.harness import experiments as experiment_modules
+from repro.harness.runner import run_vm
+from repro.ildp_isa.disasm import disassemble_iinstr
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.chaining import ChainingPolicy
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES, all_workloads
+
+_FORMATS = {fmt.value: fmt for fmt in IFormat}
+_POLICIES = {policy.value: policy for policy in ChainingPolicy}
+_EXPERIMENTS = {
+    name: getattr(experiment_modules, name)
+    for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2",
+                 "overhead", "ablation_fusion", "ablation_steering",
+                 "ablation_accumulators", "ablation_idealism",
+                 "characterization")
+}
+
+
+def build_parser():
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Co-designed VM reproduction (Kim & Smith, CGO 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the synthetic workload suite")
+
+    run_parser = sub.add_parser("run", help="run a workload under the VM")
+    _add_vm_arguments(run_parser)
+
+    translate_parser = sub.add_parser(
+        "translate", help="show a workload's hottest translated fragment")
+    _add_vm_arguments(translate_parser)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures")
+    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment_parser.add_argument("-w", "--workload", action="append",
+                                   choices=WORKLOAD_NAMES, dest="workloads",
+                                   help="restrict to specific workloads")
+    experiment_parser.add_argument("--budget", type=int, default=60_000)
+
+    map_parser = sub.add_parser(
+        "map", help="show a workload's translation-cache fragment map")
+    _add_vm_arguments(map_parser)
+
+    report_parser = sub.add_parser(
+        "report", help="run every experiment and write a markdown report")
+    report_parser.add_argument("-o", "--output", default="results.md")
+    report_parser.add_argument("-w", "--workload", action="append",
+                               choices=WORKLOAD_NAMES, dest="workloads")
+    report_parser.add_argument("--budget", type=int, default=60_000)
+    return parser
+
+
+def _add_vm_arguments(parser):
+    parser.add_argument("workload", choices=WORKLOAD_NAMES)
+    parser.add_argument("--fmt", choices=sorted(_FORMATS),
+                        default="modified")
+    parser.add_argument("--policy", choices=sorted(_POLICIES),
+                        default="sw_pred.ras")
+    parser.add_argument("--accumulators", type=int, default=4)
+    parser.add_argument("--budget", type=int, default=200_000)
+    parser.add_argument("--fuse-memory", action="store_true")
+
+
+def _config_from(args):
+    return VMConfig(fmt=_FORMATS[args.fmt],
+                    policy=_POLICIES[args.policy],
+                    n_accumulators=args.accumulators,
+                    fuse_memory=args.fuse_memory)
+
+
+def _command_workloads(_args, out):
+    for workload in all_workloads():
+        print(f"{workload.name:8s}  {workload.description}", file=out)
+    return 0
+
+
+def _command_run(args, out):
+    result = run_vm(args.workload, _config_from(args), budget=args.budget,
+                    collect_trace=False)
+    stats = result.stats
+    print(f"workload           : {args.workload}", file=out)
+    print(f"target             : {args.fmt} / {args.policy}", file=out)
+    print(f"console            : {result.vm.console_text()!r}", file=out)
+    for key, value in stats.summary().items():
+        print(f"{key:19s}: {value}", file=out)
+    cost = result.vm.cost_model
+    print(f"translation cost   : "
+          f"{cost.per_translated_instruction():.0f} insts/translated inst",
+          file=out)
+    return 0
+
+
+def _command_translate(args, out):
+    result = run_vm(args.workload, _config_from(args), budget=args.budget,
+                    collect_trace=False)
+    fragments = sorted(result.tcache.fragments,
+                       key=lambda f: f.execution_count, reverse=True)
+    if not fragments:
+        print("nothing was hot enough to translate", file=out)
+        return 1
+    fragment = fragments[0]
+    print(f"hottest fragment: V:{fragment.entry_vpc:#x}, "
+          f"executed {fragment.execution_count} times, "
+          f"{fragment.source_instr_count} source instructions -> "
+          f"{len(fragment.body)} {args.fmt} instructions "
+          f"({fragment.byte_size} bytes)", file=out)
+    for instr in fragment.body:
+        print(f"  {instr.address:#09x}  "
+              f"{disassemble_iinstr(instr, fragment.fmt)}", file=out)
+    return 0
+
+
+def _command_experiment(args, out):
+    module = _EXPERIMENTS[args.name]
+    result = module.run(workloads=args.workloads, budget=args.budget)
+    print(result.render(), file=out)
+    return 0
+
+
+def _command_map(args, out):
+    from repro.tcache.dump import print_fragment_map
+
+    result = run_vm(args.workload, _config_from(args), budget=args.budget,
+                    collect_trace=False)
+    print_fragment_map(result.tcache, out=out)
+    return 0
+
+
+def _command_report(args, out):
+    from repro.harness.report import generate_report
+
+    def progress(name, elapsed):
+        print(f"  {name}: {elapsed:.1f}s", file=out)
+
+    text = generate_report(workloads=args.workloads, budget=args.budget,
+                           progress=progress)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}", file=out)
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "workloads": _command_workloads,
+        "run": _command_run,
+        "translate": _command_translate,
+        "experiment": _command_experiment,
+        "map": _command_map,
+        "report": _command_report,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+Each experiment module exposes ``run(workloads=None, scale=1, budget=...)``
+returning an ``ExperimentResult`` whose ``rows()`` give the numbers and
+whose ``render()`` prints the same table/series the paper reports.
+"""
+
+from repro.harness.runner import run_vm, run_original, RunResult
+from repro.harness.reporting import format_table, ExperimentResult
+
+__all__ = [
+    "run_vm",
+    "run_original",
+    "RunResult",
+    "format_table",
+    "ExperimentResult",
+]

@@ -1,0 +1,21 @@
+"""One experiment driver per table/figure of the paper's evaluation."""
+
+from repro.harness.experiments import (  # noqa: F401
+    ablation_accumulators,
+    ablation_fusion,
+    ablation_idealism,
+    ablation_steering,
+    characterization,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    overhead,
+)
+
+__all__ = ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2",
+           "overhead", "ablation_fusion", "ablation_steering",
+           "ablation_accumulators", "ablation_idealism", "characterization"]

@@ -1,0 +1,49 @@
+"""Ablation: loss decomposition via idealisation knobs.
+
+Where do the ILDP machine's cycles go?  This ablation re-times the
+modified-I-ISA traces with an oracle branch predictor, a perfect L1 data
+cache, and both — the standard simulator-paper decomposition of front-end
+vs memory vs true dependence limits.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.uarch.config import ildp_config
+from repro.uarch.ildp import ILDPModel
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "realistic", "perfect bp", "perfect D$", "both")
+
+_POINTS = ((False, False), (True, False), (False, True), (True, True))
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED), scale=scale,
+                        budget=budget)
+        row = [name]
+        for perfect_bp, perfect_dcache in _POINTS:
+            machine = ildp_config(8, 0)
+            machine.perfect_prediction = perfect_bp
+            machine.perfect_dcache = perfect_dcache
+            row.append(ILDPModel(machine).run(result.trace).ipc)
+        rows.append(row)
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Ablation — idealisation (modified I-ISA, ILDP 8 PE)", HEADERS,
+        rows,
+        notes=["oracle branch prediction / always-hit L1-D isolate "
+               "front-end and memory losses from true dependence limits"])
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

@@ -1,0 +1,66 @@
+"""Workload characterization: the instruction-mix table papers print.
+
+For each synthetic SPEC stand-in: dynamic instruction count, memory /
+conditional-branch / call-return / indirect-jump shares, and the average
+captured superblock size — the properties that drive everything else in
+the evaluation.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "dyn insts", "load%", "store%", "cond%",
+           "call+ret%", "indirect%", "avg superblock")
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        trace, _interp = run_original(name, scale=scale, budget=budget)
+        total = len(trace)
+        counts = {"load": 0, "store": 0, "cond": 0, "callret": 0,
+                  "indirect": 0}
+        for record in trace:
+            if record.op_class == "load":
+                counts["load"] += 1
+            elif record.op_class == "store":
+                counts["store"] += 1
+            elif record.btype == "cond":
+                counts["cond"] += 1
+            elif record.btype in ("call", "ret"):
+                counts["callret"] += 1
+            elif record.btype in ("call_ind", "indirect"):
+                counts["indirect"] += 1
+
+        vm_result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                           scale=scale, budget=budget,
+                           collect_trace=False)
+        fragments = vm_result.tcache.fragments
+        avg_block = (sum(f.source_instr_count for f in fragments)
+                     / len(fragments)) if fragments else 0.0
+        rows.append([
+            name, total,
+            100.0 * counts["load"] / total,
+            100.0 * counts["store"] / total,
+            100.0 * counts["cond"] / total,
+            100.0 * counts["callret"] / total,
+            100.0 * counts["indirect"] / total,
+            avg_block,
+        ])
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Workload characterization (dynamic instruction mix)", HEADERS,
+        rows)
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

@@ -1,0 +1,70 @@
+"""Fig. 4: branch/jump mispredictions per 1,000 instructions.
+
+The code-straightening-only simulator (ALPHA target) is run with the three
+chaining implementations — ``no_pred``, ``sw_pred.no_ras``, ``sw_pred.ras``
+— and compared against the original binary.  Expected shape (Section 4.3):
+``no_pred`` is worst by far (every indirect transfer funnels through the
+shared dispatch jump), software prediction roughly halves it but stays well
+above the original, and the dual-address RAS brings it down to nearly the
+original's level.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.chaining import ChainingPolicy
+from repro.uarch.config import SUPERSCALAR, MachineConfig
+from repro.uarch.predictors import BranchUnit
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+POLICIES = (ChainingPolicy.NO_PRED, ChainingPolicy.SW_PRED_NO_RAS,
+            ChainingPolicy.SW_PRED_RAS)
+
+HEADERS = ("workload", "original", "no_pred", "sw_pred.no_ras",
+           "sw_pred.ras")
+
+
+def count_mispredictions(trace, machine_config=None):
+    """Feed a trace through the branch-prediction stack alone; returns
+    mispredictions per 1,000 V-ISA instructions.
+
+    Normalising by V-ISA instructions (not machine instructions) keeps the
+    comparison across chaining schemes apples-to-apples: ``no_pred``'s
+    20-instruction dispatch bodies would otherwise dilute its own
+    misprediction rate.
+    """
+    unit = BranchUnit(machine_config if machine_config is not None
+                      else MachineConfig("predictor-only"))
+    for record in trace:
+        unit.note_instruction(record.v_weight)
+        if record.btype is not None:
+            unit.process(record)
+    return unit.stats.per_kilo_instructions()
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        trace, _interp = run_original(name, scale=scale, budget=budget)
+        row = [name, count_mispredictions(trace)]
+        for policy in POLICIES:
+            config = VMConfig(fmt=IFormat.ALPHA, policy=policy)
+            result = run_vm(name, config, scale=scale, budget=budget)
+            row.append(count_mispredictions(result.trace))
+        rows.append(row)
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Fig. 4 — mispredictions per 1,000 instructions", HEADERS, rows,
+        notes=["code-straightening-only (ALPHA) target; Table 1 predictors"])
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    n_cols = len(rows[0])
+    avg = ["Avg."]
+    for col in range(1, n_cols):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

@@ -1,0 +1,35 @@
+"""Fig. 5: relative dynamic instruction count of straightened code.
+
+For the code-straightening-only target, the executed instruction count
+(including compare-and-branch glue and dispatch code) is divided by the
+V-ISA instructions those executions represent.  Benchmarks dominated by
+register-indirect transfers (gap, perlbmk, eon) expand most; benchmarks
+whose calls are direct BSRs barely expand (Section 4.3).
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.chaining import ChainingPolicy
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "relative instruction count")
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET,
+        policy=ChainingPolicy.SW_PRED_RAS):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        config = VMConfig(fmt=IFormat.ALPHA, policy=policy)
+        result = run_vm(name, config, scale=scale, budget=budget,
+                        collect_trace=False)
+        rows.append([name, result.stats.dynamic_expansion()])
+    average = sum(row[1] for row in rows) / len(rows)
+    rows.append(["Avg.", average])
+    return ExperimentResult(
+        "Fig. 5 — relative instruction count (straightened / original)",
+        HEADERS, rows,
+        notes=[f"chaining policy: {policy.value}"])

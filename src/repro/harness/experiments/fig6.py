@@ -1,0 +1,63 @@
+"""Fig. 6: performance impact of code straightening and the hardware RAS.
+
+Four IPC series on the out-of-order superscalar machine:
+
+* the original binary, with and without a conventional RAS;
+* the code-straightened translation, without RAS (``sw_pred.no_ras``
+  chaining) and with the dual-address RAS (``sw_pred.ras``).
+
+Expected shape (Section 4.3): straightened-without-RAS loses to
+original-without-RAS (chaining overhead eats the straightening benefit);
+straightened-with-dual-RAS is about level with original-with-RAS.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.chaining import ChainingPolicy
+from repro.uarch.config import MachineConfig
+from repro.uarch.superscalar import SuperscalarModel
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "orig.no_ras", "orig.ras", "straight.no_ras",
+           "straight.ras")
+
+
+def _machine(use_ras):
+    return MachineConfig("superscalar-ooo",
+                         use_conventional_ras=use_ras)
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        trace, _interp = run_original(name, scale=scale, budget=budget)
+        orig_noras = SuperscalarModel(_machine(False)).run(trace).ipc
+        orig_ras = SuperscalarModel(_machine(True)).run(trace).ipc
+
+        noras = run_vm(name, VMConfig(fmt=IFormat.ALPHA,
+                                      policy=ChainingPolicy.SW_PRED_NO_RAS),
+                       scale=scale, budget=budget)
+        straight_noras = SuperscalarModel(_machine(False)).run(
+            noras.trace).ipc
+        ras = run_vm(name, VMConfig(fmt=IFormat.ALPHA,
+                                    policy=ChainingPolicy.SW_PRED_RAS),
+                     scale=scale, budget=budget)
+        straight_ras = SuperscalarModel(_machine(True)).run(ras.trace).ipc
+        rows.append([name, orig_noras, orig_ras, straight_noras,
+                     straight_ras])
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Fig. 6 — IPC: code straightening and hardware RAS", HEADERS, rows,
+        notes=["IPC counts V-ISA instructions per cycle"])
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

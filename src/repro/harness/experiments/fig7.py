@@ -1,0 +1,65 @@
+"""Fig. 7: output register value usage ("globalness").
+
+The usage classifier's histogram over superblock values, weighted by how
+often each fragment executed.  For the modified format, global outputs =
+live-out + communication globals (the paper reports about 25%); the basic
+format additionally pays for ``local->global`` and ``no-user->global``
+conversions plus spills, pushing global outputs to about 40%.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.usage import ValueClass
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+_ORDER = (
+    ValueClass.NO_USER,
+    ValueClass.LOCAL,
+    ValueClass.TEMP,
+    ValueClass.COMM_GLOBAL,
+    ValueClass.LIVEOUT_GLOBAL,
+    ValueClass.LOCAL_TO_GLOBAL,
+    ValueClass.NOUSER_TO_GLOBAL,
+    ValueClass.SPILL_GLOBAL,
+)
+
+HEADERS = ("workload",) + tuple(vclass.value for vclass in _ORDER) + (
+    "modified_global%", "basic_global%")
+
+#: Classes whose values must reach a GPR under the modified format.
+_MODIFIED_GLOBAL = {ValueClass.COMM_GLOBAL, ValueClass.LIVEOUT_GLOBAL,
+                    ValueClass.SPILL_GLOBAL}
+#: ... and under the basic format (the ->global conversions join in).
+_BASIC_GLOBAL = _MODIFIED_GLOBAL | {ValueClass.LOCAL_TO_GLOBAL,
+                                    ValueClass.NOUSER_TO_GLOBAL}
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED), scale=scale,
+                        budget=budget, collect_trace=False)
+        histogram = result.stats.dynamic_usage_histogram(result.tcache)
+        total = sum(histogram.values()) or 1
+        shares = {vclass: 100.0 * count / total
+                  for vclass, count in histogram.items()}
+        row = [name] + [shares[vclass] for vclass in _ORDER]
+        row.append(sum(shares[c] for c in _MODIFIED_GLOBAL))
+        row.append(sum(shares[c] for c in _BASIC_GLOBAL))
+        rows.append(row)
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Fig. 7 — output register usage (% of superblock values, "
+        "dynamically weighted)", HEADERS, rows)
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

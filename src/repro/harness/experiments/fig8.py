@@ -1,0 +1,63 @@
+"""Fig. 8: IPC comparison across the four configurations.
+
+Bars, per the paper: (1) the original binary and (2) its code-straightened
+translation on the out-of-order superscalar; (3) the basic and (4) the
+modified accumulator ISA on the ILDP machine with 8 PEs, 32 KB L1-D and
+0-cycle global communication ("to isolate the I-ISA effects from machine
+resources"); plus (5) the modified ISA's *native* I-ISA IPC.
+
+Expected shape (Section 4.5): modified beats basic; modified lands within
+roughly 15% of straightened-Alpha IPC despite ~36% more instructions, with
+a clearly higher native IPC.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.uarch.config import SUPERSCALAR, MachineConfig, ildp_config
+from repro.uarch.ildp import ILDPModel
+from repro.uarch.superscalar import SuperscalarModel
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "original", "straightened", "basic", "modified",
+           "native I-IPC")
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        trace, _interp = run_original(name, scale=scale, budget=budget)
+        original = SuperscalarModel(MachineConfig("superscalar-ooo")).run(
+            trace).ipc
+
+        straight = run_vm(name, VMConfig(fmt=IFormat.ALPHA), scale=scale,
+                          budget=budget)
+        straightened = SuperscalarModel(
+            MachineConfig("superscalar-ooo")).run(straight.trace).ipc
+
+        basic_run = run_vm(name, VMConfig(fmt=IFormat.BASIC), scale=scale,
+                           budget=budget)
+        basic = ILDPModel(ildp_config(8, 0)).run(basic_run.trace).ipc
+
+        modified_run = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                              scale=scale, budget=budget)
+        modified_result = ILDPModel(ildp_config(8, 0)).run(
+            modified_run.trace)
+        rows.append([name, original, straightened, basic,
+                     modified_result.ipc, modified_result.native_ipc])
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Fig. 8 — IPC comparison (V-ISA instructions per cycle)", HEADERS,
+        rows,
+        notes=["ILDP: 8 PEs, 32KB L1-D, 0-cycle communication latency"])
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

@@ -1,0 +1,63 @@
+"""Fig. 9: IPC sensitivity of the ILDP machine (modified I-ISA).
+
+Configurations, matching the paper's bars:
+
+* 8 logical accumulators (8 PEs) — expected ~+11% over the baseline;
+* baseline: 4 accumulators, 8 PEs, 32KB L1-D, 0-cycle communication;
+* 8KB replicated L1-D — expected to change little;
+* 2-cycle global communication latency — expected ~-3.4%;
+* 6 PEs — expected ~-5%;  4 PEs — expected ~-18%.
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.uarch.config import ildp_config
+from repro.uarch.ildp import ILDPModel
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "8acc/8pe", "base 4acc/8pe", "8KB D$", "2-cy comm",
+           "6pe", "4pe")
+
+#: (label, n_accumulators, pe_count, comm_latency, small dcache)
+CONFIGS = (
+    ("8acc/8pe", 8, 8, 0, False),
+    ("base", 4, 8, 0, False),
+    ("8KB", 4, 8, 0, True),
+    ("comm2", 4, 8, 2, False),
+    ("6pe", 4, 6, 0, False),
+    ("4pe", 4, 4, 0, False),
+)
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        row = [name]
+        traces = {}
+        for _label, n_accs, pes, comm, small in CONFIGS:
+            # translations depend only on the accumulator count; reuse them
+            if n_accs not in traces:
+                result = run_vm(
+                    name, VMConfig(fmt=IFormat.MODIFIED,
+                                   n_accumulators=n_accs),
+                    scale=scale, budget=budget)
+                traces[n_accs] = result.trace
+            machine = ildp_config(pes, comm, dcache_small=small)
+            row.append(ILDPModel(machine).run(traces[n_accs]).ipc)
+        rows.append(row)
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Fig. 9 — IPC variation over machine parameters (modified I-ISA)",
+        HEADERS, rows)
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

@@ -1,0 +1,50 @@
+"""Table 2: translated instruction statistics.
+
+Per benchmark, for the basic (B) and modified (M) formats:
+
+* relative number of dynamic instructions (paper averages: B 1.60, M 1.36);
+* % of copy instructions (B 17.7, M 3.1);
+* relative static instruction bytes (B 1.17, M 1.07);
+* modelled translation overhead (last column, ~1,125 on average).
+"""
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+HEADERS = ("workload", "dyn B", "dyn M", "copy% B", "copy% M",
+           "bytes B", "bytes M", "insts/translated inst")
+
+
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+    """Run the experiment; returns an ExperimentResult (see module doc)."""
+    workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    rows = []
+    for name in workloads:
+        basic = run_vm(name, VMConfig(fmt=IFormat.BASIC), scale=scale,
+                       budget=budget, collect_trace=False)
+        modified = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                          scale=scale, budget=budget, collect_trace=False)
+        rows.append([
+            name,
+            basic.stats.dynamic_expansion(),
+            modified.stats.dynamic_expansion(),
+            basic.stats.copy_percentage(),
+            modified.stats.copy_percentage(),
+            basic.stats.static_expansion(basic.tcache),
+            modified.stats.static_expansion(modified.tcache),
+            modified.vm.cost_model.per_translated_instruction(),
+        ])
+    rows.append(_average_row(rows))
+    return ExperimentResult(
+        "Table 2 — translated instruction statistics", HEADERS, rows)
+
+
+def _average_row(rows):
+    """Append-ready arithmetic mean over the numeric columns."""
+    avg = ["Avg."]
+    for col in range(1, len(rows[0])):
+        avg.append(sum(row[col] for row in rows) / len(rows))
+    return avg

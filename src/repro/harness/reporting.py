@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment results."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned text table."""
+    columns = len(headers)
+    texts = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in texts:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(row[index]))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in texts:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class ExperimentResult:
+    """Headers + rows + provenance for one experiment."""
+
+    def __init__(self, name, headers, rows, notes=None):
+        self.name = name
+        self.headers = headers
+        self._rows = rows
+        self.notes = notes or []
+
+    def rows(self):
+        return list(self._rows)
+
+    def row_for(self, workload_name):
+        for row in self._rows:
+            if row[0] == workload_name:
+                return row
+        raise KeyError(workload_name)
+
+    def render(self):
+        text = format_table(self.headers, self._rows, title=self.name)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {note}"
+                                     for note in self.notes)
+        return text
+
+    def __repr__(self):
+        return f"ExperimentResult({self.name}, {len(self._rows)} rows)"

@@ -1,0 +1,35 @@
+"""The accumulator-oriented I-ISA (implementation instruction set).
+
+This is the instruction set the co-designed hardware executes (Section 2 of
+the paper).  Two formats exist:
+
+* the **basic** format from the ISCA 2002 ILDP paper: each instruction names
+  one accumulator and at most one GPR, results go to the accumulator, and
+  architected GPR state is maintained with explicit ``copy-to-GPR``
+  instructions;
+* the **modified** format introduced by this paper: every result-producing
+  instruction carries an explicit destination GPR (kept in an
+  off-critical-path architected file), which removes almost all copy
+  instructions at the price of wider encodings.
+
+The package also defines the co-designed VM's special instructions:
+``set-VPC-base``, ``load-embedded-target-address``,
+``call-translator[-if-condition-is-met]``, ``save-V-ISA-return-address``,
+``push-dual-address-RAS`` and the RAS-predicted return.
+"""
+
+from repro.ildp_isa.opcodes import IOp, IFormat
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.sizes import instruction_size
+from repro.ildp_isa.semantics import IALU_OPS, icond_taken
+from repro.ildp_isa.disasm import disassemble_iinstr
+
+__all__ = [
+    "IOp",
+    "IFormat",
+    "IInstruction",
+    "instruction_size",
+    "IALU_OPS",
+    "icond_taken",
+    "disassemble_iinstr",
+]

@@ -1,0 +1,155 @@
+"""Textual rendering of I-ISA instructions, in the paper's RTL-like notation.
+
+Examples (compare Fig. 2 of the paper)::
+
+    A0 <- mem[R16]            ; basic load
+    A1 <- R17 - 1             ; strand start
+    R17 <- A1                 ; copy-to-GPR
+    R17(A1) <- R17 - 1        ; modified format
+    P <- 0x20010, if (A1 != 0)
+"""
+
+from repro.ildp_isa.opcodes import IFormat, IOp
+
+_COND_TEXT = {
+    "eq": "== 0",
+    "ne": "!= 0",
+    "lt": "< 0",
+    "le": "<= 0",
+    "ge": ">= 0",
+    "gt": "> 0",
+    "lbc": "lbc",
+    "lbs": "lbs",
+}
+
+_INFIX = {
+    "addq": "+", "addl": "+", "subq": "-", "subl": "-",
+    "and": "and", "bis": "or", "xor": "xor", "bic": "andnot",
+    "ornot": "ornot", "eqv": "eqv",
+    "sll": "<<", "srl": ">>", "sra": ">>a",
+    "mulq": "*", "mull": "*",
+}
+
+
+def _acc(instr):
+    return f"A{instr.acc}" if instr.acc is not None else "A?"
+
+
+def _gpr(index):
+    return f"R{index}"
+
+
+def _source(instr, which):
+    source = instr.src_a if which == "a" else instr.src_b
+    if source == "acc":
+        return _acc(instr)
+    if source == "gpr":
+        return _gpr(instr.gpr)
+    if source == "gpr2":
+        return _gpr(instr.gpr2)
+    if source == "imm":
+        return str(instr.imm)
+    return None
+
+
+def _dest(instr, show_modified):
+    if show_modified and instr.dest_gpr is not None:
+        marker = "" if instr.operational else ""
+        return f"{_gpr(instr.dest_gpr)}({_acc(instr)}){marker}"
+    if instr.acc is None and instr.dest_gpr is not None:
+        return _gpr(instr.dest_gpr)  # ALPHA format
+    return _acc(instr)
+
+
+def _target(instr):
+    if instr.target is not None:
+        return f"{instr.target:#x}"
+    if instr.vtarget is not None:
+        return f"V:{instr.vtarget:#x}"
+    return "?"
+
+
+def _cond_value(instr):
+    if instr.cond_src == "acc":
+        return _acc(instr)
+    return _gpr(instr.gpr)
+
+
+def _alu_text(instr, show_modified):
+    dest = _dest(instr, show_modified)
+    a_text = _source(instr, "a")
+    b_text = _source(instr, "b")
+    op = instr.op
+    if op in ("s4addq", "s8addq", "s4addl", "s8addl",
+              "s4subq", "s8subq", "s4subl", "s8subl"):
+        scale = "4" if "4" in op else "8"
+        sign = "-" if "sub" in op else "+"
+        return f"{dest} <- {scale}*{a_text} {sign} {b_text}"
+    if a_text is None:
+        return f"{dest} <- {op}({b_text})"
+    symbol = _INFIX.get(op)
+    if symbol:
+        return f"{dest} <- {a_text} {symbol} {b_text}"
+    return f"{dest} <- {op}({a_text}, {b_text})"
+
+
+def disassemble_iinstr(instr, fmt=None):
+    """Render an :class:`IInstruction`; pass ``fmt=IFormat.MODIFIED`` for the
+    destination-register notation of Fig. 2d."""
+    show_modified = fmt is IFormat.MODIFIED
+    iop = instr.iop
+    if iop is IOp.ALU:
+        return _alu_text(instr, show_modified)
+    if iop is IOp.LOAD:
+        base = _acc(instr) if instr.addr_src == "acc" else _gpr(instr.gpr)
+        disp = f" + {instr.imm}" if instr.imm else ""
+        return f"{_dest(instr, show_modified)} <- mem[{base}{disp}]"
+    if iop is IOp.STORE:
+        base = _acc(instr) if instr.addr_src == "acc" else _gpr(instr.gpr)
+        if instr.data_src == "acc":
+            data = _acc(instr)
+        elif instr.data_src == "gpr2":
+            data = _gpr(instr.gpr2)
+        else:
+            data = _gpr(instr.gpr)
+        disp = f" + {instr.imm}" if instr.imm else ""
+        return f"mem[{base}{disp}] <- {data}"
+    if iop is IOp.COPY_TO_GPR:
+        return f"{_gpr(instr.gpr)} <- {_acc(instr)}"
+    if iop is IOp.COPY_FROM_GPR:
+        return f"{_acc(instr)} <- {_gpr(instr.gpr)}"
+    if iop is IOp.BRANCH:
+        cond = instr.op[1:]
+        return (f"P <- {_target(instr)}, "
+                f"if ({_cond_value(instr)} {_COND_TEXT[cond]})")
+    if iop is IOp.BR:
+        return f"P <- {_target(instr)}"
+    if iop is IOp.SET_VPC_BASE:
+        return f"VPC_base <- {instr.vtarget:#x}"
+    if iop is IOp.SAVE_VRA:
+        return f"{_gpr(instr.gpr)} <- vra {instr.vtarget:#x}"
+    if iop is IOp.PUSH_RAS:
+        where = f"{instr.target:#x}" if instr.target is not None else \
+            "dispatch"
+        return f"push_ras (V:{instr.vtarget:#x}, I:{where})"
+    if iop is IOp.RET_RAS:
+        return f"ret_ras ({_gpr(instr.gpr)})"
+    if iop is IOp.LOAD_EMB:
+        return f"{_acc(instr)} <- emb {instr.vtarget:#x}"
+    if iop is IOp.CALL_TRANSLATOR:
+        return f"call_translator V:{instr.vtarget:#x}"
+    if iop is IOp.COND_CALL_TRANSLATOR:
+        cond = instr.op[1:]
+        return (f"call_translator V:{instr.vtarget:#x}, "
+                f"if ({_cond_value(instr)} {_COND_TEXT[cond]})")
+    if iop is IOp.TO_DISPATCH:
+        return f"P <- dispatch (R{instr.gpr})"
+    if iop is IOp.JMP_DISPATCH:
+        return "P <- lookup(Vtarget)"
+    if iop is IOp.HALT:
+        return "halt"
+    if iop is IOp.PUTC:
+        return "putc"
+    if iop is IOp.GENTRAP:
+        return "gentrap"
+    raise ValueError(f"cannot disassemble {iop}")

@@ -1,0 +1,45 @@
+"""Value semantics for I-ISA computation instructions.
+
+The ALU table extends the Alpha table with the two-piece decomposition of
+conditional moves: ``cmov1_<cond>`` packs the predicate and the old
+destination value into a 65-bit intermediate held in an accumulator (the
+"temp" usage of Section 3.3), and ``cmov2`` selects.  Real ILDP hardware
+carries this as a predicate sideband bit; a 65-bit accumulator value is the
+functional-model equivalent.
+"""
+
+from repro.isa.semantics import ALU_OPS, BRANCH_CONDITIONS, CMOV_CONDITIONS
+from repro.utils.bitops import MASK64
+
+_CMOV1_FLAG_SHIFT = 64
+
+
+def _make_cmov1(condition):
+    def cmov1(a, old):
+        flag = 1 if condition(a) else 0
+        return (flag << _CMOV1_FLAG_SHIFT) | (old & MASK64)
+
+    return cmov1
+
+
+def _cmov2(temp, b):
+    if (temp >> _CMOV1_FLAG_SHIFT) & 1:
+        return b & MASK64
+    return temp & MASK64
+
+
+def _build_ialu_table():
+    table = dict(ALU_OPS)
+    for name, condition in CMOV_CONDITIONS.items():
+        table[f"cmov1_{name[4:]}"] = _make_cmov1(condition)
+    table["cmov2"] = _cmov2
+    return table
+
+
+#: mnemonic -> f(a, b); operand a is the accumulator-side value by convention.
+IALU_OPS = _build_ialu_table()
+
+
+def icond_taken(cond_name, value):
+    """Evaluate a conditional I-branch predicate (same names as Alpha)."""
+    return BRANCH_CONDITIONS[cond_name](value & MASK64)

@@ -1,0 +1,72 @@
+"""Static size model for I-ISA instructions (paper Sections 2.1 and 2.3).
+
+The basic format encodes "many instructions" in 16 bits: one accumulator
+specifier, at most one GPR and a short literal fit easily.  Instructions
+carrying long immediates or embedded 32-bit-plus addresses take 32 or 64
+bits.  The modified format widens result-producing instructions to 32 bits
+because they carry an explicit destination GPR specifier, losing some of the
+small-footprint benefit (Section 2.3) — which is exactly what Table 2's
+static-bytes columns measure.
+"""
+
+from repro.ildp_isa.opcodes import IFormat, IOp
+
+#: Largest literal a 16-bit encoding can carry (5-bit unsigned field).
+SHORT_LITERAL_LIMIT = 31
+
+#: Instructions that embed a full V-ISA address: 32-bit opcode word plus a
+#: 32-bit address payload.
+_EMBEDDED_ADDRESS_OPS = frozenset(
+    {
+        IOp.SET_VPC_BASE,
+        IOp.SAVE_VRA,
+        IOp.LOAD_EMB,
+        IOp.CALL_TRANSLATOR,
+        IOp.COND_CALL_TRANSLATOR,
+    }
+)
+
+
+def instruction_size(instr, fmt):
+    """Return the encoded size in bytes of ``instr`` under format ``fmt``."""
+    iop = instr.iop
+
+    if fmt is IFormat.ALPHA:
+        # conventional fixed-width ISA; embedded-address operations stand
+        # for an ldah+lda style two-instruction sequence
+        return 8 if iop in _EMBEDDED_ADDRESS_OPS or iop is IOp.PUSH_RAS \
+            else 4
+
+    if iop in _EMBEDDED_ADDRESS_OPS:
+        return 8
+    if iop is IOp.PUSH_RAS:
+        # embeds both a V-ISA and an I-ISA return address
+        return 8
+    if iop in (IOp.BRANCH, IOp.BR, IOp.TO_DISPATCH):
+        # branches carry a tcache displacement; modelled as 32-bit always
+        return 4
+    if iop in (IOp.RET_RAS, IOp.JMP_DISPATCH, IOp.HALT, IOp.PUTC,
+               IOp.GENTRAP):
+        return 2
+    if iop in (IOp.COPY_TO_GPR, IOp.COPY_FROM_GPR):
+        # one accumulator + one GPR specifier: always 16-bit
+        return 2
+
+    if iop in (IOp.ALU, IOp.LOAD, IOp.STORE):
+        wide_literal = instr.islit and not \
+            (0 <= instr.imm <= SHORT_LITERAL_LIMIT)
+        wide_displacement = (iop in (IOp.LOAD, IOp.STORE)
+                             and instr.imm != 0)
+        if wide_literal or wide_displacement:
+            return 4
+        if fmt is IFormat.MODIFIED and instr.dest_gpr is not None and \
+                instr.writes_acc():
+            # The destination-GPR specifier forces the 32-bit encoding
+            # unless it can share the single GPR field with the source
+            # (Fig. 2d's common accumulate form, e.g. R17(A1) <- R17 - 1).
+            if instr.gpr == instr.dest_gpr and instr.gpr is not None:
+                return 2
+            return 4
+        return 2
+
+    raise ValueError(f"no size rule for {iop}")

@@ -1,0 +1,169 @@
+"""The Alpha V-ISA interpreter.
+
+The interpreter is the VM's fallback execution engine and the reference
+implementation for co-simulation: the translated I-ISA code must produce
+exactly the architected state transitions this interpreter produces.
+
+``step()`` executes one instruction and returns an :class:`ExecEvent`
+describing what happened, which the VM uses for profiling, superblock
+capture and trace generation.
+"""
+
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Kind, PAL_FUNCTIONS
+from repro.isa.registers import SP_REG
+from repro.isa.semantics import (
+    ALU_OPS,
+    BRANCH_CONDITIONS,
+    CMOV_CONDITIONS,
+    Trap,
+    TrapKind,
+)
+from repro.utils.bitops import MASK64, sext
+
+_PAL_HALT = PAL_FUNCTIONS["halt"]
+_PAL_PUTC = PAL_FUNCTIONS["putc"]
+_PAL_GENTRAP = PAL_FUNCTIONS["gentrap"]
+
+
+class Halted(Exception):
+    """The program executed ``call_pal halt``."""
+
+
+class ExecEvent:
+    """What one interpreted instruction did."""
+
+    __slots__ = ("pc", "instr", "next_pc", "taken", "mem_addr")
+
+    def __init__(self, pc, instr, next_pc, taken=False, mem_addr=None):
+        self.pc = pc
+        self.instr = instr
+        self.next_pc = next_pc
+        self.taken = taken
+        self.mem_addr = mem_addr
+
+    def __repr__(self):
+        return (f"ExecEvent(pc={self.pc:#x}, {self.instr.mnemonic}, "
+                f"next={self.next_pc:#x}, taken={self.taken})")
+
+
+class Interpreter:
+    """Executes a loaded V-ISA program instruction by instruction."""
+
+    def __init__(self, program, console=None):
+        self.program = program
+        self.memory = program.memory
+        self.state = _initial_state(program)
+        self.console = console if console is not None else []
+        self.instruction_count = 0
+        self._decode_cache = {}
+
+    def fetch(self, pc):
+        """Decode (with caching) the instruction at ``pc``."""
+        instr = self._decode_cache.get(pc)
+        if instr is None:
+            word = self.memory.load(pc, 4, vpc=pc)
+            instr = decode(word)
+            self._decode_cache[pc] = instr
+        return instr
+
+    def step(self):
+        """Execute one instruction; raises :class:`Halted` or :class:`Trap`."""
+        state = self.state
+        pc = state.pc
+        instr = self.fetch(pc)
+        regs = state.regs
+        next_pc = pc + 4
+        taken = False
+        mem_addr = None
+        kind = instr.kind
+        mnemonic = instr.mnemonic
+
+        if kind is Kind.ALU:
+            cond = CMOV_CONDITIONS.get(mnemonic)
+            b_value = instr.imm if instr.islit else regs[instr.rb]
+            if cond is not None:
+                if cond(regs[instr.ra]):
+                    state.write(instr.rc, b_value)
+            else:
+                state.write(instr.rc,
+                            ALU_OPS[mnemonic](regs[instr.ra], b_value))
+        elif kind is Kind.LDA:
+            displacement = instr.imm * 65536 if mnemonic == "ldah" else \
+                instr.imm
+            state.write(instr.ra, (regs[instr.rb] + displacement) & MASK64)
+        elif kind is Kind.LOAD:
+            mem_addr = (regs[instr.rb] + instr.imm) & MASK64
+            value = self._load_value(mnemonic, mem_addr, pc)
+            state.write(instr.ra, value)
+        elif kind is Kind.STORE:
+            mem_addr = (regs[instr.rb] + instr.imm) & MASK64
+            size = {"stb": 1, "stw": 2, "stl": 4, "stq": 8}[mnemonic]
+            self.memory.store(mem_addr, regs[instr.ra], size, vpc=pc)
+        elif kind is Kind.COND_BRANCH:
+            if BRANCH_CONDITIONS[mnemonic](regs[instr.ra]):
+                next_pc = pc + 4 + 4 * instr.imm
+                taken = True
+        elif kind is Kind.UNCOND_BRANCH:
+            state.write(instr.ra, pc + 4)
+            next_pc = pc + 4 + 4 * instr.imm
+            taken = True
+        elif kind is Kind.JUMP:
+            target = regs[instr.rb] & ~3 & MASK64
+            state.write(instr.ra, pc + 4)
+            next_pc = target
+            taken = True
+        elif kind is Kind.PAL:
+            self._do_pal(instr, pc)
+        else:  # pragma: no cover - all kinds are handled above
+            raise Trap(TrapKind.ILLEGAL, vpc=pc)
+
+        state.pc = next_pc
+        self.instruction_count += 1
+        return ExecEvent(pc, instr, next_pc, taken, mem_addr)
+
+    def run(self, max_instructions=10_000_000):
+        """Run until halt or trap; returns the executed instruction count."""
+        executed = 0
+        try:
+            while executed < max_instructions:
+                self.step()
+                executed += 1
+        except Halted:
+            pass
+        return executed
+
+    def _load_value(self, mnemonic, address, pc):
+        if mnemonic == "ldq":
+            return self.memory.load(address, 8, vpc=pc)
+        if mnemonic == "ldl":
+            return sext(self.memory.load(address, 4, vpc=pc), 32)
+        if mnemonic == "ldwu":
+            return self.memory.load(address, 2, vpc=pc)
+        if mnemonic == "ldbu":
+            return self.memory.load(address, 1, vpc=pc)
+        raise KeyError(mnemonic)
+
+    def _do_pal(self, instr, pc):
+        function = instr.imm
+        if function == _PAL_HALT:
+            raise Halted()
+        if function == _PAL_PUTC:
+            self.console.append(self.state.regs[16] & 0xFF)
+        elif function == _PAL_GENTRAP:
+            raise Trap(TrapKind.GENTRAP, vpc=pc)
+        # unknown PAL functions are architectural no-ops in this machine
+
+    def console_text(self):
+        """The console output decoded as latin-1 text."""
+        return bytes(self.console).decode("latin-1")
+
+
+def _initial_state(program):
+    from repro.interp.state import ArchState
+
+    state = ArchState(program.entry)
+    stack_top = program.symbols.get("__stack_top")
+    if stack_top is not None:
+        state.write(SP_REG, stack_top - 64)
+    return state

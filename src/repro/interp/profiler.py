@@ -1,0 +1,65 @@
+"""MRET hotness profiling (Section 3.1 of the paper).
+
+During interpretation, counters are kept for *trace start candidates*:
+
+* targets of register-indirect jumps (JMP/JSR/RET),
+* targets of backward taken conditional branches,
+* exit targets of existing fragments.
+
+When a candidate's counter reaches the threshold, the interpreted path that
+follows is collected as a superblock ("most recently executed tail").
+"""
+
+import enum
+
+
+class CandidateKind(enum.Enum):
+    """Why a V-PC became a trace start candidate."""
+
+    INDIRECT_TARGET = "indirect_target"
+    BACKWARD_BRANCH_TARGET = "backward_branch_target"
+    FRAGMENT_EXIT = "fragment_exit"
+
+
+class HotnessProfiler:
+    """Counts executions of trace-start candidate instructions."""
+
+    def __init__(self, threshold=50):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self._counters = {}
+        self._kinds = {}
+
+    def note_candidate(self, vpc, kind):
+        """Register ``vpc`` as a candidate (idempotent; keeps first kind)."""
+        if vpc not in self._kinds:
+            self._kinds[vpc] = kind
+            self._counters[vpc] = 0
+
+    def is_candidate(self, vpc):
+        return vpc in self._counters
+
+    def candidate_kind(self, vpc):
+        return self._kinds.get(vpc)
+
+    def record_execution(self, vpc):
+        """Bump the counter for ``vpc``; returns True when it becomes hot."""
+        count = self._counters.get(vpc)
+        if count is None:
+            return False
+        count += 1
+        self._counters[vpc] = count
+        return count == self.threshold
+
+    def is_hot(self, vpc):
+        """True when the counter has reached the threshold."""
+        return self._counters.get(vpc, 0) >= self.threshold
+
+    def reset(self, vpc):
+        """Reset a counter (used after the candidate has been translated)."""
+        self._counters[vpc] = 0
+
+    def candidate_count(self):
+        """Number of candidate counters in use (paper §4.1 discusses this)."""
+        return len(self._counters)

@@ -1,0 +1,50 @@
+"""Architected V-ISA state: 32 GPRs and the program counter.
+
+This is the state precise traps must reconstruct, so it supports cheap
+copying and comparison for the co-simulation tests.
+"""
+
+from repro.isa.registers import NUM_GPRS, ZERO_REG
+
+
+class ArchState:
+    """Alpha architected register state."""
+
+    __slots__ = ("regs", "pc")
+
+    def __init__(self, pc=0):
+        self.regs = [0] * NUM_GPRS
+        self.pc = pc
+
+    def read(self, index):
+        """Read a register; R31 always reads zero."""
+        return self.regs[index]
+
+    def write(self, index, value):
+        """Write a register; writes to R31 are discarded."""
+        if index != ZERO_REG:
+            self.regs[index] = value
+
+    def copy(self):
+        """Deep copy for checkpointing."""
+        clone = ArchState(self.pc)
+        clone.regs = list(self.regs)
+        return clone
+
+    def __eq__(self, other):
+        if not isinstance(other, ArchState):
+            return NotImplemented
+        return self.pc == other.pc and self.regs == other.regs
+
+    def diff(self, other):
+        """Human-readable register differences (for test failure messages)."""
+        lines = []
+        if self.pc != other.pc:
+            lines.append(f"pc: {self.pc:#x} != {other.pc:#x}")
+        for index, (mine, theirs) in enumerate(zip(self.regs, other.regs)):
+            if mine != theirs:
+                lines.append(f"r{index}: {mine:#x} != {theirs:#x}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"ArchState(pc={self.pc:#x})"

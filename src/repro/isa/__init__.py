@@ -1,0 +1,55 @@
+"""The Alpha V-ISA: the source instruction set the co-designed VM supports.
+
+This package models the integer subset of the Alpha AXP architecture used by
+SPEC CPU2000 INT code: memory format (loads/stores/lda), operate format
+(arithmetic, logical, shift, compare, conditional move), branch format
+(conditional and unconditional direct branches) and memory-format jumps
+(JMP/JSR/RET), plus CALL_PAL for the simulator's halt/putc/trap services.
+"""
+
+from repro.isa.registers import (
+    NUM_GPRS,
+    ZERO_REG,
+    RA_REG,
+    SP_REG,
+    GP_REG,
+    reg_name,
+    parse_reg,
+)
+from repro.isa.opcodes import (
+    Format,
+    Kind,
+    MNEMONICS,
+    kind_of,
+    is_branch_mnemonic,
+    is_memory_mnemonic,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import encode, decode, EncodingError
+from repro.isa.semantics import ALU_OPS, branch_taken, Trap, TrapKind
+from repro.isa.disasm import disassemble
+
+__all__ = [
+    "NUM_GPRS",
+    "ZERO_REG",
+    "RA_REG",
+    "SP_REG",
+    "GP_REG",
+    "reg_name",
+    "parse_reg",
+    "Format",
+    "Kind",
+    "MNEMONICS",
+    "kind_of",
+    "is_branch_mnemonic",
+    "is_memory_mnemonic",
+    "Instruction",
+    "encode",
+    "decode",
+    "EncodingError",
+    "ALU_OPS",
+    "branch_taken",
+    "Trap",
+    "TrapKind",
+    "disassemble",
+]

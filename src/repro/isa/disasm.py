@@ -1,0 +1,37 @@
+"""Textual disassembly of Alpha instructions, in assembler-compatible syntax."""
+
+from repro.isa.opcodes import Format, Kind, RB_ONLY_OPS
+from repro.isa.registers import reg_name, ZERO_REG
+
+
+def disassemble(instr, pc=None):
+    """Render an :class:`~repro.isa.instruction.Instruction` as text.
+
+    When ``pc`` (the instruction's own address) is given, branch targets are
+    rendered as absolute hex addresses instead of relative displacements.
+    """
+    fmt = instr.fmt
+    if fmt is Format.MEMORY:
+        return (f"{instr.mnemonic} {reg_name(instr.ra)}, "
+                f"{instr.imm}({reg_name(instr.rb)})")
+    if fmt is Format.OPERATE:
+        operand_b = str(instr.imm) if instr.islit else reg_name(instr.rb)
+        if instr.mnemonic in RB_ONLY_OPS:
+            return f"{instr.mnemonic} {operand_b}, {reg_name(instr.rc)}"
+        return (f"{instr.mnemonic} {reg_name(instr.ra)}, {operand_b}, "
+                f"{reg_name(instr.rc)}")
+    if fmt is Format.BRANCH:
+        if pc is not None:
+            target = pc + 4 + 4 * instr.imm
+            where = f"{target:#x}"
+        else:
+            where = f".{instr.imm:+d}"
+        if instr.kind is Kind.UNCOND_BRANCH and instr.ra == ZERO_REG:
+            return f"{instr.mnemonic} {where}"
+        return f"{instr.mnemonic} {reg_name(instr.ra)}, {where}"
+    if fmt is Format.JUMP:
+        return (f"{instr.mnemonic} {reg_name(instr.ra)}, "
+                f"({reg_name(instr.rb)})")
+    if fmt is Format.PAL:
+        return f"call_pal {instr.imm:#x}"
+    raise ValueError(f"cannot disassemble format {fmt}")

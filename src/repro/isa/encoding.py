@@ -1,0 +1,108 @@
+"""Binary encode/decode of the Alpha instruction subset.
+
+Every instruction is a 32-bit little-endian word.  The encoder and decoder
+round-trip exactly over the supported subset, which lets workloads be stored
+as genuine binary images and decoded by the interpreter's front end, the same
+way a real co-designed VM would fetch V-ISA code from memory.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    MEMORY_OPS,
+    OPERATE_OPS,
+    BRANCH_OPS,
+    JUMP_OPS,
+    Format,
+)
+from repro.utils.bitops import fits_signed, fits_unsigned, to_signed, to_unsigned
+
+
+class EncodingError(ValueError):
+    """Raised when a word cannot be encoded or decoded as a supported instruction."""
+
+
+_MEMORY_BY_OPCODE = {op: (name, kind, size, signed)
+                     for name, (op, kind, size, signed) in MEMORY_OPS.items()}
+_OPERATE_BY_KEY = {(op, func): name
+                   for name, (op, func) in OPERATE_OPS.items()}
+_BRANCH_BY_OPCODE = {op: name for name, (op, _kind) in BRANCH_OPS.items()}
+_JUMP_BY_FUNC = {func: name for name, func in JUMP_OPS.items()}
+
+_JUMP_OPCODE = 0x1A
+_PAL_OPCODE = 0x00
+
+
+def encode(instr):
+    """Encode an :class:`Instruction` into a 32-bit word."""
+    fmt = instr.fmt
+    if fmt is Format.MEMORY:
+        opcode = MEMORY_OPS[instr.mnemonic][0]
+        if not fits_signed(instr.imm, 16):
+            raise EncodingError(
+                f"memory displacement out of range: {instr.imm}")
+        return (opcode << 26) | (instr.ra << 21) | (instr.rb << 16) | \
+            to_unsigned(instr.imm, 16)
+    if fmt is Format.OPERATE:
+        opcode, func = OPERATE_OPS[instr.mnemonic]
+        word = (opcode << 26) | (instr.ra << 21) | (func << 5) | instr.rc
+        if instr.islit:
+            if not fits_unsigned(instr.imm, 8):
+                raise EncodingError(
+                    f"operate literal out of range: {instr.imm}")
+            word |= (instr.imm << 13) | (1 << 12)
+        else:
+            word |= instr.rb << 16
+        return word
+    if fmt is Format.BRANCH:
+        opcode = BRANCH_OPS[instr.mnemonic][0]
+        if not fits_signed(instr.imm, 21):
+            raise EncodingError(
+                f"branch displacement out of range: {instr.imm}")
+        return (opcode << 26) | (instr.ra << 21) | to_unsigned(instr.imm, 21)
+    if fmt is Format.JUMP:
+        func = JUMP_OPS[instr.mnemonic]
+        if not fits_unsigned(instr.imm, 14):
+            raise EncodingError(f"jump hint out of range: {instr.imm}")
+        return (_JUMP_OPCODE << 26) | (instr.ra << 21) | (instr.rb << 16) | \
+            (func << 14) | instr.imm
+    if fmt is Format.PAL:
+        if not fits_unsigned(instr.imm, 26):
+            raise EncodingError(f"PAL function out of range: {instr.imm}")
+        return (_PAL_OPCODE << 26) | instr.imm
+    raise EncodingError(f"cannot encode format {fmt}")
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = (word >> 26) & 0x3F
+    ra = (word >> 21) & 0x1F
+    rb = (word >> 16) & 0x1F
+
+    if opcode == _PAL_OPCODE:
+        return Instruction("call_pal", imm=word & 0x3FFFFFF)
+    if opcode in _MEMORY_BY_OPCODE:
+        name = _MEMORY_BY_OPCODE[opcode][0]
+        disp = to_signed(word & 0xFFFF, 16)
+        return Instruction(name, ra=ra, rb=rb, imm=disp)
+    if opcode == _JUMP_OPCODE:
+        func = (word >> 14) & 0x3
+        name = _JUMP_BY_FUNC[func]
+        return Instruction(name, ra=ra, rb=rb, imm=word & 0x3FFF)
+    if opcode in _BRANCH_BY_OPCODE:
+        name = _BRANCH_BY_OPCODE[opcode]
+        disp = to_signed(word & 0x1FFFFF, 21)
+        return Instruction(name, ra=ra, imm=disp)
+    if opcode in (0x10, 0x11, 0x12, 0x13, 0x1C):
+        func = (word >> 5) & 0x7F
+        name = _OPERATE_BY_KEY.get((opcode, func))
+        if name is None:
+            raise EncodingError(
+                f"unknown operate function {opcode:#x}.{func:#x}")
+        rc = word & 0x1F
+        if word & (1 << 12):
+            lit = (word >> 13) & 0xFF
+            return Instruction(name, ra=ra, rc=rc, imm=lit, islit=True)
+        return Instruction(name, ra=ra, rb=rb, rc=rc)
+    raise EncodingError(f"unknown opcode {opcode:#x}")

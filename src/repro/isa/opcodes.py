@@ -1,0 +1,211 @@
+"""Alpha opcode and format tables for the integer subset.
+
+Encodings follow the Alpha Architecture Handbook: 6-bit major opcode in bits
+31:26, with format-specific minor function codes.  Only the instructions SPEC
+INT code actually uses (plus the BWX/FIX extensions' byte/word and count
+instructions) are included.
+"""
+
+import enum
+
+
+class Format(enum.Enum):
+    """Instruction word layout."""
+
+    MEMORY = "memory"        # opcode ra rb disp16  (loads, stores, lda/ldah)
+    JUMP = "jump"            # opcode ra rb hint14  (jmp/jsr/ret), opcode 0x1A
+    BRANCH = "branch"        # opcode ra disp21     (br/bsr/conditional)
+    OPERATE = "operate"      # opcode ra rb func rc (register or 8-bit literal)
+    PAL = "pal"              # opcode func26        (call_pal)
+
+
+class Kind(enum.Enum):
+    """Behavioural class used by the interpreter, translator and uarch."""
+
+    ALU = "alu"              # integer operate producing a register result
+    LOAD = "load"
+    STORE = "store"
+    LDA = "lda"              # address arithmetic in memory format (no access)
+    COND_BRANCH = "cond_branch"
+    UNCOND_BRANCH = "uncond_branch"   # BR, BSR
+    JUMP = "jump"            # JMP, JSR, RET (register indirect)
+    PAL = "pal"
+
+
+#: Memory-format instructions: mnemonic -> (major opcode, kind, access bytes,
+#: signed-load flag).  ``lda``/``ldah`` perform no memory access.
+MEMORY_OPS = {
+    "lda": (0x08, Kind.LDA, 0, False),
+    "ldah": (0x09, Kind.LDA, 0, False),
+    "ldbu": (0x0A, Kind.LOAD, 1, False),
+    "ldwu": (0x0C, Kind.LOAD, 2, False),
+    "ldl": (0x28, Kind.LOAD, 4, True),
+    "ldq": (0x29, Kind.LOAD, 8, False),
+    "stb": (0x0E, Kind.STORE, 1, False),
+    "stw": (0x0D, Kind.STORE, 2, False),
+    "stl": (0x2C, Kind.STORE, 4, False),
+    "stq": (0x2D, Kind.STORE, 8, False),
+}
+
+#: Operate-format instructions: mnemonic -> (major opcode, function code).
+OPERATE_OPS = {
+    # opcode 0x10: integer arithmetic
+    "addl": (0x10, 0x00),
+    "s4addl": (0x10, 0x02),
+    "subl": (0x10, 0x09),
+    "s4subl": (0x10, 0x0B),
+    "s8addl": (0x10, 0x12),
+    "s8subl": (0x10, 0x1B),
+    "addq": (0x10, 0x20),
+    "s4addq": (0x10, 0x22),
+    "subq": (0x10, 0x29),
+    "s4subq": (0x10, 0x2B),
+    "s8addq": (0x10, 0x32),
+    "s8subq": (0x10, 0x3B),
+    "cmpult": (0x10, 0x1D),
+    "cmpeq": (0x10, 0x2D),
+    "cmpule": (0x10, 0x3D),
+    "cmplt": (0x10, 0x4D),
+    "cmple": (0x10, 0x6D),
+    "cmpbge": (0x10, 0x0F),
+    # opcode 0x11: logical and conditional move
+    "and": (0x11, 0x00),
+    "bic": (0x11, 0x08),
+    "cmovlbs": (0x11, 0x14),
+    "cmovlbc": (0x11, 0x16),
+    "bis": (0x11, 0x20),
+    "cmoveq": (0x11, 0x24),
+    "cmovne": (0x11, 0x26),
+    "ornot": (0x11, 0x28),
+    "xor": (0x11, 0x40),
+    "cmovlt": (0x11, 0x44),
+    "cmovge": (0x11, 0x46),
+    "eqv": (0x11, 0x48),
+    "cmovle": (0x11, 0x64),
+    "cmovgt": (0x11, 0x66),
+    # opcode 0x12: shifts, byte zap, and the byte-manipulation families
+    # (extract / insert / mask) Alpha string code is built from
+    "mskbl": (0x12, 0x02),
+    "extbl": (0x12, 0x06),
+    "insbl": (0x12, 0x0B),
+    "mskwl": (0x12, 0x12),
+    "extwl": (0x12, 0x16),
+    "inswl": (0x12, 0x1B),
+    "mskll": (0x12, 0x22),
+    "extll": (0x12, 0x26),
+    "insll": (0x12, 0x2B),
+    "zap": (0x12, 0x30),
+    "zapnot": (0x12, 0x31),
+    "mskql": (0x12, 0x32),
+    "srl": (0x12, 0x34),
+    "extql": (0x12, 0x36),
+    "sll": (0x12, 0x39),
+    "insql": (0x12, 0x3B),
+    "sra": (0x12, 0x3C),
+    # opcode 0x13: multiplies
+    "mull": (0x13, 0x00),
+    "mulq": (0x13, 0x20),
+    "umulh": (0x13, 0x30),
+    # opcode 0x1C: sign extension and counts (BWX/CIX extensions); these
+    # read Rb only (Ra must encode R31)
+    "sextb": (0x1C, 0x00),
+    "sextw": (0x1C, 0x01),
+    "ctpop": (0x1C, 0x30),
+    "ctlz": (0x1C, 0x32),
+    "cttz": (0x1C, 0x33),
+}
+
+#: Operate ops whose single source is Rb (Ra is required to be R31).
+RB_ONLY_OPS = frozenset({"sextb", "sextw", "ctpop", "ctlz", "cttz"})
+
+#: Conditional moves: need the old destination value as a third input.
+CMOV_OPS = frozenset(
+    {
+        "cmoveq",
+        "cmovne",
+        "cmovlt",
+        "cmovge",
+        "cmovle",
+        "cmovgt",
+        "cmovlbs",
+        "cmovlbc",
+    }
+)
+
+#: Branch-format instructions: mnemonic -> (major opcode, kind).
+BRANCH_OPS = {
+    "br": (0x30, Kind.UNCOND_BRANCH),
+    "bsr": (0x34, Kind.UNCOND_BRANCH),
+    "blbc": (0x38, Kind.COND_BRANCH),
+    "beq": (0x39, Kind.COND_BRANCH),
+    "blt": (0x3A, Kind.COND_BRANCH),
+    "ble": (0x3B, Kind.COND_BRANCH),
+    "blbs": (0x3C, Kind.COND_BRANCH),
+    "bne": (0x3D, Kind.COND_BRANCH),
+    "bge": (0x3E, Kind.COND_BRANCH),
+    "bgt": (0x3F, Kind.COND_BRANCH),
+}
+
+#: Inverse condition for each conditional branch (used by code straightening).
+BRANCH_INVERSE = {
+    "beq": "bne",
+    "bne": "beq",
+    "blt": "bge",
+    "bge": "blt",
+    "ble": "bgt",
+    "bgt": "ble",
+    "blbc": "blbs",
+    "blbs": "blbc",
+}
+
+#: Jump-format (opcode 0x1A) sub-functions in displacement bits 15:14.
+JUMP_OPS = {
+    "jmp": 0,
+    "jsr": 1,
+    "ret": 2,
+    "jsr_coroutine": 3,
+}
+
+#: CALL_PAL functions used by the simulated machine.  ``halt`` stops the
+#: machine, ``putc`` writes the low byte of R16 to the console, ``gentrap``
+#: raises a software trap (used by the precise-trap tests).
+PAL_FUNCTIONS = {
+    "halt": 0x00,
+    "putc": 0x02,
+    "gentrap": 0xAA,
+}
+
+MNEMONICS = frozenset(
+    list(MEMORY_OPS)
+    + list(OPERATE_OPS)
+    + list(BRANCH_OPS)
+    + list(JUMP_OPS)
+    + ["call_pal"]
+)
+
+
+def kind_of(mnemonic):
+    """Return the behavioural :class:`Kind` of an Alpha mnemonic."""
+    if mnemonic in MEMORY_OPS:
+        return MEMORY_OPS[mnemonic][1]
+    if mnemonic in OPERATE_OPS:
+        return Kind.ALU
+    if mnemonic in BRANCH_OPS:
+        return BRANCH_OPS[mnemonic][1]
+    if mnemonic in JUMP_OPS:
+        return Kind.JUMP
+    if mnemonic == "call_pal":
+        return Kind.PAL
+    raise KeyError(f"unknown mnemonic: {mnemonic}")
+
+
+def is_branch_mnemonic(mnemonic):
+    """True for any control-transfer mnemonic (branches and jumps)."""
+    return mnemonic in BRANCH_OPS or mnemonic in JUMP_OPS
+
+
+def is_memory_mnemonic(mnemonic):
+    """True for mnemonics that access memory (loads and stores, not lda)."""
+    if mnemonic not in MEMORY_OPS:
+        return False
+    return MEMORY_OPS[mnemonic][1] in (Kind.LOAD, Kind.STORE)

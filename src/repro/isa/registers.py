@@ -1,0 +1,48 @@
+"""Alpha general-purpose register file conventions.
+
+The Alpha integer register file has 32 registers; R31 reads as zero and
+discards writes.  The standard calling convention names a few registers the
+workload generators and the DBT rely on (return address, stack pointer).
+"""
+
+NUM_GPRS = 32
+
+#: R31 is hardwired to zero.
+ZERO_REG = 31
+#: Standard Alpha calling convention: R26 holds the return address.
+RA_REG = 26
+#: R30 is the stack pointer.
+SP_REG = 30
+#: R29 is the global pointer.
+GP_REG = 29
+
+_ALIASES = {
+    "v0": 0,
+    "ra": RA_REG,
+    "pv": 27,
+    "at": 28,
+    "gp": GP_REG,
+    "sp": SP_REG,
+    "zero": ZERO_REG,
+}
+
+
+def reg_name(index):
+    """Return the canonical textual name (``r0``..``r31``) for a register."""
+    if not 0 <= index < NUM_GPRS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_reg(text):
+    """Parse a register name (``r7``, ``$7``, ``sp``, ``ra`` ...) to an index."""
+    text = text.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith(("r", "$")):
+        body = text[1:]
+        if body.isdigit():
+            index = int(body)
+            if 0 <= index < NUM_GPRS:
+                return index
+    raise ValueError(f"not a register: {text!r}")

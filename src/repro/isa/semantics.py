@@ -1,0 +1,180 @@
+"""Execution semantics for the Alpha integer subset.
+
+The ALU operation table maps each operate mnemonic to a pure function over
+64-bit unsigned values; conditional moves and branches get predicate tables.
+Traps are modelled with the :class:`Trap` exception so the interpreter and
+the I-ISA functional executor share one precise-trap mechanism.
+"""
+
+import enum
+
+from repro.utils.bitops import MASK64, sext32, to_signed, to_unsigned
+
+
+class TrapKind(enum.Enum):
+    """Why a trap was raised."""
+
+    UNALIGNED = "unaligned"
+    ACCESS_VIOLATION = "access_violation"
+    GENTRAP = "gentrap"
+    ILLEGAL = "illegal"
+
+
+class Trap(Exception):
+    """A precise architectural trap at a V-ISA instruction."""
+
+    def __init__(self, kind, vpc=None, address=None):
+        super().__init__(f"{kind.value} trap at vpc={vpc} addr={address}")
+        self.kind = kind
+        self.vpc = vpc
+        self.address = address
+
+
+def _add64(a, b):
+    return (a + b) & MASK64
+
+
+def _sub64(a, b):
+    return (a - b) & MASK64
+
+
+def _cmpbge(a, b):
+    result = 0
+    for i in range(8):
+        if ((a >> (8 * i)) & 0xFF) >= ((b >> (8 * i)) & 0xFF):
+            result |= 1 << i
+    return result
+
+
+def _zap_with_mask(a, mask):
+    out = 0
+    for i in range(8):
+        if not mask & (1 << i):
+            out |= a & (0xFF << (8 * i))
+    return out
+
+
+def _make_extract(size):
+    mask = (1 << (8 * size)) - 1
+
+    def extract(a, b):
+        return (a >> (8 * (b & 7))) & mask
+
+    return extract
+
+
+def _make_insert(size):
+    mask = (1 << (8 * size)) - 1
+
+    def insert(a, b):
+        return ((a & mask) << (8 * (b & 7))) & MASK64
+
+    return insert
+
+
+def _make_mask(size):
+    mask = (1 << (8 * size)) - 1
+
+    def mask_bytes(a, b):
+        return a & ~(mask << (8 * (b & 7))) & MASK64
+
+    return mask_bytes
+
+
+def _ctpop(_a, b):
+    return bin(b).count("1")
+
+
+def _ctlz(_a, b):
+    if b == 0:
+        return 64
+    return 64 - b.bit_length()
+
+
+def _cttz(_a, b):
+    if b == 0:
+        return 64
+    return (b & -b).bit_length() - 1
+
+
+#: mnemonic -> f(a, b) over unsigned 64-bit ints, returning unsigned 64-bit.
+ALU_OPS = {
+    "addq": _add64,
+    "subq": _sub64,
+    "addl": lambda a, b: sext32(a + b),
+    "subl": lambda a, b: sext32(a - b),
+    "s4addl": lambda a, b: sext32(4 * a + b),
+    "s4subl": lambda a, b: sext32(4 * a - b),
+    "s8addl": lambda a, b: sext32(8 * a + b),
+    "s8subl": lambda a, b: sext32(8 * a - b),
+    "s4addq": lambda a, b: (4 * a + b) & MASK64,
+    "s4subq": lambda a, b: (4 * a - b) & MASK64,
+    "s8addq": lambda a, b: (8 * a + b) & MASK64,
+    "s8subq": lambda a, b: (8 * a - b) & MASK64,
+    "cmpeq": lambda a, b: 1 if a == b else 0,
+    "cmplt": lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    "cmple": lambda a, b: 1 if to_signed(a) <= to_signed(b) else 0,
+    "cmpult": lambda a, b: 1 if a < b else 0,
+    "cmpule": lambda a, b: 1 if a <= b else 0,
+    "cmpbge": _cmpbge,
+    "and": lambda a, b: a & b,
+    "bic": lambda a, b: a & ~b & MASK64,
+    "bis": lambda a, b: a | b,
+    "ornot": lambda a, b: (a | (~b & MASK64)) & MASK64,
+    "xor": lambda a, b: a ^ b,
+    "eqv": lambda a, b: (a ^ (~b & MASK64)) & MASK64,
+    "sll": lambda a, b: (a << (b & 0x3F)) & MASK64,
+    "srl": lambda a, b: a >> (b & 0x3F),
+    "sra": lambda a, b: to_unsigned(to_signed(a) >> (b & 0x3F)),
+    "zap": _zap_with_mask,
+    "zapnot": lambda a, b: _zap_with_mask(a, ~b & 0xFF),
+    "extbl": _make_extract(1),
+    "extwl": _make_extract(2),
+    "extll": _make_extract(4),
+    "extql": _make_extract(8),
+    "insbl": _make_insert(1),
+    "inswl": _make_insert(2),
+    "insll": _make_insert(4),
+    "insql": _make_insert(8),
+    "mskbl": _make_mask(1),
+    "mskwl": _make_mask(2),
+    "mskll": _make_mask(4),
+    "mskql": _make_mask(8),
+    "mull": lambda a, b: sext32(to_signed(a, 32) * to_signed(b, 32)),
+    "mulq": lambda a, b: (a * b) & MASK64,
+    "umulh": lambda a, b: (a * b) >> 64,
+    "sextb": lambda _a, b: to_unsigned(to_signed(b, 8)),
+    "sextw": lambda _a, b: to_unsigned(to_signed(b, 16)),
+    "ctpop": _ctpop,
+    "ctlz": _ctlz,
+    "cttz": _cttz,
+}
+
+#: Conditional-move predicates on the Ra operand: mnemonic -> f(a) -> bool.
+CMOV_CONDITIONS = {
+    "cmoveq": lambda a: a == 0,
+    "cmovne": lambda a: a != 0,
+    "cmovlt": lambda a: to_signed(a) < 0,
+    "cmovge": lambda a: to_signed(a) >= 0,
+    "cmovle": lambda a: to_signed(a) <= 0,
+    "cmovgt": lambda a: to_signed(a) > 0,
+    "cmovlbs": lambda a: (a & 1) == 1,
+    "cmovlbc": lambda a: (a & 1) == 0,
+}
+
+#: Conditional-branch predicates on the Ra operand: mnemonic -> f(a) -> bool.
+BRANCH_CONDITIONS = {
+    "beq": lambda a: a == 0,
+    "bne": lambda a: a != 0,
+    "blt": lambda a: to_signed(a) < 0,
+    "bge": lambda a: to_signed(a) >= 0,
+    "ble": lambda a: to_signed(a) <= 0,
+    "bgt": lambda a: to_signed(a) > 0,
+    "blbc": lambda a: (a & 1) == 0,
+    "blbs": lambda a: (a & 1) == 1,
+}
+
+
+def branch_taken(mnemonic, ra_value):
+    """Evaluate a conditional branch's predicate on the Ra register value."""
+    return BRANCH_CONDITIONS[mnemonic](ra_value)

@@ -1,0 +1,5 @@
+"""Sparse byte-addressed memory used for V-ISA program images."""
+
+from repro.memory.image import Memory, Segment, Program
+
+__all__ = ["Memory", "Segment", "Program"]

@@ -1,0 +1,142 @@
+"""Sparse paged memory and the loaded-program container.
+
+The memory model is deliberately strict: reads and writes to pages that were
+never mapped raise an :class:`~repro.isa.semantics.Trap` with kind
+``ACCESS_VIOLATION``, which is exactly what the precise-trap machinery of the
+co-designed VM needs to exercise (Section 2.2 of the paper).
+"""
+
+from repro.isa.semantics import Trap, TrapKind
+from repro.utils.bitops import MASK64
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class Segment:
+    """A named, contiguous region of the address space."""
+
+    __slots__ = ("name", "base", "size")
+
+    def __init__(self, name, base, size):
+        self.name = name
+        self.base = base
+        self.size = size
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def __repr__(self):
+        return f"Segment({self.name!r}, base={self.base:#x}, size={self.size:#x})"
+
+
+class Memory:
+    """Sparse paged byte memory with strict access checking."""
+
+    def __init__(self):
+        self._pages = {}
+        self.segments = []
+
+    def map_segment(self, name, base, size):
+        """Map a zero-filled segment; returns the :class:`Segment` record."""
+        segment = Segment(name, base, size)
+        first = base >> PAGE_SHIFT
+        last = (base + size - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            if page not in self._pages:
+                self._pages[page] = bytearray(PAGE_SIZE)
+        self.segments.append(segment)
+        return segment
+
+    def is_mapped(self, address):
+        """True when the byte at ``address`` belongs to a mapped page."""
+        return (address >> PAGE_SHIFT) in self._pages
+
+    def _page_for(self, address, vpc=None):
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            raise Trap(TrapKind.ACCESS_VIOLATION, vpc=vpc, address=address)
+        return page
+
+    # -- raw byte access ---------------------------------------------------
+
+    def write_bytes(self, address, data):
+        """Write a byte string, page by page."""
+        offset = 0
+        while offset < len(data):
+            page = self._page_for(address + offset)
+            start = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, len(data) - offset)
+            page[start:start + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    def read_bytes(self, address, count):
+        """Read ``count`` bytes as a bytes object."""
+        out = bytearray()
+        offset = 0
+        while offset < count:
+            page = self._page_for(address + offset)
+            start = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, count - offset)
+            out += page[start:start + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # -- sized accesses (little-endian, as on Alpha) -------------------------
+
+    def load(self, address, size, vpc=None):
+        """Load an unsigned little-endian value of 1/2/4/8 bytes.
+
+        Naturally-aligned accesses only; misalignment raises an UNALIGNED
+        trap exactly as Alpha hardware would.
+        """
+        if address & (size - 1):
+            raise Trap(TrapKind.UNALIGNED, vpc=vpc, address=address)
+        page = self._page_for(address, vpc)
+        start = address & PAGE_MASK
+        if start + size <= PAGE_SIZE:
+            return int.from_bytes(page[start:start + size], "little")
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def store(self, address, value, size, vpc=None):
+        """Store the low ``size`` bytes of ``value`` little-endian."""
+        if address & (size - 1):
+            raise Trap(TrapKind.UNALIGNED, vpc=vpc, address=address)
+        page = self._page_for(address, vpc)
+        value &= (1 << (8 * size)) - 1
+        start = address & PAGE_MASK
+        if start + size <= PAGE_SIZE:
+            page[start:start + size] = value.to_bytes(size, "little")
+        else:
+            self.write_bytes(address, value.to_bytes(size, "little"))
+
+    def snapshot(self):
+        """Deep copy of the memory contents, for co-simulation checks."""
+        clone = Memory()
+        clone._pages = {num: bytearray(page)
+                        for num, page in self._pages.items()}
+        clone.segments = list(self.segments)
+        return clone
+
+
+class Program:
+    """A loaded V-ISA program: memory image plus metadata from the assembler."""
+
+    def __init__(self, memory, entry, symbols=None, text_base=0,
+                 text_size=0, source_name="<anonymous>"):
+        self.memory = memory
+        self.entry = entry
+        self.symbols = dict(symbols or {})
+        self.text_base = text_base
+        self.text_size = text_size
+        self.source_name = source_name
+
+    def text_range(self):
+        """Half-open [base, end) byte range of the text segment."""
+        return (self.text_base, self.text_base + self.text_size)
+
+    def __repr__(self):
+        return (f"Program({self.source_name!r}, entry={self.entry:#x}, "
+                f"text={self.text_base:#x}+{self.text_size:#x})")

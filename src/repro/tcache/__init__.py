@@ -1,0 +1,14 @@
+"""The translation cache: fragments, layout, patching and dispatch code."""
+
+from repro.tcache.fragment import Fragment, FragmentExit, ExitKind
+from repro.tcache.cache import TranslationCache
+from repro.tcache.dispatch import DISPATCH_LENGTH, build_dispatch_code
+
+__all__ = [
+    "Fragment",
+    "FragmentExit",
+    "ExitKind",
+    "TranslationCache",
+    "DISPATCH_LENGTH",
+    "build_dispatch_code",
+]

@@ -1,0 +1,142 @@
+"""The translation cache: layout, lookup and chaining patches.
+
+Fragments are laid out at real byte addresses in a dedicated region of the
+address space (disjoint from the V-ISA program image), honouring the 16/32
+bit I-ISA size model.  This keeps the I-cache behaviour, BTB indexing and
+the Table 2 static-bytes measurements of translated code genuine.
+
+Patching implements the "patch is performed" step of Section 3.2: when the
+target of a ``call-translator[-if-condition-is-met]`` instruction is later
+translated, the instruction is rewritten in place into a normal (direct)
+branch.  The rewritten instruction keeps its original encoding slot, as an
+in-place binary patch must.
+"""
+
+from repro.ildp_isa.opcodes import IFormat, IOp
+from repro.ildp_isa.sizes import instruction_size
+from repro.tcache.dispatch import build_dispatch_code
+from repro.tcache.fragment import ExitKind
+
+#: Base address of the translation cache region.
+DEFAULT_TCACHE_BASE = 0x100_0000
+
+
+class TranslationCache:
+    """Holds translated fragments plus the shared dispatch code."""
+
+    def __init__(self, base=DEFAULT_TCACHE_BASE):
+        self.base = base
+        self.fragments = []
+        self._by_entry_vpc = {}
+        self._entry_addresses = {}      # I-address -> fragment
+        #: exits waiting for a fragment at some V-PC:
+        #: vtarget -> [(fragment, exit)]
+        self._pending_exits = {}
+        #: push-dual-RAS instructions waiting for their return-point
+        #: fragment: vtarget -> [(fragment, body_index)]
+        self._pending_ras = {}
+        self.dispatch_body = build_dispatch_code()
+        self.dispatch_address = base
+        self._next_free = self._layout_dispatch()
+        self.patches_applied = 0
+        self._next_fid = 0
+        self.flush_count = 0
+
+    def _layout_dispatch(self):
+        address = self.base
+        for instr in self.dispatch_body:
+            instr.address = address
+            instr.size = instruction_size(instr, IFormat.BASIC)
+            address += instr.size
+        return address
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, vpc):
+        """Fragment whose entry corresponds to V-PC ``vpc``, or None."""
+        return self._by_entry_vpc.get(vpc)
+
+    def fragment_at(self, address):
+        """Fragment whose entry address is ``address``, or None."""
+        return self._entry_addresses.get(address)
+
+    def total_code_bytes(self):
+        """Static size of all fragment bodies (dispatch excluded)."""
+        return sum(fragment.byte_size for fragment in self.fragments)
+
+    def fragment_count(self):
+        return len(self.fragments)
+
+    # -- installation ----------------------------------------------------------
+
+    def add(self, fragment):
+        """Lay out a fragment, register it, and apply pending patches."""
+        if fragment.entry_vpc in self._by_entry_vpc:
+            raise ValueError(
+                f"fragment for V:{fragment.entry_vpc:#x} already exists")
+        fragment.fid = self._next_fid
+        self._next_fid += 1
+        address = self._next_free
+        fragment.base_address = address
+        last_vpc = None
+        for instr in fragment.body:
+            instr.address = address
+            instr.size = instruction_size(instr, fragment.fmt)
+            address += instr.size
+            if instr.vpc is not None and instr.vpc != last_vpc:
+                instr.v_weight = 1
+                last_vpc = instr.vpc
+        fragment.byte_size = address - fragment.base_address
+        self._next_free = address
+
+        self.fragments.append(fragment)
+        self._by_entry_vpc[fragment.entry_vpc] = fragment
+        self._entry_addresses[fragment.base_address] = fragment
+        self._register_pending(fragment)
+        self._apply_patches(fragment)
+        return fragment
+
+    def _register_pending(self, fragment):
+        for exit_record in fragment.exits:
+            if exit_record.patched or exit_record.vtarget is None:
+                continue
+            self._pending_exits.setdefault(exit_record.vtarget, []).append(
+                (fragment, exit_record))
+        for index, instr in enumerate(fragment.body):
+            if instr.iop is IOp.PUSH_RAS and instr.target is None:
+                self._pending_ras.setdefault(instr.vtarget, []).append(
+                    (fragment, index))
+
+    def _apply_patches(self, new_fragment):
+        vpc = new_fragment.entry_vpc
+        target = new_fragment.entry_address()
+        for fragment, exit_record in self._pending_exits.pop(vpc, []):
+            instr = fragment.body[exit_record.instr_index]
+            if instr.iop is IOp.COND_CALL_TRANSLATOR:
+                instr.iop = IOp.BRANCH
+            elif instr.iop is IOp.CALL_TRANSLATOR:
+                instr.iop = IOp.BR
+            else:  # pragma: no cover - exit records only cover those two
+                raise AssertionError(f"unpatchable exit {instr.iop}")
+            instr.target = target
+            exit_record.patched = True
+            self.patches_applied += 1
+        for fragment, index in self._pending_ras.pop(vpc, []):
+            fragment.body[index].target = target
+            self.patches_applied += 1
+
+    def flush(self):
+        """Drop all fragments (translation cache flush, Section 4.1).
+
+        Fragment ids stay globally unique across flushes so statistics
+        keyed by fid never collide.
+        """
+        self.fragments = []
+        self._by_entry_vpc = {}
+        self._entry_addresses = {}
+        self._pending_exits = {}
+        self._pending_ras = {}
+        self._next_free = self.dispatch_address + sum(
+            instr.size for instr in self.dispatch_body)
+        self.patches_applied = 0
+        self.flush_count += 1

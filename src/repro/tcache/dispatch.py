@@ -1,0 +1,72 @@
+"""The shared dispatch code (paper Section 3.2).
+
+When a fragment's chaining cannot supply the next fragment address, control
+transfers to a single shared dispatch sequence that looks the V-ISA target
+up in the PC translation table.  The paper charges this path 20
+instructions and notes that the register-indirect jump that ends it is
+nearly unpredictable, because every indirect transfer in the program funnels
+through this one jump (one BTB entry serves them all).
+
+The sequence modelled here is a serial hash-table probe: hash the V-PC,
+index the table, compare tags, reprobe once, load the fragment address and
+jump.  The instructions carry no architected side effects (the VM owns its
+own registers); they exist so that instruction counts, I-cache traffic, BTB
+pressure and the dependence height of dispatch are all real in the traces.
+"""
+
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IOp
+
+#: Number of instructions the dispatch path executes (paper Section 3.2).
+DISPATCH_LENGTH = 20
+
+
+def build_dispatch_code():
+    """Build the dispatch body: 19 lookup instructions + the indirect jump.
+
+    The chain computes through accumulator 0 (a single dependence strand,
+    which is how a hash probe behaves) with four table loads.
+    """
+    body = []
+
+    def alu(op, imm=None):
+        body.append(IInstruction(IOp.ALU, op=op, acc=0, src_a="acc",
+                                 src_b="imm", imm=imm if imm is not None
+                                 else 0, islit=True))
+
+    def load():
+        body.append(IInstruction(IOp.LOAD, acc=0, addr_src="acc",
+                                 mem_size=8))
+
+    # hash the V-PC: shift/xor/mask (5 instructions)
+    alu("srl", 2)
+    alu("xor", 0x5D)
+    alu("sll", 3)
+    alu("xor", 0x33)
+    alu("and", 0xFF)
+    # index into the translation table and probe (3 + load)
+    alu("sll", 4)
+    alu("addq", 0x40)
+    alu("addq", 0)
+    load()
+    # compare the stored tag, fold the result (3)
+    alu("xor", 0)
+    alu("cmpeq", 0)
+    alu("and", 1)
+    # reprobe the second way of the table (2 + load)
+    alu("addq", 8)
+    load()
+    # tag check on the second way (2)
+    alu("xor", 0)
+    alu("cmpeq", 0)
+    # load the fragment address and adjust it (1 load + 2)
+    load()
+    alu("addq", 0)
+    alu("bic", 1)
+    body.append(IInstruction(IOp.JMP_DISPATCH, acc=0))
+
+    if len(body) != DISPATCH_LENGTH:  # pragma: no cover - construction bug
+        raise AssertionError(
+            f"dispatch body is {len(body)} instructions, expected "
+            f"{DISPATCH_LENGTH}")
+    return body

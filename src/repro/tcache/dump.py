@@ -1,0 +1,47 @@
+"""Translation-cache inspection: a human-readable fragment map.
+
+Prints what a co-designed VM developer would want from a debugger: where
+every fragment sits, how hot it is, how its exits are chained, and the
+cache-wide totals.
+"""
+
+
+def fragment_map(tcache):
+    """Render the cache's fragment map as text lines."""
+    lines = [
+        f"translation cache @ {tcache.base:#x}; dispatch "
+        f"{tcache.dispatch_address:#x} "
+        f"({len(tcache.dispatch_body)} instructions)",
+        f"{len(tcache.fragments)} fragments, "
+        f"{tcache.total_code_bytes()} code bytes, "
+        f"{tcache.patches_applied} patches applied, "
+        f"{tcache.flush_count} flushes",
+        "",
+        f"{'fid':>4s} {'I-addr':>10s} {'V-entry':>10s} {'bytes':>6s} "
+        f"{'insts':>6s} {'src':>4s} {'execs':>8s} {'exits':>18s}",
+    ]
+    for fragment in tcache.fragments:
+        patched = sum(1 for e in fragment.exits if e.patched)
+        pending = sum(1 for e in fragment.exits
+                      if not e.patched and e.vtarget is not None)
+        dynamic = sum(1 for e in fragment.exits if e.vtarget is None)
+        exits = f"{patched} chained"
+        if pending:
+            exits += f", {pending} pending"
+        if dynamic:
+            exits += f", {dynamic} dyn"
+        lines.append(
+            f"{fragment.fid:4d} {fragment.base_address:#10x} "
+            f"{fragment.entry_vpc:#10x} {fragment.byte_size:6d} "
+            f"{len(fragment.body):6d} {fragment.source_instr_count:4d} "
+            f"{fragment.execution_count:8d} {exits:>18s}")
+    return lines
+
+
+def print_fragment_map(tcache, out=None):
+    """Print :func:`fragment_map` to ``out`` (default stdout)."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    for line in fragment_map(tcache):
+        print(line, file=out)

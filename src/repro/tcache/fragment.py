@@ -1,0 +1,72 @@
+"""Fragment records: translated superblocks living in the translation cache."""
+
+import enum
+
+
+class ExitKind(enum.Enum):
+    """How control can leave a fragment."""
+
+    COND = "cond"            # side exit from a conditional branch
+    UNCOND = "uncond"        # fall-off continuation or block-ending branch
+    INDIRECT = "indirect"    # register-indirect jump (JMP/JSR)
+    RETURN = "return"        # RET
+    HALT = "halt"
+
+
+class FragmentExit:
+    """One exit point, with the bookkeeping needed for later patching."""
+
+    __slots__ = ("kind", "vtarget", "instr_index", "patched")
+
+    def __init__(self, kind, vtarget, instr_index, patched=False):
+        self.kind = kind
+        self.vtarget = vtarget        # None for indirect/return exits
+        self.instr_index = instr_index
+        self.patched = patched
+
+    def __repr__(self):
+        vtext = f"{self.vtarget:#x}" if self.vtarget is not None else "-"
+        return (f"FragmentExit({self.kind.value}, V:{vtext}, "
+                f"i={self.instr_index}, patched={self.patched})")
+
+
+class Fragment:
+    """A translated superblock placed in the translation cache."""
+
+    def __init__(self, entry_vpc, fmt, body, exits, pei_table,
+                 source_instr_count, n_accumulators,
+                 premature_terminations=0, superblock=None):
+        self.fid = None                  # assigned by the cache
+        self.entry_vpc = entry_vpc
+        self.fmt = fmt
+        self.body = body                 # list of IInstruction
+        self.exits = exits               # list of FragmentExit
+        #: [(body_index, vpc, recovery_map)] in program order; the recovery
+        #: map is {arch_reg: ("gpr",) | ("acc", acc_index)} (basic format)
+        #: or None (modified/ALPHA formats, trivially recoverable).
+        self.pei_table = pei_table
+        #: Alpha instructions the fragment translates (NOPs excluded).
+        self.source_instr_count = source_instr_count
+        self.n_accumulators = n_accumulators
+        self.premature_terminations = premature_terminations
+        self.superblock = superblock     # kept for diagnostics/tests
+        self.base_address = None         # assigned at layout time
+        self.byte_size = None
+        self.execution_count = 0
+
+    def entry_address(self):
+        """Translation-cache address of the fragment's first instruction."""
+        if self.base_address is None:
+            raise RuntimeError("fragment has not been laid out")
+        return self.base_address
+
+    def instruction_count(self):
+        return len(self.body)
+
+    def copy_instruction_count(self):
+        """Copies as counted by Table 2 (copy-to-GPR + copy-from-GPR)."""
+        return sum(1 for instr in self.body if instr.is_copy())
+
+    def __repr__(self):
+        return (f"Fragment(f{self.fid}, V:{self.entry_vpc:#x}, "
+                f"{self.fmt.value}, {len(self.body)} instrs)")

@@ -1,0 +1,41 @@
+"""The dynamic binary translator (paper Section 3).
+
+Pipeline stages, each its own module:
+
+1. :mod:`~repro.translator.superblock` — the captured hot path (MRET tail).
+2. :mod:`~repro.translator.decompose` — Alpha instructions to RTL nodes
+   (memory address calculation and conditional moves are split in two).
+3. :mod:`~repro.translator.usage` — dependence/usage identification: the
+   no-user / local / temp / live-in / live-out / communication "globalness"
+   classes of Section 3.3.
+4. :mod:`~repro.translator.strand` — strand formation: chains of dependent
+   instructions linked through accumulators.
+5. :mod:`~repro.translator.allocate` — linear-scan assignment of unlimited
+   strand numbers onto the finite accumulators, with strand termination
+   (spill) when accumulators run out.
+6. :mod:`~repro.translator.copyrules` — where copy-to-GPR / copy-from-GPR
+   instructions are required (precise-trap state rules of Section 2.2), and
+   per-PEI recovery maps.
+7. :mod:`~repro.translator.codegen` — I-ISA emission for the basic,
+   modified and straightened-Alpha targets.
+8. :mod:`~repro.translator.chaining` — fragment chaining policies
+   (Section 3.2) and patch records.
+9. :mod:`~repro.translator.cost` — the translation-overhead cost model
+   (Section 4.2).
+10. :mod:`~repro.translator.pipeline` — the driver tying it all together.
+"""
+
+from repro.translator.superblock import Superblock, SuperblockEntry, EndReason
+from repro.translator.usage import ValueClass
+from repro.translator.chaining import ChainingPolicy
+from repro.translator.pipeline import Translator, TranslationResult
+
+__all__ = [
+    "Superblock",
+    "SuperblockEntry",
+    "EndReason",
+    "ValueClass",
+    "ChainingPolicy",
+    "Translator",
+    "TranslationResult",
+]

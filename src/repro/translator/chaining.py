@@ -1,0 +1,136 @@
+"""Fragment chaining (paper Section 3.2).
+
+Three chaining implementations are modelled, matching Fig. 4:
+
+* ``NO_PRED`` — no software prediction: every register-indirect transfer
+  branches to the shared dispatch code;
+* ``SW_PRED_NO_RAS`` — translation-time software jump-target prediction: a
+  three-instruction compare-and-branch sequence (load-embedded-target-
+  address, compare, conditional branch) guards a direct chain to the
+  predicted fragment, falling back to dispatch.  Returns are treated like
+  any other indirect jump;
+* ``SW_PRED_RAS`` — software prediction plus the co-designed dual-address
+  return address stack: ``push-dual-address-RAS`` instructions are emitted
+  at calls and returns execute through the predicted I-ISA address, with
+  the V-ISA address verified against the register value.
+
+Direct branches chain through patching: an exit whose target is not yet
+translated is emitted as ``call-translator[-if-condition-is-met]`` and
+rewritten in place once the target fragment exists.
+"""
+
+import enum
+
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IOp
+from repro.tcache.fragment import ExitKind, FragmentExit
+
+#: Accumulator used by chaining glue; at a fragment's end all strands have
+#: delivered their live values, so reusing accumulator 0 is safe.
+GLUE_ACC = 0
+
+
+class ChainingPolicy(enum.Enum):
+    NO_PRED = "no_pred"
+    SW_PRED_NO_RAS = "sw_pred.no_ras"
+    SW_PRED_RAS = "sw_pred.ras"
+
+    @property
+    def software_prediction(self):
+        return self is not ChainingPolicy.NO_PRED
+
+    @property
+    def dual_address_ras(self):
+        return self is ChainingPolicy.SW_PRED_RAS
+
+
+class Emitter:
+    """Collects a fragment body plus its exit records."""
+
+    def __init__(self, fmt):
+        self.fmt = fmt
+        self.body = []
+        self.exits = []
+
+    def emit(self, instr):
+        self.body.append(instr)
+        return len(self.body) - 1
+
+    def add_exit(self, kind, vtarget, index, patched=False):
+        exit_record = FragmentExit(kind, vtarget, index, patched)
+        self.exits.append(exit_record)
+        return exit_record
+
+
+def emit_direct_exit(emitter, lookup, vtarget, cond=None, vpc=None,
+                     final=False):
+    """Emit a direct-branch exit to V-PC ``vtarget``.
+
+    ``cond`` is None for unconditional exits, else a dict with keys ``op``
+    (branch mnemonic), ``cond_src`` ("acc"/"gpr"), ``acc`` and ``gpr``.
+    If the target fragment already exists the branch chains directly;
+    otherwise a call-translator instruction is emitted and recorded for
+    patching.
+    """
+    target = lookup(vtarget)
+    fields = dict(vtarget=vtarget, vpc=vpc)
+    if cond is not None:
+        fields.update(op=cond["op"], cond_src=cond["cond_src"],
+                      acc=cond.get("acc"), gpr=cond.get("gpr"))
+        kind = ExitKind.COND
+    else:
+        kind = ExitKind.UNCOND
+    if target is not None:
+        iop = IOp.BRANCH if cond is not None else IOp.BR
+        index = emitter.emit(IInstruction(iop, target=target, **fields))
+        emitter.add_exit(kind, vtarget, index, patched=True)
+    else:
+        iop = IOp.COND_CALL_TRANSLATOR if cond is not None else \
+            IOp.CALL_TRANSLATOR
+        index = emitter.emit(IInstruction(iop, **fields))
+        emitter.add_exit(kind, vtarget, index, patched=False)
+    return index
+
+
+def emit_push_ras(emitter, lookup, v_return, vpc=None):
+    """Emit ``push-dual-address-RAS`` for a call saving ``v_return``.
+
+    The embedded I-ISA half of the pair is the return point's fragment
+    address; when it is not yet translated, the dispatch address stands in
+    and the instruction is patched later (the cache tracks it).
+    """
+    emitter.emit(IInstruction(IOp.PUSH_RAS, vtarget=v_return,
+                              target=lookup(v_return), vpc=vpc))
+
+
+def emit_indirect_exit(emitter, lookup, policy, jump_reg, observed_target,
+                       vpc=None, is_return=False):
+    """Emit the chaining glue for a register-indirect transfer.
+
+    ``jump_reg`` is the GPR holding the V-ISA target; ``observed_target``
+    is the target seen during trace capture (the translation-time
+    prediction).
+    """
+    if is_return and policy.dual_address_ras:
+        index = emitter.emit(IInstruction(IOp.RET_RAS, gpr=jump_reg,
+                                          vpc=vpc))
+        emitter.add_exit(ExitKind.RETURN, None, index)
+        index = emitter.emit(IInstruction(IOp.TO_DISPATCH, gpr=jump_reg,
+                                          vpc=vpc))
+        emitter.add_exit(ExitKind.INDIRECT, None, index)
+        return
+
+    if policy.software_prediction and observed_target is not None:
+        # the three-instruction compare-and-branch of Section 3.2
+        emitter.emit(IInstruction(IOp.LOAD_EMB, acc=GLUE_ACC,
+                                  vtarget=observed_target, vpc=vpc))
+        emitter.emit(IInstruction(IOp.ALU, op="cmpeq", acc=GLUE_ACC,
+                                  src_a="acc", src_b="gpr", gpr=jump_reg,
+                                  vpc=vpc))
+        emit_direct_exit(emitter, lookup, observed_target,
+                         cond=dict(op="bne", cond_src="acc", acc=GLUE_ACC),
+                         vpc=vpc)
+    index = emitter.emit(IInstruction(IOp.TO_DISPATCH, gpr=jump_reg,
+                                      vpc=vpc))
+    emitter.add_exit(ExitKind.RETURN if is_return else ExitKind.INDIRECT,
+                     None, index)

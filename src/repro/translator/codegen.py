@@ -1,0 +1,399 @@
+"""I-ISA code generation (the "translate" half of Section 3).
+
+Takes the analysed superblock (nodes, usage, strands, copy plan) and emits
+the fragment body for one of the three targets:
+
+* **basic** accumulator format — results to accumulators, explicit
+  ``copy-to-GPR`` instructions maintain architected state (Fig. 2c);
+* **modified** accumulator format — destination GPRs embedded, results also
+  written to the off-critical-path architected file (Fig. 2d);
+* **ALPHA** — the code-straightening-only target: conventional two-source
+  Alpha-style instructions, same superblocks and chaining.
+
+The generator never reorders instructions; it walks the nodes in program
+order, inserting copies and chaining glue exactly where the analyses said.
+"""
+
+from repro.isa.opcodes import PAL_FUNCTIONS
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IFormat, IOp
+from repro.translator.chaining import (
+    ChainingPolicy,
+    Emitter,
+    emit_direct_exit,
+    emit_indirect_exit,
+    emit_push_ras,
+)
+from repro.translator.decompose import NodeKind
+from repro.translator.strand import TranslationError
+from repro.translator.superblock import EndReason
+from repro.tcache.fragment import ExitKind, Fragment
+
+_PAL_HALT = PAL_FUNCTIONS["halt"]
+_PAL_PUTC = PAL_FUNCTIONS["putc"]
+_PAL_GENTRAP = PAL_FUNCTIONS["gentrap"]
+
+
+class CodeGenerator:
+    """Emits one fragment; create a fresh instance per superblock."""
+
+    def __init__(self, superblock, nodes, fmt, policy, tcache,
+                 usage=None, strands=None, plan=None, n_accumulators=4):
+        self.superblock = superblock
+        self.nodes = nodes
+        self.fmt = fmt
+        self.policy = policy
+        self.tcache = tcache
+        self.usage = usage
+        self.strands = strands
+        self.plan = plan
+        self.n_accumulators = n_accumulators
+        self.emitter = Emitter(fmt)
+        self.pei_table = []
+
+    # -- public ----------------------------------------------------------------
+
+    def generate(self):
+        """Produce the (not yet laid out) :class:`Fragment`."""
+        em = self.emitter
+        em.emit(IInstruction(IOp.SET_VPC_BASE,
+                             vtarget=self.superblock.entry_vpc))
+        last_index = len(self.nodes) - 1
+        for node in self.nodes:
+            is_final = node.index == last_index
+            self._emit_node(node, is_final)
+        self._emit_continuation()
+        return Fragment(
+            entry_vpc=self.superblock.entry_vpc,
+            fmt=self.fmt,
+            body=em.body,
+            exits=em.exits,
+            pei_table=self.pei_table,
+            source_instr_count=self.superblock.alpha_instruction_count(),
+            n_accumulators=self.n_accumulators,
+            premature_terminations=(self.strands.premature_terminations
+                                    if self.strands else 0),
+            superblock=self.superblock,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _lookup(self, vpc):
+        fragment = self.tcache.lookup(vpc)
+        return None if fragment is None else fragment.entry_address()
+
+    def _recovery_for(self, node):
+        if self.fmt is not IFormat.BASIC:
+            return None
+        return self.plan.pei_recovery.get(node.index)
+
+    def _note_pei(self, node, body_index):
+        if node.is_pei():
+            self.pei_table.append((body_index, node.vpc,
+                                   self._recovery_for(node)))
+
+    def _value_of(self, node):
+        if self.usage is None:
+            return None
+        return self.usage.producer_of.get(node.index)
+
+    def _dest_fields(self, node):
+        """(dest_gpr, operational) for a producing node under this format."""
+        if self.fmt is IFormat.ALPHA:
+            if node.dest is not None and node.dest[0] == "reg":
+                return node.dest[1], True
+            return None, False
+        value = self._value_of(node)
+        if value is None or value.reg is None:
+            return None, False
+        operational = (self.fmt is IFormat.MODIFIED
+                       and value.vid in self.plan.operational_values)
+        return value.reg, operational
+
+    # -- node emission -----------------------------------------------------------
+
+    def _emit_node(self, node, is_final):
+        kind = node.kind
+        if kind is NodeKind.ALU:
+            self._emit_computation(node)
+        elif kind is NodeKind.LOAD:
+            self._emit_computation(node)
+        elif kind is NodeKind.STORE:
+            self._emit_computation(node)
+        elif kind is NodeKind.BRANCH:
+            self._emit_branch(node, is_final)
+        elif kind is NodeKind.BSR:
+            self._emit_bsr(node)
+        elif kind is NodeKind.JUMP:
+            self._emit_jump(node)
+        elif kind is NodeKind.PAL:
+            self._emit_pal(node)
+        else:  # pragma: no cover
+            raise TranslationError(f"cannot emit node kind {kind}")
+
+    def _emit_computation(self, node):
+        em = self.emitter
+        starts_strand = False
+        if self.fmt is not IFormat.ALPHA:
+            sid = self.strands.node_strand[node.index]
+            starts_strand = (sid is not None
+                             and self.strands.strand(sid).start ==
+                             node.index)
+            copy_reg = self.strands.copy_from_before[node.index]
+            if copy_reg is not None:
+                copy = IInstruction(IOp.COPY_FROM_GPR,
+                                    acc=self.strands.node_acc(node.index),
+                                    gpr=copy_reg, vpc=node.vpc)
+                copy.strand_start = starts_strand
+                starts_strand = False
+                em.emit(copy)
+        instr = self._build_computation(node)
+        instr.strand_start = starts_strand
+        index = em.emit(instr)
+        self._note_pei(node, index)
+        if self.fmt is IFormat.BASIC:
+            for _vid, reg in self.plan.copy_to_after.get(node.index, []):
+                em.emit(IInstruction(IOp.COPY_TO_GPR,
+                                     acc=self.strands.node_acc(node.index),
+                                     gpr=reg, vpc=node.vpc))
+
+    def _build_computation(self, node):
+        if self.fmt is IFormat.ALPHA:
+            return self._build_alpha_computation(node)
+        acc = self.strands.node_acc(node.index)
+        resolutions = self.strands.resolutions[node.index]
+        dest_gpr, operational = self._dest_fields(node)
+        common = dict(acc=acc, vpc=node.vpc, dest_gpr=dest_gpr,
+                      operational=operational)
+        if node.kind is NodeKind.ALU:
+            fields = _OperandPacker()
+            src_a = fields.pack(node.src_a, resolutions.get("src_a"))
+            src_b = fields.pack(node.src_b, resolutions.get("src_b"))
+            return IInstruction(IOp.ALU, op=node.op, src_a=src_a,
+                                src_b=src_b, **fields.attrs(), **common)
+        if node.kind is NodeKind.LOAD:
+            fields = _OperandPacker()
+            addr_src = fields.pack(node.addr, resolutions.get("addr"))
+            instr = IInstruction(IOp.LOAD, addr_src=addr_src,
+                                 mem_size=node.mem_size,
+                                 mem_signed=node.mem_signed,
+                                 **fields.attrs(), **common)
+            instr.imm = node.disp
+            return instr
+        if node.kind is NodeKind.STORE:
+            fields = _OperandPacker()
+            addr_src = fields.pack(node.addr, resolutions.get("addr"))
+            data_src = fields.pack(node.data, resolutions.get("data"))
+            instr = IInstruction(IOp.STORE, addr_src=addr_src,
+                                 data_src=data_src, acc=acc,
+                                 mem_size=node.mem_size, vpc=node.vpc,
+                                 **fields.attrs())
+            instr.imm = node.disp
+            return instr
+        raise TranslationError(f"not a computation node: {node.kind}")
+
+    def _build_alpha_computation(self, node):
+        dest_gpr, _op = self._dest_fields(node)
+        common = dict(vpc=node.vpc, dest_gpr=dest_gpr,
+                      operational=dest_gpr is not None)
+        if node.kind is NodeKind.ALU:
+            fields = _OperandPacker(alpha=True)
+            src_a = fields.pack_alpha(node.src_a)
+            src_b = fields.pack_alpha(node.src_b)
+            return IInstruction(IOp.ALU, op=node.op, src_a=src_a,
+                                src_b=src_b, **fields.attrs(), **common)
+        if node.kind is NodeKind.LOAD:
+            fields = _OperandPacker(alpha=True)
+            addr_src = fields.pack_alpha(node.addr)
+            instr = IInstruction(IOp.LOAD, addr_src=addr_src,
+                                 mem_size=node.mem_size,
+                                 mem_signed=node.mem_signed,
+                                 **fields.attrs(), **common)
+            instr.imm = node.disp
+            return instr
+        if node.kind is NodeKind.STORE:
+            fields = _OperandPacker(alpha=True)
+            addr_src = fields.pack_alpha(node.addr)
+            data_src = fields.pack_alpha(node.data)
+            instr = IInstruction(IOp.STORE, addr_src=addr_src,
+                                 data_src=data_src, mem_size=node.mem_size,
+                                 vpc=node.vpc, **fields.attrs())
+            instr.imm = node.disp
+            return instr
+        raise TranslationError(f"not a computation node: {node.kind}")
+
+    def _cond_fields(self, node):
+        """Condition-source fields for a branch node under this format."""
+        if node.cond_src[0] == "imm":
+            return dict(op=node.op, cond_src="zero")
+        if self.fmt is IFormat.ALPHA:
+            return dict(op=node.op, cond_src="gpr", gpr=node.cond_src[1])
+        resolution = self.strands.resolutions[node.index]["cond_src"]
+        if resolution[0] == "acc":
+            return dict(op=node.op, cond_src="acc",
+                        acc=self.strands.node_acc(node.index))
+        return dict(op=node.op, cond_src="gpr", gpr=resolution[1])
+
+    def _emit_branch(self, node, is_final):
+        backward_taken_end = (is_final and node.taken
+                              and self.superblock.end_reason is
+                              EndReason.BACKWARD_TAKEN_BRANCH)
+        cond = self._cond_fields(node)
+        if backward_taken_end:
+            # Fig. 2: the block-ending branch keeps its direction, followed
+            # by an unconditional exit to the fall-through path.
+            emit_direct_exit(self.emitter, self._lookup, node.taken_target,
+                             cond=cond, vpc=node.vpc)
+            emit_direct_exit(self.emitter, self._lookup, node.fallthrough,
+                             vpc=node.vpc)
+            return
+        if node.taken:
+            cond["op"] = _reverse_condition(cond["op"])
+            exit_target = node.fallthrough
+        else:
+            exit_target = node.taken_target
+        emit_direct_exit(self.emitter, self._lookup, exit_target, cond=cond,
+                         vpc=node.vpc)
+
+    def _emit_bsr(self, node):
+        if node.dest is not None:
+            self.emitter.emit(IInstruction(
+                IOp.SAVE_VRA, gpr=node.dest[1], vtarget=node.link,
+                dest_gpr=node.dest[1], operational=True, vpc=node.vpc))
+        if self.policy.dual_address_ras:
+            emit_push_ras(self.emitter, self._lookup, node.link,
+                          vpc=node.vpc)
+
+    def _emit_jump(self, node):
+        jump_reg = self._jump_register(node)
+        if node.jump_kind in ("jsr", "jsr_coroutine") or (
+                node.jump_kind == "jmp" and node.dest is not None):
+            if node.dest is not None:
+                self.emitter.emit(IInstruction(
+                    IOp.SAVE_VRA, gpr=node.dest[1], vtarget=node.link,
+                    dest_gpr=node.dest[1], operational=True, vpc=node.vpc))
+            if self.policy.dual_address_ras:
+                emit_push_ras(self.emitter, self._lookup, node.link,
+                              vpc=node.vpc)
+        emit_indirect_exit(self.emitter, self._lookup, self.policy,
+                           jump_reg, node.observed_target, vpc=node.vpc,
+                           is_return=node.jump_kind == "ret")
+
+    def _jump_register(self, node):
+        if node.addr[0] == "imm":
+            raise TranslationError("indirect jump through R31")
+        if self.fmt is IFormat.ALPHA:
+            return node.addr[1]
+        resolution = self.strands.resolutions[node.index]["addr"]
+        if resolution[0] != "gpr":  # pragma: no cover - jumps read GPRs
+            raise TranslationError("indirect jump target not in a GPR")
+        return resolution[1]
+
+    def _emit_pal(self, node):
+        em = self.emitter
+        function = node.pal_function
+        if function == _PAL_HALT:
+            index = em.emit(IInstruction(IOp.HALT, vpc=node.vpc))
+            em.add_exit(ExitKind.HALT, None, index)
+        elif function == _PAL_PUTC:
+            em.emit(IInstruction(IOp.PUTC, gpr=16, vpc=node.vpc))
+            emit_direct_exit(em, self._lookup, node.vpc + 4, vpc=node.vpc)
+        elif function == _PAL_GENTRAP:
+            index = em.emit(IInstruction(IOp.GENTRAP, vpc=node.vpc))
+            self.pei_table.append((index, node.vpc,
+                                   self._recovery_for(node)))
+        else:
+            # unknown PAL functions are no-ops; nothing is emitted
+            pass
+
+    def _emit_continuation(self):
+        reason = self.superblock.end_reason
+        if reason in (EndReason.CYCLE, EndReason.MAX_SIZE,
+                      EndReason.EXISTING_FRAGMENT):
+            emit_direct_exit(self.emitter, self._lookup,
+                             self.superblock.continuation_vpc,
+                             vpc=self.superblock.entries[-1].vpc)
+        elif reason is EndReason.TRAP_INSTRUCTION:
+            # halt emits nothing further; putc already chained; gentrap
+            # always traps, but fall through must still be safe
+            last = self.nodes[-1]
+            if last.kind is NodeKind.PAL and last.pal_function == \
+                    _PAL_GENTRAP:
+                emit_direct_exit(self.emitter, self._lookup, last.vpc + 4,
+                                 vpc=last.vpc)
+
+
+class _OperandPacker:
+    """Folds node operands into the single-GPR/single-immediate fields."""
+
+    def __init__(self, alpha=False):
+        self.alpha = alpha
+        self.gpr = None
+        self.gpr2 = None
+        self.imm = None
+
+    def pack(self, operand, resolution):
+        """Accumulator-format operand: honours the strand resolutions."""
+        if operand is None:
+            return None
+        if operand[0] == "imm":
+            return self._pack_imm(operand[1])
+        if resolution is None:  # pragma: no cover - analysis bug
+            raise TranslationError(f"unresolved operand {operand}")
+        if resolution[0] == "acc":
+            return "acc"
+        return self._pack_gpr(resolution[1])
+
+    def pack_alpha(self, operand):
+        """ALPHA-format operand: registers map to gpr/gpr2 directly."""
+        if operand is None:
+            return None
+        if operand[0] == "imm":
+            return self._pack_imm(operand[1])
+        return self._pack_gpr(operand[1])
+
+    def _pack_imm(self, value):
+        # zero immediates (mostly R31 reads) use the dedicated zero source
+        # so the single literal field stays free for a real literal
+        if value == 0:
+            return "zero"
+        if self.imm is not None and self.imm != value:
+            raise TranslationError("two distinct non-zero immediates")
+        self.imm = value
+        return "imm"
+
+    def _pack_gpr(self, reg):
+        if self.gpr is None or self.gpr == reg:
+            self.gpr = reg
+            return "gpr"
+        if not self.alpha:
+            raise TranslationError(
+                f"two distinct GPRs (r{self.gpr}, r{reg}) in one "
+                "accumulator-format instruction")
+        if self.gpr2 is None or self.gpr2 == reg:
+            self.gpr2 = reg
+            return "gpr2"
+        raise TranslationError("three distinct GPRs in one instruction")
+
+    def attrs(self):
+        out = {}
+        if self.gpr is not None:
+            out["gpr"] = self.gpr
+        if self.gpr2 is not None:
+            out["gpr2"] = self.gpr2
+        if self.imm is not None:
+            out["imm"] = self.imm
+            out["islit"] = True
+        return out
+
+
+_REVERSE = {
+    "beq": "bne", "bne": "beq",
+    "blt": "bge", "bge": "blt",
+    "ble": "bgt", "bgt": "ble",
+    "blbc": "blbs", "blbs": "blbc",
+}
+
+
+def _reverse_condition(op):
+    return _REVERSE[op]

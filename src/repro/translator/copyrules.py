@@ -1,0 +1,118 @@
+"""Copy-instruction placement and precise-trap recovery maps (Section 2.2).
+
+Basic format
+------------
+A value must be delivered to its architected GPR when:
+
+* it is a communication global, live-out global, ``local -> global`` /
+  ``no-user -> global`` (architected-live at a side exit), or a spill
+  global — the usage classes; or
+* it is architected-live across a potentially-excepting instruction (PEI)
+  at a point where its accumulator no longer holds it ("copy-to-GPR before
+  instructions that overwrite an accumulator holding a value that will be
+  live at a potential trap location").
+
+Copies are placed immediately after the producing instruction, exactly as
+in Fig. 2c of the paper.
+
+For every PEI the pass also builds a *recovery map*: for each architected
+register defined earlier in the fragment, whether its value-at-trap is in
+the GPR file or still in a live accumulator.  The map is verified during
+construction — an unrecoverable register is a translator bug and raises.
+
+Modified format
+---------------
+Every producing instruction writes its destination GPR in the
+off-critical-path architected file, so recovery is trivial and no
+copy-to-GPR instructions exist.  The pass instead computes each value's
+``operational`` flag: communication and live-out globals (about 25% of
+dynamic instructions per Fig. 7) must also be written to the
+latency-critical operational GPRs.
+"""
+
+from repro.translator.strand import TranslationError
+from repro.translator.usage import ValueClass
+
+#: Classes written to the operational GPR file in the modified format.
+_OPERATIONAL_CLASSES = frozenset(
+    {ValueClass.COMM_GLOBAL, ValueClass.LIVEOUT_GLOBAL}
+)
+
+
+class CopyPlan:
+    """Where copies go, and how each PEI recovers architected state."""
+
+    def __init__(self):
+        #: node index -> [(vid, reg)] copy-to-GPR insertions after the node
+        self.copy_to_after = {}
+        #: vids that must reach a GPR (basic: via copy; used for stats)
+        self.copied_values = set()
+        #: vids with operational destination writes (modified format)
+        self.operational_values = set()
+        #: PEI node index -> {reg: ("gpr",) | ("acc", acc_index)}
+        self.pei_recovery = {}
+
+
+def build_copy_plan(nodes, usage, strands):
+    """Compute the copy plan and recovery maps for one superblock."""
+    plan = CopyPlan()
+    pei_indices = [node.index for node in nodes if node.is_pei()]
+
+    for value in usage.values:
+        if value.is_temp or value.via_link:
+            continue
+        needs_copy = value.needs_gpr()
+        if not needs_copy and _live_pei_after_acc_loss(value, pei_indices,
+                                                       strands):
+            needs_copy = True
+        if needs_copy:
+            plan.copied_values.add(value.vid)
+            plan.copy_to_after.setdefault(value.producer, []).append(
+                (value.vid, value.reg))
+        if value.spilled or value.gpr_read or \
+                value.vclass in _OPERATIONAL_CLASSES:
+            plan.operational_values.add(value.vid)
+
+    _build_recovery_maps(nodes, usage, strands, plan)
+    return plan
+
+
+def _live_pei_after_acc_loss(value, pei_indices, strands):
+    """True when the value is architected-live across a PEI that executes
+    after the value's accumulator stopped holding it.
+
+    The interval is ``producer < pei <= redef``: a trap raised by the very
+    instruction that redefines the register fires *before* write-back, so
+    the old value is still the architected one there.
+    """
+    end = value.redef if value.redef is not None else float("inf")
+    valid_until = strands.acc_valid_until.get(value.vid, float("inf"))
+    for pei in pei_indices:
+        if value.producer < pei <= end and pei >= valid_until:
+            return True
+    return False
+
+
+def _build_recovery_maps(nodes, usage, strands, plan):
+    current_def = {}  # arch reg -> ValueInfo
+    for node in nodes:
+        if node.is_pei():
+            plan.pei_recovery[node.index] = _recovery_at(
+                node.index, current_def, strands, plan)
+        produced = usage.producer_of.get(node.index)
+        if produced is not None and produced.reg is not None:
+            current_def[produced.reg] = produced
+
+
+def _recovery_at(pei_index, current_def, strands, plan):
+    recovery = {}
+    for reg, value in current_def.items():
+        if value.via_link or value.vid in plan.copied_values:
+            recovery[reg] = ("gpr",)
+        elif pei_index < strands.acc_valid_until.get(value.vid,
+                                                     float("inf")):
+            recovery[reg] = ("acc", strands.value_acc[value.vid])
+        else:  # pragma: no cover - guarded by the copy rules above
+            raise TranslationError(
+                f"register r{reg} unrecoverable at PEI node {pei_index}")
+    return recovery

@@ -1,0 +1,71 @@
+"""Translation overhead accounting (paper Section 4.2).
+
+The original study instrumented the translator with Atom on an Alpha 21164
+and measured ~1,125 dynamic Alpha instructions per translated instruction,
+about one quarter of DAISY's 4,000+, with roughly 20% of the time spent
+copying translated-instruction records field by field into the translation
+cache.
+
+We cannot run our translator on Alpha hardware, so the equivalent here is a
+calibrated work-unit model: every translation phase charges a cost
+proportional to the work it actually performed (nodes decomposed, def-use
+edges walked, strand operations, instructions emitted and copied, exits
+recorded).  Per-benchmark variation therefore emerges from real workload
+structure, exactly as in Table 2's last column, while the absolute scale is
+calibrated to the paper's measurement.
+"""
+
+from collections import defaultdict
+
+#: Cost (in modelled Alpha instructions) charged per unit of phase work.
+#: Calibrated so the suite average lands near the paper's ~1,125
+#: instructions per translated instruction with ~20% spent copying
+#: translated-instruction records into the translation cache.
+PHASE_WEIGHTS = {
+    "fetch_decode": 72,     # per source instruction re-fetched and decoded
+    "decompose": 88,        # per RTL node created
+    "usage": 38,            # per def-use edge examined
+    "classify": 45,         # per value classified
+    "strand": 61,           # per strand operation (join/start/tap/spill)
+    "codegen": 144,         # per I-ISA instruction built
+    "tcache_copy": 177,     # per I-ISA instruction copied field-by-field
+    "chaining": 176,        # per exit/patch record managed
+    "fragment_overhead": 2700,  # per fragment: bookkeeping, PEI tables
+}
+
+
+class TranslationCostModel:
+    """Accumulates modelled translator work."""
+
+    def __init__(self, weights=None):
+        self.weights = dict(PHASE_WEIGHTS if weights is None else weights)
+        self.by_phase = defaultdict(int)
+        self.translated_source_instructions = 0
+        self.fragments = 0
+
+    def charge(self, phase, units=1):
+        """Charge ``units`` of work in ``phase``."""
+        self.by_phase[phase] += self.weights[phase] * units
+
+    def note_fragment(self, source_instruction_count):
+        self.fragments += 1
+        self.translated_source_instructions += source_instruction_count
+        self.charge("fragment_overhead")
+
+    @property
+    def total(self):
+        return sum(self.by_phase.values())
+
+    def per_translated_instruction(self):
+        """Modelled Alpha instructions per translated source instruction
+        (the paper's headline ~1,125)."""
+        if self.translated_source_instructions == 0:
+            return 0.0
+        return self.total / self.translated_source_instructions
+
+    def phase_fraction(self, phase):
+        """Share of total cost spent in ``phase`` (e.g. ~20% tcache_copy)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.by_phase[phase] / total

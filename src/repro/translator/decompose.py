@@ -1,0 +1,264 @@
+"""Decomposition of superblock Alpha instructions into RTL nodes.
+
+This is the translator's mid-level IR.  Per the paper:
+
+* memory instructions with effective-address calculation are decomposed into
+  two nodes — an address-calculation ALU node producing a *temp* and the
+  access proper (Section 4.4, Fig. 7 caption);
+* conditional moves are decomposed into two nodes passing a *temp* between
+  them (the "Temp" usage category of Section 3.3);
+* NOPs are removed;
+* unconditional direct branches that do not save a return address are
+  removed entirely (code straightening, Section 3.2).
+
+Operands — including destinations — are ``("reg", index)``,
+``("temp", id)`` or ``("imm", value)`` tuples; temps get negative ids so the
+def-use bookkeeping treats them exactly like registers.
+"""
+
+import enum
+
+from repro.isa.opcodes import Kind, RB_ONLY_OPS, CMOV_OPS, PAL_FUNCTIONS
+from repro.translator.superblock import _is_nop
+
+
+class NodeKind(enum.Enum):
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"      # conditional direct branch (side exit)
+    BSR = "bsr"            # direct branch saving a return address (inlined)
+    JUMP = "jump"          # jmp / jsr / ret — always ends the block
+    PAL = "pal"
+
+
+_MEM_SIZES = {
+    "ldbu": (1, False), "ldwu": (2, False), "ldl": (4, True),
+    "ldq": (8, False),
+    "stb": (1, False), "stw": (2, False), "stl": (4, False),
+    "stq": (8, False),
+}
+
+
+class Node:
+    """One RTL node; fields are meaningful per :class:`NodeKind`."""
+
+    __slots__ = (
+        "index", "vpc", "kind", "op", "dest", "src_a", "src_b",
+        "addr", "data", "disp", "mem_size", "mem_signed",
+        "cond_src", "taken", "taken_target", "fallthrough",
+        "jump_kind", "link", "observed_target", "pal_function",
+    )
+
+    def __init__(self, kind, vpc, op=None, dest=None, src_a=None, src_b=None,
+                 addr=None, data=None, disp=0, mem_size=8, mem_signed=False,
+                 cond_src=None, taken=False, taken_target=None,
+                 fallthrough=None, jump_kind=None, link=None,
+                 observed_target=None, pal_function=None):
+        self.index = -1  # assigned once the node list is final
+        self.kind = kind
+        self.vpc = vpc
+        self.op = op
+        self.dest = dest
+        self.src_a = src_a
+        self.src_b = src_b
+        self.addr = addr
+        self.data = data
+        self.disp = disp
+        self.mem_size = mem_size
+        self.mem_signed = mem_signed
+        self.cond_src = cond_src
+        self.taken = taken
+        self.taken_target = taken_target
+        self.fallthrough = fallthrough
+        self.jump_kind = jump_kind
+        self.link = link
+        self.observed_target = observed_target
+        self.pal_function = pal_function
+
+    def input_operands(self):
+        """(slot_name, operand) pairs for every register/temp input."""
+        out = []
+        if self.kind is NodeKind.ALU:
+            out.append(("src_a", self.src_a))
+            out.append(("src_b", self.src_b))
+        elif self.kind is NodeKind.LOAD:
+            out.append(("addr", self.addr))
+        elif self.kind is NodeKind.STORE:
+            out.append(("addr", self.addr))
+            out.append(("data", self.data))
+        elif self.kind is NodeKind.BRANCH:
+            out.append(("cond_src", self.cond_src))
+        elif self.kind is NodeKind.JUMP:
+            out.append(("addr", self.addr))
+        elif self.kind is NodeKind.PAL:
+            out.append(("data", self.data))
+        return [(slot, operand) for slot, operand in out
+                if operand is not None and operand[0] != "imm"]
+
+    def produces_value(self):
+        """True when ``dest`` receives a computed value held in a strand."""
+        return self.dest is not None and self.kind in (
+            NodeKind.ALU, NodeKind.LOAD)
+
+    def is_pei(self):
+        if self.kind in (NodeKind.LOAD, NodeKind.STORE):
+            return True
+        return (self.kind is NodeKind.PAL
+                and self.pal_function == PAL_FUNCTIONS["gentrap"])
+
+    def is_side_exit(self):
+        return self.kind is NodeKind.BRANCH
+
+    def __repr__(self):
+        return f"Node({self.kind.value}, vpc={self.vpc:#x}, op={self.op})"
+
+
+class _TempAllocator:
+    def __init__(self):
+        self._next = -1
+
+    def new(self):
+        temp = ("temp", self._next)
+        self._next -= 1
+        return temp
+
+
+def _reg_operand(index):
+    """Register source operand; R31 reads as the immediate zero."""
+    if index == 31:
+        return ("imm", 0)
+    return ("reg", index)
+
+
+def _dest_operand(index):
+    """Destination operand; writes to R31 are dropped (None)."""
+    return None if index == 31 else ("reg", index)
+
+
+def decompose(superblock, fuse_memory=False, split_cmov=True):
+    """Convert a superblock to the RTL node list.
+
+    ``fuse_memory=True`` keeps effective-address computation inside the
+    memory node (the ablation discussed in Section 4.5: "One way to deal
+    with this instruction count expansion is to not split memory
+    instructions in two").  ``split_cmov=False`` keeps conditional moves as
+    single three-input nodes (the straightened-Alpha target, whose machine
+    reads the old destination from the register file).
+    """
+    temps = _TempAllocator()
+    nodes = []
+    for entry in superblock.entries:
+        if _is_nop(entry.instr):
+            continue
+        _decompose_one(entry, nodes, temps, fuse_memory, split_cmov)
+    for index, node in enumerate(nodes):
+        node.index = index
+    return nodes
+
+
+def _decompose_one(entry, nodes, temps, fuse_memory, split_cmov):
+    instr = entry.instr
+    kind = instr.kind
+    vpc = entry.vpc
+
+    if kind is Kind.ALU:
+        _decompose_alu(entry, nodes, temps, split_cmov)
+    elif kind is Kind.LDA:
+        displacement = instr.imm * 65536 if instr.mnemonic == "ldah" else \
+            instr.imm
+        nodes.append(Node(NodeKind.ALU, vpc, op="addq",
+                          dest=_dest_operand(instr.ra),
+                          src_a=_reg_operand(instr.rb),
+                          src_b=("imm", displacement)))
+    elif kind in (Kind.LOAD, Kind.STORE):
+        size, signed = _MEM_SIZES[instr.mnemonic]
+        address, displacement = _effective_address(entry, nodes, temps,
+                                                   fuse_memory)
+        if kind is Kind.LOAD:
+            nodes.append(Node(NodeKind.LOAD, vpc,
+                              dest=_dest_operand(instr.ra), addr=address,
+                              disp=displacement, mem_size=size,
+                              mem_signed=signed))
+        else:
+            nodes.append(Node(NodeKind.STORE, vpc, addr=address,
+                              disp=displacement,
+                              data=_reg_operand(instr.ra), mem_size=size))
+    elif kind is Kind.COND_BRANCH:
+        taken_target = vpc + 4 + 4 * instr.imm
+        nodes.append(Node(NodeKind.BRANCH, vpc, op=instr.mnemonic,
+                          cond_src=_reg_operand(instr.ra),
+                          taken=entry.taken, taken_target=taken_target,
+                          fallthrough=vpc + 4))
+    elif kind is Kind.UNCOND_BRANCH:
+        if instr.ra != 31:
+            # BSR (or BR with a link register): the return address is saved,
+            # the target is followed inline by code straightening.
+            nodes.append(Node(NodeKind.BSR, vpc,
+                              dest=_dest_operand(instr.ra), link=vpc + 4,
+                              taken_target=vpc + 4 + 4 * instr.imm))
+        # plain BR: removed entirely by code straightening
+    elif kind is Kind.JUMP:
+        nodes.append(Node(NodeKind.JUMP, vpc, jump_kind=instr.mnemonic,
+                          addr=_reg_operand(instr.rb),
+                          dest=_dest_operand(instr.ra), link=vpc + 4,
+                          observed_target=entry.next_vpc))
+    elif kind is Kind.PAL:
+        data = _reg_operand(16) if instr.imm == PAL_FUNCTIONS["putc"] \
+            else None
+        nodes.append(Node(NodeKind.PAL, vpc, pal_function=instr.imm,
+                          data=data))
+    else:  # pragma: no cover
+        raise ValueError(f"cannot decompose kind {kind}")
+
+
+def _effective_address(entry, nodes, temps, fuse_memory):
+    """Return (address operand, displacement), splitting address calculation
+    into its own node unless the displacement is zero or fusing is on."""
+    instr = entry.instr
+    if instr.imm == 0:
+        return _reg_operand(instr.rb), 0
+    if fuse_memory:
+        return _reg_operand(instr.rb), instr.imm
+    temp = temps.new()
+    nodes.append(Node(NodeKind.ALU, entry.vpc, op="addq", dest=temp,
+                      src_a=_reg_operand(instr.rb),
+                      src_b=("imm", instr.imm)))
+    return temp, 0
+
+
+def _decompose_alu(entry, nodes, temps, split_cmov=True):
+    instr = entry.instr
+    vpc = entry.vpc
+    mnemonic = instr.mnemonic
+    operand_b = ("imm", instr.imm) if instr.islit else \
+        _reg_operand(instr.rb)
+
+    if mnemonic in CMOV_OPS and not split_cmov:
+        # single three-input node; the ALPHA-format machine reads the old
+        # destination value from its register file
+        nodes.append(Node(NodeKind.ALU, vpc, op=mnemonic,
+                          dest=_dest_operand(instr.rc),
+                          src_a=_reg_operand(instr.ra), src_b=operand_b))
+        return
+    if mnemonic in CMOV_OPS:
+        # cmovCC ra, rb, rc  splits into the EV6-style pair:
+        #   t  <- cmov1_CC(ra, rc_old)     (predicate + old value)
+        #   rc <- cmov2(t, rb)             (select)
+        temp = temps.new()
+        condition = mnemonic[4:]
+        nodes.append(Node(NodeKind.ALU, vpc, op=f"cmov1_{condition}",
+                          dest=temp, src_a=_reg_operand(instr.ra),
+                          src_b=_reg_operand(instr.rc)))
+        nodes.append(Node(NodeKind.ALU, vpc, op="cmov2",
+                          dest=_dest_operand(instr.rc), src_a=temp,
+                          src_b=operand_b))
+        return
+    if mnemonic in RB_ONLY_OPS:
+        nodes.append(Node(NodeKind.ALU, vpc, op=mnemonic,
+                          dest=_dest_operand(instr.rc), src_a=None,
+                          src_b=operand_b))
+        return
+    nodes.append(Node(NodeKind.ALU, vpc, op=mnemonic,
+                      dest=_dest_operand(instr.rc),
+                      src_a=_reg_operand(instr.ra), src_b=operand_b))

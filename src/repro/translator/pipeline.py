@@ -1,0 +1,77 @@
+"""The translation pipeline driver.
+
+``Translator.translate(superblock)`` runs the full pipeline for the
+configured target, charges the cost model, installs the fragment in the
+translation cache (applying chaining patches), and returns the intermediate
+analyses for statistics collection.
+"""
+
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.chaining import ChainingPolicy
+from repro.translator.codegen import CodeGenerator
+from repro.translator.copyrules import build_copy_plan
+from repro.translator.cost import TranslationCostModel
+from repro.translator.decompose import decompose
+from repro.translator.strand import form_strands
+from repro.translator.usage import analyze_usage
+
+
+class TranslationResult:
+    """A freshly installed fragment plus its analyses (for statistics)."""
+
+    __slots__ = ("fragment", "nodes", "usage", "strands", "plan")
+
+    def __init__(self, fragment, nodes, usage=None, strands=None, plan=None):
+        self.fragment = fragment
+        self.nodes = nodes
+        self.usage = usage
+        self.strands = strands
+        self.plan = plan
+
+
+class Translator:
+    """Translates superblocks into fragments for one target configuration."""
+
+    def __init__(self, tcache, fmt=IFormat.MODIFIED,
+                 policy=ChainingPolicy.SW_PRED_RAS, n_accumulators=4,
+                 fuse_memory=False, cost_model=None):
+        self.tcache = tcache
+        self.fmt = fmt
+        self.policy = policy
+        self.n_accumulators = n_accumulators
+        self.fuse_memory = fuse_memory
+        self.cost = cost_model if cost_model is not None else \
+            TranslationCostModel()
+
+    def translate(self, superblock):
+        """Translate one superblock and install the fragment."""
+        cost = self.cost
+        cost.charge("fetch_decode", len(superblock.entries))
+
+        if self.fmt is IFormat.ALPHA:
+            nodes = decompose(superblock, fuse_memory=True,
+                              split_cmov=False)
+            usage = strands = plan = None
+        else:
+            nodes = decompose(superblock, fuse_memory=self.fuse_memory)
+            usage = analyze_usage(nodes)
+            strands = form_strands(nodes, usage, self.n_accumulators)
+            plan = build_copy_plan(nodes, usage, strands)
+            cost.charge("usage", sum(len(v.uses) + 1 for v in usage.values))
+            cost.charge("classify", len(usage.values))
+            cost.charge("strand", len(strands.strands) + len(nodes))
+        cost.charge("decompose", len(nodes))
+
+        generator = CodeGenerator(
+            superblock, nodes, self.fmt, self.policy, self.tcache,
+            usage=usage, strands=strands, plan=plan,
+            n_accumulators=self.n_accumulators)
+        fragment = generator.generate()
+
+        cost.charge("codegen", len(fragment.body))
+        cost.charge("tcache_copy", len(fragment.body))
+        cost.charge("chaining", len(fragment.exits))
+        cost.note_fragment(fragment.source_instr_count)
+
+        self.tcache.add(fragment)
+        return TranslationResult(fragment, nodes, usage, strands, plan)

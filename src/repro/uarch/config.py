@@ -1,0 +1,101 @@
+"""Machine configurations from Table 1 of the paper."""
+
+
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    __slots__ = ("name", "size", "line", "assoc", "latency", "policy")
+
+    def __init__(self, name, size, line, assoc, latency, policy):
+        self.name = name
+        self.size = size
+        self.line = line
+        self.assoc = assoc
+        self.latency = latency
+        self.policy = policy
+
+
+class MachineConfig:
+    """Everything a timing model needs."""
+
+    def __init__(self, name, width=4, rob_size=128, n_functional_units=4,
+                 pe_count=None, fifo_depth=8, comm_latency=0,
+                 icache=None, dcache=None, l2=None,
+                 memory_latency=72, redirect_latency=3,
+                 gshare_entries=16384, gshare_history=12,
+                 btb_entries=512, btb_assoc=4, ras_depth=8,
+                 use_conventional_ras=True,
+                 int_latency=1, mul_latency=7, pipeline_depth=5,
+                 steering="dependence", perfect_prediction=False,
+                 perfect_dcache=False):
+        self.name = name
+        self.width = width
+        self.rob_size = rob_size
+        self.n_functional_units = n_functional_units
+        #: ILDP only: number of processing elements (None = superscalar)
+        self.pe_count = pe_count
+        self.fifo_depth = fifo_depth
+        self.comm_latency = comm_latency
+        self.icache = icache if icache is not None else CacheConfig(
+            "icache", 32 * 1024, 128, 1, 1, "lru")
+        self.dcache = dcache if dcache is not None else CacheConfig(
+            "dcache", 32 * 1024, 64, 4, 2, "random")
+        self.l2 = l2 if l2 is not None else CacheConfig(
+            "l2", 1024 * 1024, 128, 4, 8, "random")
+        self.memory_latency = memory_latency
+        self.redirect_latency = redirect_latency
+        self.gshare_entries = gshare_entries
+        self.gshare_history = gshare_history
+        self.btb_entries = btb_entries
+        self.btb_assoc = btb_assoc
+        self.ras_depth = ras_depth
+        #: Fig. 6 compares machines with and without a return address stack.
+        self.use_conventional_ras = use_conventional_ras
+        self.int_latency = int_latency
+        self.mul_latency = mul_latency
+        self.pipeline_depth = pipeline_depth
+        #: Strand-start steering heuristic for the ILDP machine:
+        #: "dependence" (producer PE first, the ISCA 2002 policy),
+        #: "least_loaded" (shortest FIFO) or "modulo" (acc % PEs, no
+        #: renaming) — the ablation studied in bench_ablation_steering.
+        if steering not in ("dependence", "least_loaded", "modulo"):
+            raise ValueError(f"unknown steering policy {steering!r}")
+        self.steering = steering
+        #: Idealisation knobs for loss decomposition: oracle branch
+        #: prediction (no misprediction/misfetch penalties) and an
+        #: always-hitting L1 data cache.
+        self.perfect_prediction = perfect_prediction
+        self.perfect_dcache = perfect_dcache
+
+    def __repr__(self):
+        if self.pe_count is None:
+            return f"MachineConfig({self.name}, {self.width}-wide OoO)"
+        return (f"MachineConfig({self.name}, {self.pe_count} PEs, "
+                f"comm={self.comm_latency})")
+
+
+#: Table 1, left column: the out-of-order superscalar reference — 4-wide,
+#: 128-entry reorder buffer / issue window, 4 symmetric functional units,
+#: no communication latency, oldest-first issue.
+SUPERSCALAR = MachineConfig("superscalar-ooo")
+
+
+def small_dcache():
+    """Table 1's ILDP alternative D-cache: 8 KB, 2-way, 64-byte lines,
+    2-cycle latency, replicated across PEs."""
+    return CacheConfig("dcache", 8 * 1024, 64, 2, 2, "random")
+
+
+def ildp_config(pe_count=8, comm_latency=0, dcache_small=False):
+    """Table 1, right column: the ILDP machine with 4/6/8 PEs (FIFO heads),
+    0 or 2 cycle global communication latency, and optionally the quarter
+    size replicated L1 data cache."""
+    return MachineConfig(
+        f"ildp-{pe_count}pe-c{comm_latency}",
+        width=4,
+        rob_size=128,
+        n_functional_units=pe_count,
+        pe_count=pe_count,
+        comm_latency=comm_latency,
+        dcache=small_dcache() if dcache_small else None,
+    )

@@ -1,0 +1,69 @@
+"""The shared fetch/decode front end of both timing models.
+
+Models 4-wide fetch with I-cache line behaviour, fetch-group breaks on
+taken control transfers, and 3-cycle redirects for both misfetches (taken
+branch missing in the BTB) and mispredictions (Table 1).
+"""
+
+
+class FrontEnd:
+    """Tracks the cycle at which each instruction leaves fetch."""
+
+    def __init__(self, config, hierarchy, branch_unit):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.branch_unit = branch_unit
+        self.cycle = 0
+        self._group_used = 0
+        self._last_line = None
+        self.mispredictions = 0
+        self.misfetches = 0
+
+    def fetch(self, record):
+        """Advance the front end past ``record``; returns its fetch cycle."""
+        if self._group_used >= self.config.width:
+            self.cycle += 1
+            self._group_used = 0
+        line = record.address // self.config.icache.line
+        if line != self._last_line:
+            self._last_line = line
+            extra = self.hierarchy.ifetch(record.address)
+            if extra:
+                self.cycle += extra
+                self._group_used = 0
+        self._group_used += 1
+        return self.cycle
+
+    def resolve_control(self, record, complete_cycle):
+        """Apply this control transfer's effect on the fetch stream.
+
+        Returns True when the transfer mispredicted (the caller charges the
+        execution-side resolution; fetch resumes ``redirect_latency`` after
+        ``complete_cycle``).
+        """
+        mispredicted = self.branch_unit.process(record)
+        if self.config.perfect_prediction:
+            # oracle front end: predictors still train (for statistics),
+            # but no penalty is ever charged
+            if record.taken:
+                self.cycle += 1
+                self._group_used = 0
+            return False
+        if mispredicted:
+            self.mispredictions += 1
+            self.cycle = max(self.cycle,
+                             complete_cycle + self.config.redirect_latency)
+            self._group_used = 0
+            self._last_line = None
+            return True
+        if record.taken:
+            # correctly predicted taken transfer still ends the fetch group
+            self.cycle += 1
+            self._group_used = 0
+        return False
+
+    def note_misfetch(self):
+        """A taken branch that hit the predictor but missed the BTB."""
+        self.misfetches += 1
+        self.cycle += self.config.redirect_latency
+        self._group_used = 0

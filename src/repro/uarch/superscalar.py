@@ -1,0 +1,126 @@
+"""Trace-driven timing model of the reference out-of-order superscalar.
+
+Table 1, left column: 4-wide fetch/decode/retire, a 128-entry reorder
+buffer doubling as the issue window, four fully symmetric functional
+units, oldest-first issue, no communication latency.  The paper calls this
+model "rather idealistic" (Section 4.5) — it is intentionally generous,
+exactly like the SimpleScalar configuration it stands in for.
+"""
+
+import heapq
+
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.frontend import FrontEnd
+from repro.uarch.predictors import BranchUnit
+from repro.uarch.retire import RetireUnit
+
+
+class TimingResult:
+    """Cycles plus the derived IPC numbers for one trace run."""
+
+    def __init__(self, cycles, instructions, v_instructions, branch_stats,
+                 machine_name):
+        self.cycles = max(cycles, 1)
+        self.instructions = instructions
+        self.v_instructions = v_instructions
+        self.branch_stats = branch_stats
+        self.machine_name = machine_name
+
+    @property
+    def ipc(self):
+        """V-ISA instructions per cycle (the paper's headline metric)."""
+        return self.v_instructions / self.cycles
+
+    @property
+    def native_ipc(self):
+        """Machine instructions per cycle (Fig. 8's last bar)."""
+        return self.instructions / self.cycles
+
+    def __repr__(self):
+        return (f"TimingResult({self.machine_name}, {self.cycles} cycles, "
+                f"IPC={self.ipc:.3f})")
+
+
+class SuperscalarModel:
+    """One-pass trace-driven OoO timing model."""
+
+    def __init__(self, config):
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config)
+        self.frontend = FrontEnd(config, self.hierarchy, self.branch_unit)
+        self.retire_unit = RetireUnit(config.rob_size, config.width)
+        self._reg_ready = {}
+        self._fu_free = [0] * config.n_functional_units
+        heapq.heapify(self._fu_free)
+        #: 8-byte block -> completion cycle of the last store to it
+        #: (store-to-load dependences forward at the store's completion)
+        self._mem_ready = {}
+        self._instructions = 0
+        self._v_instructions = 0
+
+    def run(self, trace):
+        """Consume a trace; returns the :class:`TimingResult`."""
+        for record in trace:
+            self.step(record)
+        return self.result()
+
+    def step(self, record):
+        config = self.config
+        frontend = self.frontend
+        self._instructions += 1
+        self._v_instructions += record.v_weight
+        self.branch_unit.note_instruction(record.v_weight)
+
+        fetch = frontend.fetch(record)
+        dispatch = fetch + config.pipeline_depth
+        dispatch = self.retire_unit.admit(dispatch)
+
+        ready = dispatch
+        for src in record.srcs:
+            when = self._reg_ready.get(src)
+            if when is not None and when > ready:
+                ready = when
+        block = None
+        if record.mem_addr is not None:
+            block = record.mem_addr >> 3
+            if record.op_class == "load":
+                when = self._mem_ready.get(block)
+                if when is not None and when > ready:
+                    ready = when  # wait for the conflicting store
+
+        fu_free = heapq.heappop(self._fu_free)
+        start = max(ready, fu_free)
+        heapq.heappush(self._fu_free, start + 1)  # fully pipelined
+
+        latency = self._latency(record)
+        complete = start + latency
+        if record.dst is not None:
+            self._reg_ready[record.dst] = complete
+        if block is not None and record.op_class == "store":
+            self._mem_ready[block] = complete
+        self.retire_unit.retire(complete)
+
+        if record.is_control():
+            frontend.resolve_control(record, complete)
+
+    def _latency(self, record):
+        op_class = record.op_class
+        if op_class == "load":
+            if self.config.perfect_dcache:
+                return self.config.dcache.latency
+            return self.hierarchy.daccess(record.mem_addr
+                                          if record.mem_addr is not None
+                                          else record.address)
+        if op_class == "mul":
+            return self.config.mul_latency
+        if op_class == "store" and record.mem_addr is not None:
+            if not self.config.perfect_dcache:
+                self.hierarchy.daccess(record.mem_addr)
+            return self.config.int_latency
+        return self.config.int_latency
+
+    def result(self):
+        return TimingResult(self.retire_unit.last_retire,
+                            self._instructions, self._v_instructions,
+                            self.branch_unit.stats, self.config.name)

@@ -1,0 +1,182 @@
+"""Cycle-stepped simulation of the reference out-of-order superscalar.
+
+The companion to :mod:`repro.uarch.ildp_cycle`: instead of the one-pass
+ready-time computation of :class:`~repro.uarch.superscalar.SuperscalarModel`,
+this model advances a clock with explicit structures — a fetch stage, a
+dispatch stage binding operands to in-flight producers in program order
+(register renaming semantics), a unified issue window scanned oldest-first
+each cycle (Table 1: "oldest-first issue") bounded by the symmetric
+functional units, and an in-order reorder buffer.
+
+Used to validate the fast model; the experiment harness keeps using the
+fast one.
+"""
+
+from collections import deque
+
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.predictors import BranchUnit
+from repro.uarch.superscalar import TimingResult
+
+
+class _Entry:
+    """One in-flight instruction."""
+
+    __slots__ = ("record", "seq", "deps", "complete_cycle", "issued")
+
+    def __init__(self, record, seq):
+        self.record = record
+        self.seq = seq
+        self.deps = []
+        self.complete_cycle = None
+        self.issued = False
+
+
+class CycleSuperscalarModel:
+    """Cycle-stepped reference model of the out-of-order machine."""
+
+    def __init__(self, config):
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config)
+
+    def run(self, trace):
+        config = self.config
+        width = config.width
+
+        trace = list(trace)
+        instructions = len(trace)
+        v_instructions = sum(record.v_weight for record in trace)
+
+        fetch_index = 0
+        fetch_stall_until = 0
+        last_fetch_line = None
+        dispatch_queue = deque()
+        rob = deque()                      # in-flight, program order
+        reg_writer = {}
+        mem_writer = {}                    # 8-byte block -> producing entry
+        cycle = 0
+        seq = 0
+        blocking_branch = None
+
+        max_cycles = 300 * max(instructions, 1) + 10_000
+
+        while (fetch_index < len(trace) or dispatch_queue or rob) and \
+                cycle < max_cycles:
+            # ---- resolve a blocking mispredicted branch ----
+            if blocking_branch is not None and \
+                    blocking_branch.complete_cycle is not None and \
+                    blocking_branch.complete_cycle <= cycle:
+                fetch_stall_until = max(
+                    fetch_stall_until,
+                    blocking_branch.complete_cycle
+                    + config.redirect_latency)
+                blocking_branch = None
+
+            # ---- commit ----
+            committed = 0
+            while rob and committed < width:
+                head = rob[0]
+                if head.complete_cycle is None or \
+                        head.complete_cycle > cycle:
+                    break
+                rob.popleft()
+                committed += 1
+
+            # ---- issue: oldest-first over the window, FU-bounded ----
+            issued = 0
+            for entry in rob:
+                if issued >= config.n_functional_units:
+                    break
+                if entry.issued:
+                    continue
+                if self._ready(entry, cycle):
+                    entry.issued = True
+                    entry.complete_cycle = cycle + \
+                        self._latency(entry.record)
+                    issued += 1
+
+            # ---- dispatch into the window / ROB ----
+            dispatched = 0
+            while dispatch_queue and dispatched < width and \
+                    len(rob) < config.rob_size:
+                entry = dispatch_queue.popleft()
+                self._bind(entry, reg_writer, mem_writer)
+                rob.append(entry)
+                dispatched += 1
+
+            # ---- fetch ----
+            if blocking_branch is None and cycle >= fetch_stall_until:
+                fetched = 0
+                while fetch_index < len(trace) and fetched < width:
+                    record = trace[fetch_index]
+                    line = record.address // config.icache.line
+                    if line != last_fetch_line:
+                        last_fetch_line = line
+                        extra = self.hierarchy.ifetch(record.address)
+                        if extra:
+                            fetch_stall_until = cycle + extra
+                            break
+                    entry = _Entry(record, seq)
+                    seq += 1
+                    fetch_index += 1
+                    fetched += 1
+                    dispatch_queue.append(entry)
+                    self.branch_unit.note_instruction(record.v_weight)
+                    if record.btype is not None:
+                        mispredicted = self.branch_unit.process(record)
+                        if mispredicted and not \
+                                config.perfect_prediction:
+                            blocking_branch = entry
+                            break
+                        if record.taken:
+                            break
+
+            cycle += 1
+
+        return TimingResult(cycle, instructions, v_instructions,
+                            self.branch_unit.stats,
+                            f"{config.name}-cycle")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _bind(self, entry, reg_writer, mem_writer):
+        """Program-order operand binding (renaming semantics)."""
+        record = entry.record
+        for src in record.srcs:
+            producer = reg_writer.get(src)
+            if producer is not None:
+                entry.deps.append(producer)
+        if record.mem_addr is not None:
+            block = record.mem_addr >> 3
+            if record.op_class == "load":
+                producer = mem_writer.get(block)
+                if producer is not None:
+                    entry.deps.append(producer)
+            elif record.op_class == "store":
+                mem_writer[block] = entry
+        if record.dst is not None:
+            reg_writer[record.dst] = entry
+
+    def _ready(self, entry, cycle):
+        for producer in entry.deps:
+            when = producer.complete_cycle
+            if when is None or when > cycle:
+                return False
+        return True
+
+    def _latency(self, record):
+        op_class = record.op_class
+        if op_class == "load":
+            if self.config.perfect_dcache:
+                return self.config.dcache.latency
+            return self.hierarchy.daccess(
+                record.mem_addr if record.mem_addr is not None
+                else record.address)
+        if op_class == "mul":
+            return self.config.mul_latency
+        if op_class == "store" and record.mem_addr is not None:
+            if not self.config.perfect_dcache:
+                self.hierarchy.daccess(record.mem_addr)
+            return self.config.int_latency
+        return max(self.config.int_latency, 1)

@@ -1,0 +1,82 @@
+"""Building timing traces from plain interpretation.
+
+The paper's "original" configuration is the unmodified Alpha binary running
+on the superscalar simulator.  This module runs the interpreter over a
+program and converts each executed instruction into a
+:class:`~repro.vm.events.TraceRecord`, including the branch-type
+annotations the predictor models need (conventional RAS push/pop on
+BSR/JSR/RET).
+"""
+
+from repro.interp.interpreter import Halted, Interpreter
+from repro.isa.opcodes import Format, Kind
+from repro.vm.events import TraceRecord
+
+_MUL_MNEMONICS = frozenset({"mull", "mulq", "umulh"})
+
+
+def _branch_type(instr):
+    kind = instr.kind
+    if kind is Kind.COND_BRANCH:
+        return "cond"
+    if kind is Kind.UNCOND_BRANCH:
+        return "call" if instr.ra != 31 else "uncond"
+    if kind is Kind.JUMP:
+        if instr.mnemonic == "ret":
+            return "ret"
+        if instr.ra != 31:
+            return "call_ind"
+        return "indirect"
+    return None
+
+
+def _op_class(instr):
+    kind = instr.kind
+    if kind is Kind.LOAD:
+        return "load"
+    if kind is Kind.STORE:
+        return "store"
+    if kind in (Kind.COND_BRANCH, Kind.UNCOND_BRANCH, Kind.JUMP):
+        return "branch"
+    if instr.mnemonic in _MUL_MNEMONICS:
+        return "mul"
+    return "int"
+
+
+def _is_nop(instr):
+    if instr.fmt is Format.OPERATE and instr.rc == 31:
+        return True
+    return instr.kind is Kind.LDA and instr.ra == 31
+
+
+def record_for_event(event):
+    """Convert one interpreter :class:`ExecEvent` into a trace record."""
+    instr = event.instr
+    btype = _branch_type(instr)
+    return TraceRecord(
+        event.pc, 4, _op_class(instr),
+        srcs=instr.sources(),
+        dst=instr.dest(),
+        btype=btype,
+        taken=event.taken,
+        target=event.next_pc if event.taken else None,
+        mem_addr=event.mem_addr,
+        v_weight=0 if _is_nop(instr) else 1,
+    )
+
+
+def interpreter_trace(program, max_instructions=200_000):
+    """Run ``program`` under pure interpretation, collecting a trace.
+
+    Returns ``(trace, interpreter)``; the interpreter exposes final state
+    and console output for verification.
+    """
+    interpreter = Interpreter(program)
+    trace = []
+    try:
+        for _ in range(max_instructions):
+            event = interpreter.step()
+            trace.append(record_for_event(event))
+    except Halted:
+        pass
+    return trace, interpreter

@@ -1,0 +1,57 @@
+"""Two's complement bit manipulation helpers for 64-bit architected values.
+
+All architected register values in the simulator are stored as unsigned
+Python integers in the range [0, 2**64).  These helpers convert between the
+signed and unsigned views and perform the sign extensions the Alpha ISA
+defines (byte, word, longword sub-widths).
+"""
+
+MASK8 = (1 << 8) - 1
+MASK16 = (1 << 16) - 1
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+
+
+def to_unsigned(value, bits=64):
+    """Return ``value`` reduced to an unsigned ``bits``-wide integer."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value, bits=64):
+    """Interpret the low ``bits`` of ``value`` as a two's complement number."""
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+def sext(value, from_bits, to_bits=64):
+    """Sign-extend the low ``from_bits`` of ``value`` to ``to_bits`` wide."""
+    return to_unsigned(to_signed(value, from_bits), to_bits)
+
+
+def sext8(value):
+    """Sign-extend a byte to 64 bits (Alpha SEXTB semantics)."""
+    return sext(value, 8)
+
+
+def sext16(value):
+    """Sign-extend a word to 64 bits (Alpha SEXTW semantics)."""
+    return sext(value, 16)
+
+
+def sext32(value):
+    """Sign-extend a longword to 64 bits (Alpha *L operate semantics)."""
+    return sext(value, 32)
+
+
+def fits_signed(value, bits):
+    """True if ``value`` (a Python int) fits in a signed ``bits``-wide field."""
+    limit = 1 << (bits - 1)
+    return -limit <= value < limit
+
+
+def fits_unsigned(value, bits):
+    """True if ``value`` (a Python int) fits in an unsigned ``bits``-wide field."""
+    return 0 <= value < (1 << bits)

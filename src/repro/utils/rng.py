@@ -1,0 +1,38 @@
+"""Deterministic xorshift RNG used by workload generators.
+
+The simulator must be bit-for-bit reproducible across runs and platforms, so
+workload data generation never touches ``random`` or NumPy's global state.
+"""
+
+from repro.utils.bitops import MASK64
+
+
+class Xorshift64:
+    """64-bit xorshift* generator with a tiny, explicit state."""
+
+    def __init__(self, seed=0x9E3779B97F4A7C15):
+        if seed == 0:
+            raise ValueError("Xorshift64 seed must be non-zero")
+        self._state = seed & MASK64
+
+    def next_u64(self):
+        """Return the next 64-bit unsigned value."""
+        x = self._state
+        x ^= (x << 13) & MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & MASK64
+
+    def next_range(self, bound):
+        """Return a value uniform-ish in ``[0, bound)``; bound must be positive."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def next_bytes(self, count):
+        """Return ``count`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < count:
+            out += self.next_u64().to_bytes(8, "little")
+        return bytes(out[:count])

@@ -1,0 +1,77 @@
+"""Configuration for the co-designed VM."""
+
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.chaining import ChainingPolicy
+
+#: Paper Section 4.1: maximum superblock size 200, hot threshold 50.
+DEFAULT_MAX_SUPERBLOCK = 200
+DEFAULT_THRESHOLD = 50
+
+
+class VMConfig:
+    """All the knobs of the DBT system and its functional machine.
+
+    Defaults follow the paper's baseline: modified I-ISA, software
+    prediction with the dual-address RAS, four logical accumulators, hot
+    threshold 50, superblocks of up to 200 instructions.
+    """
+
+    def __init__(self, fmt=IFormat.MODIFIED,
+                 policy=ChainingPolicy.SW_PRED_RAS,
+                 n_accumulators=4,
+                 threshold=DEFAULT_THRESHOLD,
+                 max_superblock=DEFAULT_MAX_SUPERBLOCK,
+                 fuse_memory=False,
+                 ras_depth=16,
+                 strict_modified=True,
+                 collect_trace=False,
+                 stop_at_existing_fragment=True,
+                 flush_on_phase_change=False,
+                 flush_window=5_000,
+                 flush_rate_factor=4.0):
+        if n_accumulators < 1:
+            raise ValueError("need at least one accumulator")
+        if threshold < 1:
+            raise ValueError("hot threshold must be positive")
+        if max_superblock < 1:
+            raise ValueError("superblock size must be positive")
+        self.fmt = fmt
+        self.policy = policy
+        self.n_accumulators = n_accumulators
+        self.threshold = threshold
+        self.max_superblock = max_superblock
+        self.fuse_memory = fuse_memory
+        self.ras_depth = ras_depth
+        #: Assert that the modified format never reads a register whose
+        #: operational copy is stale (validates the usage analysis).
+        self.strict_modified = strict_modified
+        self.collect_trace = collect_trace
+        #: End superblock capture when the path reaches translated code.
+        self.stop_at_existing_fragment = stop_at_existing_fragment
+        #: Dynamo-style phase-change flushing (paper Section 4.1): when the
+        #: fragment-creation rate over the last ``flush_window`` V-ISA
+        #: instructions jumps by more than ``flush_rate_factor`` over the
+        #: previous window's rate, the translation cache is flushed so new
+        #: (better) fragments can form.
+        self.flush_on_phase_change = flush_on_phase_change
+        self.flush_window = flush_window
+        self.flush_rate_factor = flush_rate_factor
+
+    def copy(self, **overrides):
+        """A copy of this config with keyword overrides applied."""
+        fields = dict(
+            fmt=self.fmt, policy=self.policy,
+            n_accumulators=self.n_accumulators, threshold=self.threshold,
+            max_superblock=self.max_superblock, fuse_memory=self.fuse_memory,
+            ras_depth=self.ras_depth, strict_modified=self.strict_modified,
+            collect_trace=self.collect_trace,
+            stop_at_existing_fragment=self.stop_at_existing_fragment,
+            flush_on_phase_change=self.flush_on_phase_change,
+            flush_window=self.flush_window,
+            flush_rate_factor=self.flush_rate_factor)
+        fields.update(overrides)
+        return VMConfig(**fields)
+
+    def __repr__(self):
+        return (f"VMConfig({self.fmt.value}, {self.policy.value}, "
+                f"accs={self.n_accumulators}, thr={self.threshold})")

@@ -1,0 +1,62 @@
+"""Committed-instruction trace records.
+
+The functional executor (and, for the "original" configuration, the
+interpreter) emits one record per committed instruction.  The trace-driven
+timing models in :mod:`repro.uarch` consume these records; nothing in the
+functional path depends on them.
+
+Dependence is expressed with GPR indices (0..31, 31 reads as zero and is
+never a destination) plus the accumulator/strand number for steering in the
+ILDP machine.
+"""
+
+
+class TraceRecord:
+    """One committed instruction."""
+
+    __slots__ = (
+        "address",      # fetch address (tcache for I-code, V-PC for Alpha)
+        "size",         # encoded bytes (I-cache modelling)
+        "op_class",     # "int" | "mul" | "load" | "store" | "branch" | "nop"
+        "srcs",         # tuple of GPR indices read
+        "dst",          # GPR written, or None
+        "acc",          # accumulator/strand id, or None
+        "acc_read",     # True when the accumulator's old value is a source
+        "acc_write",    # True when the instruction writes its accumulator
+        "strand_start",  # True for the first instruction of a strand
+        "btype",        # None|"cond"|"uncond"|"call"|"ret"|"indirect"
+        "taken",        # branch outcome
+        "target",       # actual next fetch address when taken
+        "ras_hit",      # dual-address RAS outcome for RET_RAS, else None
+        "mem_addr",     # effective address for loads/stores, else None
+        "v_weight",     # V-ISA instructions this record accounts for (0/1)
+        "is_dispatch",  # True for shared-dispatch-code instructions
+    )
+
+    def __init__(self, address, size, op_class, srcs=(), dst=None, acc=None,
+                 acc_read=False, acc_write=False, strand_start=False,
+                 btype=None, taken=False, target=None, ras_hit=None,
+                 mem_addr=None, v_weight=0, is_dispatch=False):
+        self.address = address
+        self.size = size
+        self.op_class = op_class
+        self.srcs = srcs
+        self.dst = dst
+        self.acc = acc
+        self.acc_read = acc_read
+        self.acc_write = acc_write
+        self.strand_start = strand_start
+        self.btype = btype
+        self.taken = taken
+        self.target = target
+        self.ras_hit = ras_hit
+        self.mem_addr = mem_addr
+        self.v_weight = v_weight
+        self.is_dispatch = is_dispatch
+
+    def is_control(self):
+        return self.btype is not None
+
+    def __repr__(self):
+        return (f"TraceRecord({self.address:#x}, {self.op_class}, "
+                f"btype={self.btype}, v={self.v_weight})")

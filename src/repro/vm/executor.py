@@ -1,0 +1,412 @@
+"""Functional execution of translated fragments.
+
+The executor models the co-designed hardware's architectural behaviour:
+accumulators, the GPR file (with the modified format's operational/
+architected distinction checked in strict mode), the dual-address return
+address stack, fragment-to-fragment chaining, the shared dispatch code, and
+precise traps.
+
+Control only ever enters a fragment at its entry address — chaining
+branches, RAS predictions and dispatch all resolve to fragment entries —
+so execution walks fragment bodies by index and follows entry addresses
+across fragments without leaving the executor.  It returns to the VM only
+when translated code runs out (``call-translator`` or a dispatch miss),
+the program halts, or a trap must be delivered.
+"""
+
+import enum
+
+from repro.ildp_isa.opcodes import IFormat, IOp
+from repro.ildp_isa.semantics import IALU_OPS, icond_taken
+from repro.isa.semantics import CMOV_CONDITIONS, Trap, TrapKind
+from repro.utils.bitops import MASK64, sext
+from repro.vm.events import TraceRecord
+
+#: Dynamic instruction-count weight per special op in the ALPHA format
+#: (embedding a 64-bit address costs an ldah+lda pair on a conventional
+#: ISA; the I-ISA has single wide encodings for these).
+_ALPHA_WEIGHTS = {
+    IOp.LOAD_EMB: 2,
+    IOp.SAVE_VRA: 2,
+    IOp.CALL_TRANSLATOR: 2,
+    IOp.COND_CALL_TRANSLATOR: 2,
+}
+
+_MUL_OPS = frozenset({"mull", "mulq", "umulh"})
+
+
+class ExitReason(enum.Enum):
+    HALT = "halt"
+    UNTRANSLATED = "untranslated"   # call-translator or dispatch miss
+    TRAP = "trap"
+    BUDGET = "budget"               # instruction budget exhausted
+
+
+class ExecResult:
+    """How a stint of translated-code execution ended."""
+
+    __slots__ = ("reason", "vpc", "fragment", "body_index", "trap")
+
+    def __init__(self, reason, vpc=None, fragment=None, body_index=None,
+                 trap=None):
+        self.reason = reason
+        self.vpc = vpc                  # V-PC where the VM resumes
+        self.fragment = fragment        # fragment active at exit (traps)
+        self.body_index = body_index
+        self.trap = trap
+
+    def __repr__(self):
+        return f"ExecResult({self.reason.value}, vpc={self.vpc})"
+
+
+class StalenessError(AssertionError):
+    """Strict modified-format check: an operationally-stale GPR was read."""
+
+
+class FragmentExecutor:
+    """Executes fragments against shared architected state."""
+
+    def __init__(self, config, tcache, memory, console, stats, trace=None):
+        self.config = config
+        self.tcache = tcache
+        self.memory = memory
+        self.console = console
+        self.stats = stats
+        self.trace = trace
+        self.accs = [0] * max(config.n_accumulators, 1)
+        self.ras = []
+        #: modified-format staleness tracking (strict mode)
+        self._stale = set()
+
+    # -- register plumbing ---------------------------------------------------
+
+    def _read_gpr(self, regs, index, fmt):
+        if (fmt is IFormat.MODIFIED and self.config.strict_modified
+                and index in self._stale):
+            raise StalenessError(
+                f"r{index} read while operationally stale (usage analysis "
+                "marked it non-operational)")
+        return regs[index]
+
+    def _write_gpr(self, regs, index, value, operational=True):
+        if index == 31:
+            return
+        regs[index] = value & MASK64
+        if operational:
+            self._stale.discard(index)
+        else:
+            self._stale.add(index)
+
+    def _operand(self, instr, source, regs, fmt):
+        if source == "acc":
+            return self.accs[instr.acc]
+        if source == "gpr":
+            return self._read_gpr(regs, instr.gpr, fmt)
+        if source == "gpr2":
+            return self._read_gpr(regs, instr.gpr2, fmt)
+        if source == "imm":
+            return instr.imm
+        return 0  # "zero" and None
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, fragment, state, max_instructions=None):
+        """Execute from ``fragment`` until the VM must take over.
+
+        ``state`` is the shared :class:`~repro.interp.state.ArchState`; its
+        register list is the GPR file (operational + architected in one,
+        with staleness assertions for the modified format).
+        """
+        regs = state.regs
+        self._stale.clear()
+        frag = fragment
+        frag.execution_count += 1
+        index = 0
+        executed_v = 0
+        stats = self.stats
+
+        while True:
+            instr = frag.body[index]
+            fmt = frag.fmt
+            executed_v += instr.v_weight
+            stats.count_iinstr(instr, fmt,
+                               _ALPHA_WEIGHTS.get(instr.iop, 1)
+                               if fmt is IFormat.ALPHA else 1)
+            iop = instr.iop
+
+            try:
+                outcome = self._execute(instr, iop, frag, index, regs, fmt,
+                                        state)
+            except Trap as trap:
+                trap.vpc = instr.vpc
+                return ExecResult(ExitReason.TRAP, vpc=instr.vpc,
+                                  fragment=frag, body_index=index,
+                                  trap=trap)
+            if outcome is None:
+                index += 1
+                continue
+            kind, value = outcome
+            if kind == "goto":
+                frag, index = value
+                # A fragment transition is a synchronisation point: the
+                # redirect gives the machine time to make the architected
+                # file visible, so staleness tracking restarts here.  The
+                # strict check therefore only catches *intra-fragment*
+                # reads of non-operational values, which would be genuine
+                # usage-analysis bugs.
+                self._stale.clear()
+                # Budget checks happen only at fragment boundaries, where
+                # the architected state is complete (all live-outs copied).
+                if max_instructions is not None and executed_v >= \
+                        max_instructions:
+                    state.pc = frag.entry_vpc
+                    return ExecResult(ExitReason.BUDGET,
+                                      vpc=frag.entry_vpc, fragment=frag)
+                frag.execution_count += 1
+            elif kind == "exit":
+                state.pc = value.vpc if value.vpc is not None else state.pc
+                return value
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+
+    # -- single-instruction semantics -------------------------------------------
+
+    def _execute(self, instr, iop, frag, index, regs, fmt, state):
+        if iop is IOp.ALU:
+            self._do_alu(instr, regs, fmt)
+        elif iop is IOp.LOAD:
+            self._do_load(instr, regs, fmt)
+        elif iop is IOp.STORE:
+            self._do_store(instr, regs, fmt)
+        elif iop is IOp.COPY_TO_GPR:
+            self._trace_simple(instr, "int", dst=instr.gpr, acc=instr.acc,
+                               acc_read=True)
+            self._write_gpr(regs, instr.gpr, self.accs[instr.acc])
+        elif iop is IOp.COPY_FROM_GPR:
+            self._trace_simple(instr, "int", srcs=(instr.gpr,),
+                               acc=instr.acc)
+            self.accs[instr.acc] = self._read_gpr(regs, instr.gpr, fmt)
+        elif iop is IOp.BRANCH:
+            return self._do_branch(instr, regs, fmt)
+        elif iop is IOp.BR:
+            self._trace_control(instr, "uncond", True, instr.target)
+            return self._transfer(instr.target)
+        elif iop is IOp.SET_VPC_BASE:
+            self._trace_simple(instr, "int")
+        elif iop is IOp.SAVE_VRA:
+            self._trace_simple(instr, "int", dst=instr.gpr)
+            self._write_gpr(regs, instr.gpr, instr.vtarget)
+        elif iop is IOp.PUSH_RAS:
+            self._trace_simple(instr, "int")
+            self._push_ras(instr)
+        elif iop is IOp.RET_RAS:
+            return self._do_ret_ras(instr, regs, fmt)
+        elif iop is IOp.LOAD_EMB:
+            self._trace_simple(instr, "int", acc=instr.acc)
+            self.accs[instr.acc] = instr.vtarget
+        elif iop is IOp.CALL_TRANSLATOR:
+            self._trace_control(instr, "uncond", True, None)
+            return ("exit", ExecResult(ExitReason.UNTRANSLATED,
+                                       vpc=instr.vtarget))
+        elif iop is IOp.COND_CALL_TRANSLATOR:
+            value = self._operand(instr, instr.cond_src, regs, fmt)
+            taken = icond_taken(instr.op, value)
+            self._trace_control(instr, "cond", taken, None,
+                                srcs=self._cond_srcs(instr),
+                                acc=instr.acc if instr.cond_src == "acc"
+                                else None)
+            if taken:
+                return ("exit", ExecResult(ExitReason.UNTRANSLATED,
+                                           vpc=instr.vtarget))
+        elif iop is IOp.TO_DISPATCH:
+            return self._do_dispatch(instr, regs, fmt)
+        elif iop is IOp.HALT:
+            self._trace_simple(instr, "int")
+            return ("exit", ExecResult(ExitReason.HALT, vpc=instr.vpc))
+        elif iop is IOp.PUTC:
+            self._trace_simple(instr, "int", srcs=(16,))
+            self.console.append(self._read_gpr(regs, 16, fmt) & 0xFF)
+        elif iop is IOp.GENTRAP:
+            raise Trap(TrapKind.GENTRAP, vpc=instr.vpc)
+        else:  # pragma: no cover
+            raise AssertionError(f"cannot execute {iop}")
+        return None
+
+    # -- computation ------------------------------------------------------------
+
+    def _do_alu(self, instr, regs, fmt):
+        op = instr.op
+        a = self._operand(instr, instr.src_a, regs, fmt)
+        b = self._operand(instr, instr.src_b, regs, fmt)
+        if fmt is IFormat.ALPHA and op in CMOV_CONDITIONS:
+            old = regs[instr.dest_gpr] if instr.dest_gpr is not None else 0
+            result = b if CMOV_CONDITIONS[op](a) else old
+            srcs = self._alu_srcs(instr) + ((instr.dest_gpr,)
+                                            if instr.dest_gpr is not None
+                                            else ())
+        else:
+            result = IALU_OPS[op](a, b)
+            srcs = self._alu_srcs(instr)
+        self._trace_simple(instr, "mul" if op in _MUL_OPS else "int",
+                           srcs=srcs, dst=instr.gpr_dest(fmt),
+                           acc=instr.acc, acc_read=instr.src_a == "acc"
+                           or instr.src_b == "acc")
+        self._commit_result(instr, result, regs, fmt)
+
+    def _commit_result(self, instr, result, regs, fmt):
+        if instr.acc is not None:
+            self.accs[instr.acc] = result
+        if fmt is IFormat.ALPHA:
+            if instr.dest_gpr is not None:
+                self._write_gpr(regs, instr.dest_gpr, result)
+        elif fmt is IFormat.MODIFIED:
+            if instr.dest_gpr is not None:
+                self._write_gpr(regs, instr.dest_gpr, result,
+                                operational=instr.operational)
+        # basic format: architected state is maintained by copy-to-GPR
+
+    def _do_load(self, instr, regs, fmt):
+        base = self._operand(instr, instr.addr_src, regs, fmt)
+        address = (base + instr.imm) & MASK64
+        raw = self.memory.load(address, instr.mem_size, vpc=instr.vpc)
+        value = sext(raw, 8 * instr.mem_size) if instr.mem_signed else raw
+        self._trace_simple(instr, "load", srcs=self._addr_srcs(instr),
+                           dst=instr.gpr_dest(fmt), acc=instr.acc,
+                           acc_read=instr.addr_src == "acc",
+                           mem_addr=address)
+        self._commit_result(instr, value, regs, fmt)
+
+    def _do_store(self, instr, regs, fmt):
+        base = self._operand(instr, instr.addr_src, regs, fmt)
+        address = (base + instr.imm) & MASK64
+        data = self._operand(instr, instr.data_src, regs, fmt)
+        self._trace_simple(instr, "store", srcs=self._store_srcs(instr),
+                           acc=instr.acc,
+                           acc_read=instr.addr_src == "acc"
+                           or instr.data_src == "acc", mem_addr=address)
+        self.memory.store(address, data & MASK64, instr.mem_size,
+                          vpc=instr.vpc)
+
+    # -- control -------------------------------------------------------------------
+
+    def _transfer(self, address):
+        frag = self.tcache.fragment_at(address)
+        if frag is None:  # pragma: no cover - layout guarantees entries
+            raise AssertionError(
+                f"control transfer to non-entry address {address:#x}")
+        return ("goto", (frag, 0))
+
+    def _do_branch(self, instr, regs, fmt):
+        value = self._operand(instr, instr.cond_src, regs, fmt)
+        taken = icond_taken(instr.op, value)
+        self._trace_control(instr, "cond", taken,
+                            instr.target if taken else None,
+                            srcs=self._cond_srcs(instr),
+                            acc=instr.acc if instr.cond_src == "acc"
+                            else None)
+        if taken:
+            return self._transfer(instr.target)
+        return None
+
+    def _push_ras(self, instr):
+        self.ras.append((instr.vtarget,
+                         instr.target if instr.target is not None
+                         else self.tcache.dispatch_address))
+        if len(self.ras) > self.config.ras_depth:
+            self.ras.pop(0)
+
+    def _do_ret_ras(self, instr, regs, fmt):
+        actual = self._read_gpr(regs, instr.gpr, fmt) & ~3 & MASK64
+        hit = False
+        target = None
+        if self.ras:
+            v_pred, i_pred = self.ras.pop()
+            frag = self.tcache.fragment_at(i_pred)
+            if v_pred == actual and frag is not None and \
+                    frag.entry_vpc == actual:
+                hit = True
+                target = i_pred
+        self.stats.count_ras(hit)
+        self._trace_control(instr, "ret", hit, target,
+                            srcs=(instr.gpr,), ras_hit=hit)
+        if hit:
+            return self._transfer(target)
+        return None  # fall through to the TO_DISPATCH that follows
+
+    def _do_dispatch(self, instr, regs, fmt):
+        vtarget = self._read_gpr(regs, instr.gpr, fmt) & ~3 & MASK64
+        self._trace_control(instr, "uncond", True,
+                            self.tcache.dispatch_address,
+                            srcs=(instr.gpr,))
+        frag = self.tcache.lookup(vtarget)
+        self.stats.count_dispatch()
+        self._emit_dispatch_trace(frag)
+        if frag is None:
+            return ("exit", ExecResult(ExitReason.UNTRANSLATED,
+                                       vpc=vtarget))
+        return ("goto", (frag, 0))
+
+    def _emit_dispatch_trace(self, target_fragment):
+        body = self.tcache.dispatch_body
+        self.stats.count_dispatch_instructions(len(body))
+        if self.trace is None:
+            return
+        final_target = (target_fragment.entry_address()
+                        if target_fragment is not None else None)
+        for instr in body:
+            if instr.iop is IOp.JMP_DISPATCH:
+                self.trace.append(TraceRecord(
+                    instr.address, instr.size, "branch", acc=instr.acc,
+                    acc_read=True, btype="indirect", taken=True,
+                    target=final_target, is_dispatch=True))
+            else:
+                op_class = "load" if instr.iop is IOp.LOAD else "int"
+                self.trace.append(TraceRecord(
+                    instr.address, instr.size, op_class, acc=instr.acc,
+                    acc_read=True, acc_write=True, is_dispatch=True))
+
+    # -- trace helpers -----------------------------------------------------------
+
+    def _alu_srcs(self, instr):
+        srcs = []
+        for source in (instr.src_a, instr.src_b):
+            if source == "gpr":
+                srcs.append(instr.gpr)
+            elif source == "gpr2":
+                srcs.append(instr.gpr2)
+        return tuple(srcs)
+
+    def _addr_srcs(self, instr):
+        return (instr.gpr,) if instr.addr_src == "gpr" else ()
+
+    def _store_srcs(self, instr):
+        srcs = []
+        if instr.addr_src == "gpr":
+            srcs.append(instr.gpr)
+        if instr.data_src == "gpr":
+            srcs.append(instr.gpr)
+        elif instr.data_src == "gpr2":
+            srcs.append(instr.gpr2)
+        return tuple(srcs)
+
+    def _cond_srcs(self, instr):
+        return (instr.gpr,) if instr.cond_src == "gpr" else ()
+
+    def _trace_simple(self, instr, op_class, srcs=(), dst=None, acc=None,
+                      acc_read=False, mem_addr=None):
+        if self.trace is None:
+            return
+        self.trace.append(TraceRecord(
+            instr.address, instr.size, op_class, srcs=srcs, dst=dst,
+            acc=acc if acc is not None else instr.acc, acc_read=acc_read,
+            acc_write=instr.writes_acc(), strand_start=instr.strand_start,
+            mem_addr=mem_addr, v_weight=instr.v_weight))
+
+    def _trace_control(self, instr, btype, taken, target, srcs=(),
+                       acc=None, ras_hit=None):
+        if self.trace is None:
+            return
+        self.trace.append(TraceRecord(
+            instr.address, instr.size, "branch", srcs=srcs, acc=acc,
+            btype=btype, taken=taken, target=target, ras_hit=ras_hit,
+            v_weight=instr.v_weight))

@@ -1,0 +1,206 @@
+"""The top-level co-designed VM (Fig. 1).
+
+``CoDesignedVM.run()`` switches between three modes exactly as the paper's
+simulation methodology describes (Section 4.1):
+
+* **interpret** V-ISA instructions, maintaining MRET hotness counters;
+* when a trace-start candidate becomes hot, **capture** the interpreted
+  path as a superblock and **translate** it into the translation cache;
+* when control reaches a translated fragment's entry, **execute** the
+  translated code directly, returning to interpretation when a
+  ``call-translator`` exit or dispatch miss leads outside translated code.
+"""
+
+from repro.interp.interpreter import Halted, Interpreter
+from repro.interp.profiler import CandidateKind, HotnessProfiler
+from repro.isa.opcodes import Kind
+from repro.isa.semantics import Trap
+from repro.tcache.cache import TranslationCache
+from repro.translator.cost import TranslationCostModel
+from repro.translator.pipeline import Translator
+from repro.translator.superblock import EndReason, Superblock, SuperblockEntry
+from repro.vm.config import VMConfig
+from repro.vm.executor import ExitReason, FragmentExecutor
+from repro.vm.stats import VMStats
+from repro.vm.traps import VMTrap, reconstruct_state
+
+
+class CoDesignedVM:
+    """A complete DBT virtual machine for one loaded program."""
+
+    def __init__(self, program, config=None):
+        self.program = program
+        self.config = config if config is not None else VMConfig()
+        self.interpreter = Interpreter(program)
+        self.state = self.interpreter.state
+        self.profiler = HotnessProfiler(self.config.threshold)
+        self.tcache = TranslationCache()
+        self.cost_model = TranslationCostModel()
+        self.translator = Translator(
+            self.tcache, fmt=self.config.fmt, policy=self.config.policy,
+            n_accumulators=self.config.n_accumulators,
+            fuse_memory=self.config.fuse_memory,
+            cost_model=self.cost_model)
+        self.stats = VMStats()
+        self.trace = [] if self.config.collect_trace else None
+        self.executor = FragmentExecutor(
+            self.config, self.tcache, program.memory,
+            self.interpreter.console, self.stats, trace=self.trace)
+        self.halted = False
+        self._flush_window_start = 0
+        self._flush_window_fragments = 0
+        self._previous_flush_rate = None
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, max_v_instructions=1_000_000):
+        """Run until halt, trap, or the V-ISA instruction budget is spent.
+
+        Returns the :class:`VMStats`.  Precise traps surface as
+        :class:`VMTrap` with the reconstructed architected state attached.
+        """
+        stats = self.stats
+        state = self.state
+        while not self.halted:
+            remaining = max_v_instructions - stats.total_v_instructions()
+            if remaining <= 0:
+                break
+            fragment = self.tcache.lookup(state.pc)
+            if fragment is not None:
+                self._execute_translated(fragment, remaining)
+                continue
+            if self.profiler.record_execution(state.pc):
+                self._capture_and_translate(state.pc)
+                continue
+            self._interpret_one()
+        return stats
+
+    def console_text(self):
+        return self.interpreter.console_text()
+
+    # -- translated-code execution ------------------------------------------------
+
+    def _execute_translated(self, fragment, budget):
+        result = self.executor.run(fragment, self.state,
+                                   max_instructions=budget)
+        if result.reason is ExitReason.HALT:
+            self.halted = True
+        elif result.reason is ExitReason.UNTRANSLATED:
+            self.profiler.note_candidate(result.vpc,
+                                         CandidateKind.FRAGMENT_EXIT)
+        elif result.reason is ExitReason.TRAP:
+            precise = reconstruct_state(result.fragment, result.body_index,
+                                        self.state.regs,
+                                        self.executor.accs)
+            self.stats.traps_delivered += 1
+            raise VMTrap(result.trap, precise)
+        elif result.reason is ExitReason.BUDGET:
+            # state.pc points at a fragment entry with complete state; the
+            # outer loop's budget check terminates the run
+            pass
+
+    # -- interpretation -------------------------------------------------------------
+
+    def _interpret_one(self):
+        try:
+            event = self.interpreter.step()
+        except Halted:
+            self.halted = True
+            return
+        except Trap as trap:
+            self.stats.traps_delivered += 1
+            raise VMTrap(trap, self.state.copy()) from trap
+        self.stats.interpreted_instructions += 1
+        self._profile(event)
+
+    def _profile(self, event):
+        instr = event.instr
+        if instr.kind is Kind.JUMP:
+            self.profiler.note_candidate(event.next_pc,
+                                         CandidateKind.INDIRECT_TARGET)
+        elif instr.kind is Kind.COND_BRANCH and event.taken and \
+                event.next_pc <= event.pc:
+            self.profiler.note_candidate(
+                event.next_pc, CandidateKind.BACKWARD_BRANCH_TARGET)
+
+    # -- superblock capture -----------------------------------------------------------
+
+    def _capture_and_translate(self, start_vpc):
+        entries = []
+        visited = set()
+        end_reason = None
+        continuation = None
+        max_size = self.config.max_superblock
+
+        while True:
+            vpc = self.state.pc
+            try:
+                event = self.interpreter.step()
+            except Halted:
+                # include the halt instruction itself and end the block
+                instr = self.interpreter.fetch(vpc)
+                entries.append(SuperblockEntry(vpc, instr, False, vpc + 4))
+                end_reason = EndReason.TRAP_INSTRUCTION
+                self.halted = True
+                break
+            except Trap as trap:
+                self.stats.traps_delivered += 1
+                raise VMTrap(trap, self.state.copy()) from trap
+            self.stats.interpreted_instructions += 1
+            entries.append(SuperblockEntry(event.pc, event.instr,
+                                           event.taken, event.next_pc))
+            visited.add(event.pc)
+            kind = event.instr.kind
+
+            if kind is Kind.JUMP:
+                end_reason = EndReason.INDIRECT_JUMP
+                break
+            if kind is Kind.PAL:
+                end_reason = EndReason.TRAP_INSTRUCTION
+                continuation = event.next_pc
+                break
+            if kind is Kind.COND_BRANCH and event.taken and \
+                    event.next_pc <= event.pc:
+                end_reason = EndReason.BACKWARD_TAKEN_BRANCH
+                continuation = event.pc + 4
+                break
+            if len(entries) >= max_size:
+                end_reason = EndReason.MAX_SIZE
+                continuation = event.next_pc
+                break
+            if event.next_pc in visited:
+                end_reason = EndReason.CYCLE
+                continuation = event.next_pc
+                break
+            if self.config.stop_at_existing_fragment and \
+                    self.tcache.lookup(event.next_pc) is not None:
+                end_reason = EndReason.EXISTING_FRAGMENT
+                continuation = event.next_pc
+                break
+
+        superblock = Superblock(start_vpc, entries, end_reason, continuation)
+        result = self.translator.translate(superblock)
+        self.stats.note_translation(result)
+        self.profiler.reset(start_vpc)
+        if self.config.flush_on_phase_change:
+            self._maybe_flush()
+
+    def _maybe_flush(self):
+        """Dynamo-style phase-change detection (paper Section 4.1): an
+        abrupt increase of the fragment generation rate flushes the cache,
+        evicting stale fragments and allowing new formation."""
+        config = self.config
+        self._flush_window_fragments += 1
+        now = self.stats.total_v_instructions()
+        elapsed = now - self._flush_window_start
+        if elapsed < config.flush_window:
+            return
+        rate = self._flush_window_fragments / max(elapsed, 1)
+        previous = self._previous_flush_rate
+        if previous is not None and previous > 0 and \
+                rate > config.flush_rate_factor * previous:
+            self.tcache.flush()
+            self.stats.tcache_flushes += 1
+        self._previous_flush_rate = rate
+        self._flush_window_start = now
+        self._flush_window_fragments = 0

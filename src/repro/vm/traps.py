@@ -1,0 +1,54 @@
+"""Precise trap recovery (paper Section 2.2).
+
+When translated code traps, the VM must present exactly the architected
+state the V-ISA semantics define at the trapping instruction:
+
+1. the V-PC comes from the fragment's PEI table (indexed by the trapping
+   instruction's position, with the fragment's embedded base V-PC);
+2. register state is materialised from the GPR file plus — for the basic
+   format — the accumulators named in the PEI's recovery map.
+
+The modified format's embedded destination registers make step 2 trivial
+(the architected file is always current), which is the paper's motivation
+for the modified ISA.
+"""
+
+from repro.ildp_isa.opcodes import IFormat
+from repro.interp.state import ArchState
+from repro.utils.bitops import MASK64
+
+
+class VMTrap(Exception):
+    """A precise V-ISA trap delivered by the co-designed VM."""
+
+    def __init__(self, trap, state):
+        super().__init__(f"{trap.kind.value} at V:{state.pc:#x}")
+        self.trap = trap          # the underlying isa.semantics.Trap
+        self.state = state        # precise ArchState at the trap
+
+
+def reconstruct_state(fragment, body_index, regs, accs):
+    """Materialise the precise architected state for a trap.
+
+    ``body_index`` is the position of the trapping instruction inside the
+    fragment; ``regs`` the GPR file; ``accs`` the accumulators.
+    """
+    entry = _find_pei(fragment, body_index)
+    _index, vpc, recovery = entry
+    state = ArchState(vpc)
+    state.regs = list(regs)
+    if fragment.fmt is IFormat.BASIC and recovery is not None:
+        for reg, location in recovery.items():
+            if location[0] == "acc":
+                state.regs[reg] = accs[location[1]] & MASK64
+    state.regs[31] = 0
+    return state
+
+
+def _find_pei(fragment, body_index):
+    for entry in fragment.pei_table:
+        if entry[0] == body_index:
+            return entry
+    raise LookupError(
+        f"no PEI table entry at body index {body_index} of fragment "
+        f"f{fragment.fid} (V:{fragment.entry_vpc:#x})")

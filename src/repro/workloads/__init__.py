@@ -1,0 +1,37 @@
+"""The synthetic SPEC CPU2000 INT workload suite.
+
+The paper evaluates on the twelve SPEC INT benchmarks compiled for Alpha
+EV6.  Real SPEC binaries cannot be run here, so each benchmark is replaced
+by a synthetic Alpha-subset program matched to the original's control-flow
+character — the property that actually drives DBT behaviour (superblock
+shapes, chaining traffic, strand statistics):
+
+================  ==========================================================
+``gzip``/``bzip2``  tight byte-stream loops (CRC/RLE, histogram + sort pass)
+``crafty``          64-bit bitboard manipulation (popcount, shifts, mixing)
+``eon``             virtual-call style indirect calls through a table
+``gap``             bytecode interpreter with jump-table dispatch
+``gcc``             branchy decision cascades over a token stream
+``mcf``             pointer chasing over linked structures
+``parser``          recursive descent (deep BSR/RET recursion)
+``perlbmk``         opcode dispatch, highest indirect-jump rate
+``twolf``           nested loops with conditional swaps (cmov)
+``vortex``          deep call chains with record copies
+``vpr``             array sweeps with multiply/accumulate and cmov
+================  ==========================================================
+"""
+
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    get_workload,
+    all_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadError",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "all_workloads",
+]

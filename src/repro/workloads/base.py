@@ -1,0 +1,34 @@
+"""Workload descriptors."""
+
+from repro.asm import assemble
+
+
+class WorkloadError(ValueError):
+    """Unknown workload or bad scale parameter."""
+
+
+class Workload:
+    """A named synthetic benchmark.
+
+    ``source(scale)`` renders the assembly text; ``program(scale)``
+    assembles a fresh image (programs mutate their data segments, so every
+    run needs its own copy).
+    """
+
+    def __init__(self, name, description, builder, default_scale=1):
+        self.name = name
+        self.description = description
+        self._builder = builder
+        self.default_scale = default_scale
+
+    def source(self, scale=None):
+        scale = self.default_scale if scale is None else scale
+        if scale < 1:
+            raise WorkloadError(f"scale must be >= 1, got {scale}")
+        return self._builder(scale)
+
+    def program(self, scale=None):
+        return assemble(self.source(scale), source_name=self.name)
+
+    def __repr__(self):
+        return f"Workload({self.name!r})"

@@ -1,0 +1,1 @@
+"""One module per synthetic SPEC-INT-like benchmark program."""

@@ -1,0 +1,55 @@
+"""The workload registry."""
+
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.programs import (
+    bzip2,
+    crafty,
+    eon,
+    gap,
+    gcc,
+    gzip,
+    mcf,
+    parser,
+    perlbmk,
+    twolf,
+    vortex,
+    vpr,
+)
+
+_MODULES = {
+    "bzip2": bzip2,
+    "crafty": crafty,
+    "eon": eon,
+    "gap": gap,
+    "gcc": gcc,
+    "gzip": gzip,
+    "mcf": mcf,
+    "parser": parser,
+    "perlbmk": perlbmk,
+    "twolf": twolf,
+    "vortex": vortex,
+    "vpr": vpr,
+}
+
+#: SPEC CPU2000 INT names, in the paper's Table 2 order.
+WORKLOAD_NAMES = tuple(sorted(_MODULES))
+
+_REGISTRY = {
+    name: Workload(name, module.DESCRIPTION, module.build)
+    for name, module in _MODULES.items()
+}
+
+
+def get_workload(name):
+    """Look a workload up by its SPEC-style name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None
+
+
+def all_workloads():
+    """All twelve workloads in Table 2 order."""
+    return [_REGISTRY[name] for name in WORKLOAD_NAMES]

@@ -1,0 +1,76 @@
+"""Tests for the assembly source lexer/parser."""
+
+import pytest
+
+from repro.asm.source import (
+    AsmSyntaxError,
+    Directive,
+    Label,
+    Statement,
+    parse_source,
+    parse_string_literal,
+)
+
+
+class TestParseSource:
+    def test_label_then_statement_same_line(self):
+        items = parse_source("loop: addq r1, r2, r3")
+        assert isinstance(items[0], Label) and items[0].name == "loop"
+        assert isinstance(items[1], Statement)
+        assert items[1].mnemonic == "addq"
+        assert items[1].operands == ["r1", "r2", "r3"]
+
+    def test_multiple_labels_one_line(self):
+        items = parse_source("a: b: nop")
+        assert [item.name for item in items[:2]] == ["a", "b"]
+
+    def test_directive(self):
+        items = parse_source(".quad 1, 2, 3")
+        assert isinstance(items[0], Directive)
+        assert items[0].name == ".quad"
+        assert items[0].args == ["1", "2", "3"]
+
+    def test_comments_stripped(self):
+        items = parse_source("nop ; comment, with, commas\n# full line")
+        assert len(items) == 1
+        assert items[0].operands == []
+
+    def test_semicolon_inside_string_kept(self):
+        items = parse_source('.ascii "a;b"')
+        assert items[0].args == ['"a;b"']
+
+    def test_comma_inside_string_kept(self):
+        items = parse_source('.ascii "a,b"')
+        assert items[0].args == ['"a,b"']
+
+    def test_line_numbers(self):
+        items = parse_source("\n\nnop\n")
+        assert items[0].lineno == 3
+
+    def test_empty_source(self):
+        assert parse_source("") == []
+
+    def test_mnemonic_lowercased(self):
+        items = parse_source("ADDQ r1, r2, r3")
+        assert items[0].mnemonic == "addq"
+
+    def test_memory_operand_not_split(self):
+        items = parse_source("ldq r1, 8(r2)")
+        assert items[0].operands == ["r1", "8(r2)"]
+
+
+class TestStringLiterals:
+    def test_escapes(self):
+        assert parse_string_literal('"a\\nb"', 1) == "a\nb"
+        assert parse_string_literal('"tab\\there"', 1) == "tab\there"
+        assert parse_string_literal('"nul\\0"', 1) == "nul\0"
+        assert parse_string_literal('"q\\"q"', 1) == 'q"q'
+        assert parse_string_literal('"back\\\\slash"', 1) == "back\\slash"
+
+    def test_not_a_string_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_string_literal("unquoted", 7)
+
+    def test_error_carries_lineno(self):
+        with pytest.raises(AsmSyntaxError, match="line 7"):
+            parse_string_literal("unquoted", 7)

@@ -1,0 +1,219 @@
+"""Assembler tests: directives, pseudos, symbols, and error reporting."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.isa.encoding import decode
+
+
+def _decode_at(program, address):
+    return decode(program.memory.load(address, 4))
+
+
+class TestBasics:
+    def test_entry_defaults_to_text_base(self):
+        program = assemble("  addq r1, r2, r3\n  call_pal halt")
+        assert program.entry == program.text_base
+
+    def test_start_symbol_sets_entry(self):
+        program = assemble("""
+            nop
+_start:     call_pal halt
+        """)
+        assert program.entry == program.text_base + 4
+
+    def test_instruction_encoding_in_memory(self):
+        program = assemble("  addq r1, r2, r3")
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "addq"
+        assert (instr.ra, instr.rb, instr.rc) == (1, 2, 3)
+
+    def test_operate_literal(self):
+        program = assemble("  subq r1, 42, r3")
+        instr = _decode_at(program, program.text_base)
+        assert instr.islit and instr.imm == 42
+
+    def test_memory_operand(self):
+        program = assemble("  ldq r3, -16(r30)")
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "ldq"
+        assert (instr.ra, instr.rb, instr.imm) == (3, 30, -16)
+
+    def test_branch_displacement(self):
+        program = assemble("""
+loop:       nop
+            bne r1, loop
+        """)
+        branch = _decode_at(program, program.text_base + 4)
+        # target = pc + 4 + 4*disp = base  ->  disp = -2
+        assert branch.imm == -2
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; full-line comment
+            addq r1, r2, r3   # trailing comment
+
+            call_pal halt
+        """)
+        assert _decode_at(program, program.text_base).mnemonic == "addq"
+
+
+class TestDirectives:
+    def test_quad_long_word_byte(self):
+        program = assemble("""
+            .data
+q:          .quad 0x1122334455667788
+l:          .long 0xAABBCCDD
+w:          .word 0x1234
+b:          .byte 0x56
+        """)
+        base = program.symbols["q"]
+        assert program.memory.load(base, 8) == 0x1122334455667788
+        assert program.memory.load(program.symbols["l"], 4) == 0xAABBCCDD
+        assert program.memory.load(program.symbols["w"], 2) == 0x1234
+        assert program.memory.load(program.symbols["b"], 1) == 0x56
+
+    def test_space_with_fill(self):
+        program = assemble("""
+            .data
+buf:        .space 8, 0xAB
+        """)
+        assert program.memory.read_bytes(program.symbols["buf"], 8) == \
+            b"\xab" * 8
+
+    def test_align(self):
+        program = assemble("""
+            .data
+            .byte 1
+            .align 8
+q:          .quad 5
+        """)
+        assert program.symbols["q"] % 8 == 0
+
+    def test_ascii_and_asciz(self):
+        program = assemble("""
+            .data
+s:          .asciz "hi\\n"
+        """)
+        assert program.memory.read_bytes(program.symbols["s"], 4) == \
+            b"hi\n\x00"
+
+    def test_quad_of_symbol(self):
+        program = assemble("""
+            .text
+target:     nop
+            .data
+p:          .quad target
+        """)
+        assert program.memory.load(program.symbols["p"], 8) == \
+            program.symbols["target"]
+
+
+class TestPseudos:
+    def test_mov_expands_to_bis(self):
+        program = assemble("  mov r4, r5")
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "bis"
+        assert (instr.ra, instr.rb, instr.rc) == (4, 4, 5)
+
+    def test_li_small(self):
+        program = assemble("  li r4, 200")
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "bis" and instr.imm == 200
+
+    def test_li_16bit(self):
+        program = assemble("  li r4, -2000")
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "lda" and instr.imm == -2000
+
+    def test_li_32bit_pair(self):
+        program = assemble("  li r4, 0x12345678")
+        first = _decode_at(program, program.text_base)
+        second = _decode_at(program, program.text_base + 4)
+        assert first.mnemonic == "ldah"
+        assert second.mnemonic == "lda"
+
+    def test_la_resolves_symbol(self):
+        program = assemble("""
+            la r4, var
+            .data
+var:        .quad 0
+        """)
+        # ldah+lda must compute the symbol's address
+        first = _decode_at(program, program.text_base)
+        second = _decode_at(program, program.text_base + 4)
+        value = ((first.imm * 65536) + second.imm)
+        assert value == program.symbols["var"]
+
+    def test_bare_ret(self):
+        program = assemble("  ret")
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "ret"
+        assert (instr.ra, instr.rb) == (31, 26)
+
+    def test_bsr_default_link(self):
+        program = assemble("""
+            bsr fn
+fn:         ret
+        """)
+        instr = _decode_at(program, program.text_base)
+        assert instr.mnemonic == "bsr" and instr.ra == 26
+
+    def test_nop_clr_not_negq(self):
+        program = assemble("""
+            nop
+            clr r7
+            not r1, r2
+            negq r3, r4
+        """)
+        base = program.text_base
+        assert _decode_at(program, base).rc == 31
+        assert _decode_at(program, base + 4).rc == 7
+        assert _decode_at(program, base + 8).mnemonic == "ornot"
+        assert _decode_at(program, base + 12).mnemonic == "subq"
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble("  frobnicate r1, r2")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError, match="undefined symbol"):
+            assemble("  br nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match="duplicate label"):
+            assemble("x:  nop\nx:  nop")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AsmError, match="outside .text"):
+            assemble("  .data\n  addq r1, r2, r3")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble("  addq r99, r2, r3")
+
+    def test_li_out_of_range(self):
+        with pytest.raises(AsmError):
+            assemble("  li r1, 0x1_0000_0000_0000")
+
+    def test_misaligned_branch_target(self):
+        with pytest.raises(AsmError):
+            assemble("""
+                br spot
+                .data
+                .byte 1
+spot:           .byte 1
+            """)
+
+
+class TestLayout:
+    def test_stack_symbol_present(self):
+        program = assemble("  nop")
+        assert "__stack_top" in program.symbols
+
+    def test_text_range(self):
+        program = assemble("  nop\n  nop\n  nop")
+        base, end = program.text_range()
+        assert end - base == 12

@@ -1,0 +1,80 @@
+"""Unit and property tests for the two's complement helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitops import (
+    MASK64,
+    fits_signed,
+    fits_unsigned,
+    sext,
+    sext8,
+    sext16,
+    sext32,
+    to_signed,
+    to_unsigned,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestConversions:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(MASK64) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    def test_to_unsigned_negative(self):
+        assert to_unsigned(-1) == MASK64
+        assert to_unsigned(-2, 8) == 0xFE
+
+    def test_narrow_widths(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+
+    @given(u64)
+    def test_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_signed(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+
+class TestSignExtension:
+    def test_sext8(self):
+        assert sext8(0x80) == to_unsigned(-128)
+        assert sext8(0x7F) == 127
+
+    def test_sext16(self):
+        assert sext16(0x8000) == to_unsigned(-32768)
+
+    def test_sext32(self):
+        assert sext32(0x8000_0000) == to_unsigned(-(1 << 31))
+        assert sext32(0x7FFF_FFFF) == 0x7FFF_FFFF
+
+    @given(u64, st.sampled_from([8, 16, 32]))
+    def test_sext_preserves_low_bits(self, value, width):
+        extended = sext(value, width)
+        assert extended & ((1 << width) - 1) == value & ((1 << width) - 1)
+
+    @given(u64, st.sampled_from([8, 16, 32]))
+    def test_sext_signed_value_matches(self, value, width):
+        assert to_signed(sext(value, width)) == to_signed(value, width)
+
+
+class TestFits:
+    @pytest.mark.parametrize("value,bits,expected", [
+        (127, 8, True), (128, 8, False), (-128, 8, True), (-129, 8, False),
+        (0, 1, True), (1, 1, False), (-1, 1, True),
+    ])
+    def test_fits_signed(self, value, bits, expected):
+        assert fits_signed(value, bits) is expected
+
+    @pytest.mark.parametrize("value,bits,expected", [
+        (255, 8, True), (256, 8, False), (-1, 8, False), (0, 8, True),
+    ])
+    def test_fits_unsigned(self, value, bits, expected):
+        assert fits_unsigned(value, bits) is expected

@@ -1,0 +1,138 @@
+"""Tests for the Alpha byte-manipulation families (EXT/INS/MSK).
+
+These are the primitives Alpha string and unaligned-access code is built
+from: extract bytes at a byte offset, insert a value at a byte offset, and
+mask bytes out at a byte offset.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.interp import Interpreter
+from repro.isa.semantics import ALU_OPS
+from repro.utils.bitops import MASK64
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+offsets = st.integers(min_value=0, max_value=7)
+
+VALUE = 0x8877665544332211
+
+
+class TestExtract:
+    def test_extbl(self):
+        assert ALU_OPS["extbl"](VALUE, 0) == 0x11
+        assert ALU_OPS["extbl"](VALUE, 3) == 0x44
+        assert ALU_OPS["extbl"](VALUE, 7) == 0x88
+
+    def test_extwl(self):
+        assert ALU_OPS["extwl"](VALUE, 0) == 0x2211
+        assert ALU_OPS["extwl"](VALUE, 2) == 0x4433
+
+    def test_extll(self):
+        assert ALU_OPS["extll"](VALUE, 0) == 0x44332211
+        assert ALU_OPS["extll"](VALUE, 4) == 0x88776655
+
+    def test_extql(self):
+        assert ALU_OPS["extql"](VALUE, 0) == VALUE
+        assert ALU_OPS["extql"](VALUE, 4) == 0x88776655
+
+    def test_offset_uses_low_three_bits(self):
+        assert ALU_OPS["extbl"](VALUE, 8) == 0x11  # 8 & 7 == 0
+
+    @given(u64, offsets)
+    def test_extbl_matches_shift(self, a, offset):
+        assert ALU_OPS["extbl"](a, offset) == (a >> (8 * offset)) & 0xFF
+
+
+class TestInsert:
+    def test_insbl(self):
+        assert ALU_OPS["insbl"](0xAB, 0) == 0xAB
+        assert ALU_OPS["insbl"](0xAB, 3) == 0xAB000000
+
+    def test_inswl_truncates_at_top(self):
+        assert ALU_OPS["inswl"](0xBEEF, 7) == 0xEF00000000000000
+
+    def test_insql(self):
+        assert ALU_OPS["insql"](VALUE, 0) == VALUE
+
+    @given(u64, offsets)
+    def test_insert_fits_in_64_bits(self, a, offset):
+        for op in ("insbl", "inswl", "insll", "insql"):
+            assert 0 <= ALU_OPS[op](a, offset) <= MASK64
+
+
+class TestMask:
+    def test_mskbl(self):
+        assert ALU_OPS["mskbl"](VALUE, 0) == 0x8877665544332200
+        assert ALU_OPS["mskbl"](VALUE, 7) == 0x0077665544332211
+
+    def test_mskql_clears_everything_at_zero(self):
+        assert ALU_OPS["mskql"](VALUE, 0) == 0
+
+    @given(u64, offsets)
+    def test_mask_insert_compose(self, a, offset):
+        """msk then ins at the same offset replaces the byte exactly."""
+        cleared = ALU_OPS["mskbl"](a, offset)
+        inserted = ALU_OPS["insbl"](0xCC, offset)
+        combined = cleared | inserted
+        assert ALU_OPS["extbl"](combined, offset) == 0xCC
+        # all other bytes intact
+        for other in range(8):
+            if other != offset:
+                assert ALU_OPS["extbl"](combined, other) == \
+                    ALU_OPS["extbl"](a, other)
+
+
+class TestEndToEnd:
+    def test_byte_swap_program(self):
+        """Swap two bytes of a quadword using ext/ins/msk, through the
+        whole assemble-interpret pipeline."""
+        interp = Interpreter(assemble("""
+_start: la   r1, var
+        ldq  r2, 0(r1)
+        extbl r2, 0, r3       ; low byte
+        extbl r2, 1, r4       ; second byte
+        mskbl r2, 0, r2
+        mskbl r2, 1, r2
+        insbl r3, 1, r5
+        bis  r2, r5, r2
+        insbl r4, 0, r5
+        bis  r2, r5, r2
+        stq  r2, 0(r1)
+        call_pal halt
+        .data
+        .align 8
+var:    .quad 0x1122334455667788
+"""))
+        interp.run()
+        address = interp.program.symbols["var"]
+        assert interp.program.memory.load(address, 8) == \
+            0x1122334455668877
+
+    def test_translated_byte_ops_cosimulate(self):
+        from repro.ildp_isa.opcodes import IFormat
+        from tests.conftest import assert_cosim_equivalent
+
+        source = """
+_start: li r1, 90
+        la r2, var
+loop:   ldq r3, 0(r2)
+        and r1, 7, r4
+        extbl r3, r4, r5
+        addq r5, 1, r5
+        mskbl r3, r4, r3
+        insbl r5, r4, r6
+        bis r3, r6, r3
+        stq r3, 0(r2)
+        subq r1, 1, r1
+        bne r1, loop
+        call_pal halt
+        .data
+        .align 8
+var:    .quad 0x0102030405060708
+"""
+        for fmt in (IFormat.BASIC, IFormat.MODIFIED):
+            from repro.vm import VMConfig
+
+            assert_cosim_equivalent(source, VMConfig(fmt=fmt))

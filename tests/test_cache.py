@@ -1,0 +1,94 @@
+"""Cache hierarchy model tests."""
+
+import pytest
+
+from repro.uarch.cache import Cache, MemoryHierarchy
+from repro.uarch.config import CacheConfig, MachineConfig
+
+
+def small_cache(size=256, line=64, assoc=2, latency=2, policy="lru",
+                next_level=None):
+    return Cache(CacheConfig("test", size, line, assoc, latency, policy),
+                 next_level=next_level, memory_latency=72)
+
+
+class TestCache:
+    def test_hit_latency(self):
+        cache = small_cache()
+        cache.access(0)              # miss, fills
+        assert cache.access(0) == 2  # hit
+
+    def test_miss_charges_memory(self):
+        cache = small_cache()
+        assert cache.access(0) == 2 + 72
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(63) == 2
+        assert cache.access(64) == 2 + 72  # next line
+
+    def test_lru_eviction(self):
+        cache = small_cache(size=256, line=64, assoc=2)  # 2 sets, 2 ways
+        # set 0 holds lines 0 and 2 (addresses 0, 128); fill both + one more
+        cache.access(0)
+        cache.access(128)
+        cache.access(256)            # evicts line 0 (LRU)
+        assert cache.access(0) > 2   # miss again
+        assert cache.access(256) == 2
+
+    def test_lru_refresh(self):
+        cache = small_cache(size=256, line=64, assoc=2)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)              # refresh
+        cache.access(256)            # should evict 128 now
+        assert cache.access(0) == 2
+        assert cache.access(128) > 2
+
+    def test_random_policy_deterministic(self):
+        a = small_cache(policy="random")
+        b = small_cache(policy="random")
+        addresses = [i * 64 for i in range(50)]
+        assert [a.access(addr) for addr in addresses] == \
+            [b.access(addr) for addr in addresses]
+
+    def test_two_levels(self):
+        l2 = small_cache(size=1024, line=64, assoc=4, latency=8)
+        l1 = small_cache(size=128, line=64, assoc=2, latency=2,
+                         next_level=l2)
+        assert l1.access(0) == 2 + 8 + 72   # both miss
+        assert l1.access(0) == 2            # L1 hit
+        l1.access(64)
+        l1.access(128)                      # evicts L1 line 0 eventually
+        l1.access(192)
+        # refetch of line 0: L1 miss but L2 hit
+        latency = l1.access(0)
+        assert latency == 2 + 8
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def test_ifetch_returns_extra_cycles(self):
+        hierarchy = MemoryHierarchy(MachineConfig("test"))
+        extra = hierarchy.ifetch(0x10000)
+        assert extra > 0             # cold miss
+        assert hierarchy.ifetch(0x10000) == 0  # hit: no extra
+
+    def test_daccess_full_latency(self):
+        hierarchy = MemoryHierarchy(MachineConfig("test"))
+        first = hierarchy.daccess(0x2000)
+        second = hierarchy.daccess(0x2000)
+        assert first > second
+        assert second == 2           # Table 1: 2-cycle D-cache hit
+
+    def test_shared_l2(self):
+        hierarchy = MemoryHierarchy(MachineConfig("test"))
+        hierarchy.daccess(0x8000)            # brings line into L2
+        extra = hierarchy.ifetch(0x8000)     # I-side L1 miss, L2 hit
+        assert extra == 8                    # Table 1: 8-cycle L2

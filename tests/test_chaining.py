@@ -1,0 +1,124 @@
+"""Chaining policy tests (Section 3.2): glue shapes, RAS, dispatch."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.ildp_isa.opcodes import IFormat, IOp
+from repro.translator.chaining import ChainingPolicy
+from repro.vm import CoDesignedVM, VMConfig
+from tests.conftest import CALL_KERNEL
+
+INDIRECT_KERNEL = """
+_start: li r15, 80
+        la r9, fnp
+loop:   ldq r27, 0(r9)
+        jmp r31, (r27)
+back:   subq r15, 1, r15
+        bne r15, loop
+        call_pal halt
+target: br back
+        .data
+fnp:    .quad target
+"""
+
+
+def run_vm(source, policy, fmt=IFormat.MODIFIED):
+    vm = CoDesignedVM(assemble(source), VMConfig(fmt=fmt, policy=policy))
+    vm.run(max_v_instructions=500_000)
+    return vm
+
+
+def body_iops(vm):
+    return [i.iop for f in vm.tcache.fragments for i in f.body]
+
+
+class TestPolicies:
+    def test_no_pred_emits_only_dispatch(self):
+        vm = run_vm(INDIRECT_KERNEL, ChainingPolicy.NO_PRED)
+        iops = body_iops(vm)
+        assert IOp.TO_DISPATCH in iops
+        assert IOp.LOAD_EMB not in iops
+
+    def test_sw_pred_emits_compare_and_branch(self):
+        vm = run_vm(INDIRECT_KERNEL, ChainingPolicy.SW_PRED_NO_RAS)
+        for fragment in vm.tcache.fragments:
+            iops = [i.iop for i in fragment.body]
+            if IOp.LOAD_EMB not in iops:
+                continue
+            at = iops.index(IOp.LOAD_EMB)
+            assert fragment.body[at + 1].iop is IOp.ALU
+            assert fragment.body[at + 1].op == "cmpeq"
+            assert fragment.body[at + 2].iop in (IOp.BRANCH,
+                                                 IOp.COND_CALL_TRANSLATOR)
+            assert fragment.body[at + 3].iop is IOp.TO_DISPATCH
+            return
+        pytest.fail("no software-prediction sequence emitted")
+
+    def test_sw_pred_hit_avoids_dispatch(self):
+        vm = run_vm(INDIRECT_KERNEL, ChainingPolicy.SW_PRED_NO_RAS)
+        # the jmp target never changes: after chaining warms up, software
+        # prediction should absorb nearly every transfer
+        assert vm.stats.dispatch_runs <= 3
+
+    def test_no_pred_always_dispatches(self):
+        vm = run_vm(INDIRECT_KERNEL, ChainingPolicy.NO_PRED)
+        # every post-warmup iteration's jmp goes through dispatch (the
+        # first ~50 iterations are interpreted under the hot threshold)
+        assert vm.stats.dispatch_runs > 20
+
+    def test_ras_policy_emits_push_and_ret(self):
+        vm = run_vm(CALL_KERNEL, ChainingPolicy.SW_PRED_RAS)
+        iops = body_iops(vm)
+        assert IOp.PUSH_RAS in iops
+        assert IOp.RET_RAS in iops
+
+    def test_no_ras_policy_treats_returns_as_indirect(self):
+        vm = run_vm(CALL_KERNEL, ChainingPolicy.SW_PRED_NO_RAS)
+        iops = body_iops(vm)
+        assert IOp.PUSH_RAS not in iops
+        assert IOp.RET_RAS not in iops
+
+    def test_ret_ras_followed_by_dispatch_fallback(self):
+        vm = run_vm(CALL_KERNEL, ChainingPolicy.SW_PRED_RAS)
+        for fragment in vm.tcache.fragments:
+            iops = [i.iop for i in fragment.body]
+            if IOp.RET_RAS in iops:
+                at = iops.index(IOp.RET_RAS)
+                assert fragment.body[at + 1].iop is IOp.TO_DISPATCH
+                return
+        pytest.fail("no RET_RAS emitted")
+
+    def test_dual_ras_mostly_hits(self):
+        vm = run_vm(CALL_KERNEL, ChainingPolicy.SW_PRED_RAS)
+        assert vm.stats.ras_hits > 0
+        assert vm.stats.ras_hit_rate() > 0.8
+
+    def test_save_vra_writes_link_register(self):
+        vm = run_vm(CALL_KERNEL, ChainingPolicy.SW_PRED_RAS)
+        saves = [i for f in vm.tcache.fragments for i in f.body
+                 if i.iop is IOp.SAVE_VRA]
+        assert saves
+        assert all(i.gpr == 26 for i in saves)
+
+    def test_all_policies_execute_correctly(self):
+        from tests.conftest import assert_cosim_equivalent, ALL_POLICIES
+
+        for policy in ALL_POLICIES:
+            assert_cosim_equivalent(
+                INDIRECT_KERNEL, VMConfig(fmt=IFormat.MODIFIED,
+                                          policy=policy))
+            assert_cosim_equivalent(
+                CALL_KERNEL, VMConfig(fmt=IFormat.MODIFIED, policy=policy))
+
+
+class TestDispatchAccounting:
+    def test_dispatch_instruction_cost(self):
+        vm = run_vm(INDIRECT_KERNEL, ChainingPolicy.NO_PRED)
+        stats = vm.stats
+        assert stats.dispatch_instructions == 20 * stats.dispatch_runs
+
+    def test_dispatch_counts_in_expansion(self):
+        no_pred = run_vm(INDIRECT_KERNEL, ChainingPolicy.NO_PRED)
+        sw_pred = run_vm(INDIRECT_KERNEL, ChainingPolicy.SW_PRED_NO_RAS)
+        assert no_pred.stats.dynamic_expansion() > \
+            sw_pred.stats.dynamic_expansion()

@@ -1,0 +1,54 @@
+"""CLI tests."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_workloads_lists_all_twelve(self):
+        code, text = run_cli("workloads")
+        assert code == 0
+        assert len(text.strip().splitlines()) == 12
+        assert "gzip" in text and "perlbmk" in text
+
+    def test_run(self):
+        code, text = run_cli("run", "gzip", "--budget", "30000")
+        assert code == 0
+        assert "dynamic_expansion" in text
+        assert "insts/translated inst" in text
+
+    def test_run_basic_format(self):
+        code, text = run_cli("run", "gzip", "--fmt", "basic",
+                             "--budget", "30000")
+        assert code == 0
+        assert "basic" in text
+
+    def test_translate_shows_fragment(self):
+        code, text = run_cli("translate", "gzip", "--budget", "30000")
+        assert code == 0
+        assert "hottest fragment" in text
+        assert "<-" in text  # RTL notation lines
+
+    def test_experiment(self):
+        code, text = run_cli("experiment", "fig5", "-w", "gzip",
+                             "--budget", "20000")
+        assert code == 0
+        assert "Fig. 5" in text
+        assert "gzip" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "doom")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("experiment", "fig99")

@@ -1,0 +1,156 @@
+"""Tests for copy placement and PEI recovery maps (Section 2.2)."""
+
+import pytest
+
+from repro.translator.copyrules import build_copy_plan
+from repro.translator.decompose import Node, NodeKind
+from repro.translator.strand import form_strands
+from repro.translator.usage import analyze_usage
+
+
+def _index(nodes):
+    for i, node in enumerate(nodes):
+        node.index = i
+    return nodes
+
+
+def alu(dest, a=None, b=None, op="addq"):
+    return Node(NodeKind.ALU, 0x1000, op=op, dest=dest, src_a=a, src_b=b)
+
+
+def load(dest, addr):
+    return Node(NodeKind.LOAD, 0x1000, dest=dest, addr=addr)
+
+
+def branch(src):
+    return Node(NodeKind.BRANCH, 0x1000, op="bne", cond_src=src,
+                taken=False, taken_target=0x2000, fallthrough=0x1004)
+
+
+def plan_for(nodes, n_accumulators=4):
+    usage = analyze_usage(nodes)
+    strands = form_strands(nodes, usage, n_accumulators)
+    return usage, strands, build_copy_plan(nodes, usage, strands)
+
+
+class TestCopyPlacement:
+    def test_liveout_copied_after_producer(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        assert usage.producer_of[0].vid in plan.copied_values
+        assert plan.copy_to_after[0] == [(0, 1)]
+
+    def test_local_not_copied(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            alu(("reg", 2), ("reg", 1), ("imm", 1)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        assert usage.producer_of[0].vid not in plan.copied_values
+
+    def test_comm_copied(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            alu(("reg", 2), ("reg", 1), ("imm", 1)),
+            alu(("reg", 3), ("reg", 1), ("imm", 2)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+            alu(("reg", 3), ("imm", 0), ("imm", 0)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        assert usage.producer_of[0].vid in plan.copied_values
+
+    def test_temp_never_copied(self):
+        nodes = _index([
+            alu(("temp", -1), ("reg", 2), ("imm", 8)),
+            load(("reg", 1), ("temp", -1)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        temp_vid = usage.producer_of[0].vid
+        assert temp_vid not in plan.copied_values
+
+    def test_pei_liveness_forces_copy(self):
+        # r1's local value leaves its accumulator at the consumer (node 1),
+        # then a PEI at node 2 executes while r1 is still architected-live;
+        # basic format must therefore copy it.
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),   # v0 -> r1
+            alu(("reg", 2), ("reg", 1), ("imm", 1)),   # consumes v0 (join)
+            load(("reg", 3), ("reg", 8)),               # PEI; r1 still live
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),   # redef of r1
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+            alu(("reg", 3), ("imm", 0), ("imm", 0)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        assert usage.producer_of[0].vid in plan.copied_values
+
+    def test_pei_redefining_register_included(self):
+        # the PEI itself redefines r1: the old value is architected at the
+        # trap, so if its accumulator is gone it must have been copied
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),   # v0 -> r1
+            alu(("reg", 2), ("reg", 1), ("imm", 1)),   # consumes v0
+            load(("reg", 1), ("reg", 8)),               # PEI redefines r1
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        assert usage.producer_of[0].vid in plan.copied_values
+
+
+class TestRecoveryMaps:
+    def test_map_built_per_pei(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            load(("reg", 2), ("reg", 8)),
+            load(("reg", 3), ("reg", 9)),
+        ])
+        _usage, _strands, plan = plan_for(nodes)
+        assert set(plan.pei_recovery) == {1, 2}
+
+    def test_copied_value_recovered_from_gpr(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),   # liveout -> copied
+            load(("reg", 2), ("reg", 8)),
+        ])
+        _usage, _strands, plan = plan_for(nodes)
+        assert plan.pei_recovery[1][1] == ("gpr",)
+
+    def test_uncopied_value_recovered_from_acc(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),   # v0
+            load(("reg", 2), ("reg", 8)),               # PEI: v0 in acc
+            alu(("reg", 3), ("reg", 1), ("imm", 1)),   # use after the PEI
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+            alu(("reg", 3), ("imm", 0), ("imm", 0)),
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+        ])
+        usage, strands, plan = plan_for(nodes)
+        if usage.producer_of[0].vid not in plan.copied_values:
+            location = plan.pei_recovery[1][1]
+            assert location[0] == "acc"
+            assert location[1] == strands.value_acc[0]
+
+    def test_registers_without_defs_absent(self):
+        nodes = _index([
+            load(("reg", 2), ("reg", 8)),
+        ])
+        _usage, _strands, plan = plan_for(nodes)
+        assert plan.pei_recovery[0] == {}
+
+    def test_operational_values_modified_format(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),   # liveout
+            alu(("reg", 2), ("reg", 8), ("imm", 1)),   # local (redefined)
+            alu(("reg", 3), ("reg", 2), ("imm", 1)),
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+            alu(("reg", 3), ("imm", 0), ("imm", 0)),
+        ])
+        usage, _strands, plan = plan_for(nodes)
+        assert usage.producer_of[0].vid in plan.operational_values
+        assert usage.producer_of[1].vid not in plan.operational_values

@@ -1,0 +1,62 @@
+"""Translation cost model tests (Section 4.2)."""
+
+import pytest
+
+from repro.translator.cost import PHASE_WEIGHTS, TranslationCostModel
+
+
+class TestCostModel:
+    def test_charges_accumulate(self):
+        cost = TranslationCostModel()
+        cost.charge("codegen", 10)
+        assert cost.total == 10 * PHASE_WEIGHTS["codegen"]
+
+    def test_per_translated_instruction(self):
+        cost = TranslationCostModel()
+        cost.charge("codegen", 10)
+        cost.note_fragment(source_instruction_count=20)
+        expected = (10 * PHASE_WEIGHTS["codegen"]
+                    + PHASE_WEIGHTS["fragment_overhead"]) / 20
+        assert cost.per_translated_instruction() == pytest.approx(expected)
+
+    def test_zero_translations_safe(self):
+        cost = TranslationCostModel()
+        assert cost.per_translated_instruction() == 0.0
+        assert cost.phase_fraction("codegen") == 0.0
+
+    def test_phase_fraction(self):
+        cost = TranslationCostModel(weights={"a": 10, "b": 30})
+        cost.charge("a", 1)
+        cost.charge("b", 1)
+        assert cost.phase_fraction("a") == pytest.approx(0.25)
+
+    def test_unknown_phase_rejected(self):
+        cost = TranslationCostModel()
+        with pytest.raises(KeyError):
+            cost.charge("nonsense")
+
+    def test_fragment_counting(self):
+        cost = TranslationCostModel()
+        cost.note_fragment(5)
+        cost.note_fragment(7)
+        assert cost.fragments == 2
+        assert cost.translated_source_instructions == 12
+
+
+class TestCalibration:
+    """The calibration targets from the paper (checked loosely here; the
+    benchmark harness reports the per-suite numbers)."""
+
+    def test_suite_lands_near_paper_scale(self):
+        from repro.harness.runner import run_vm
+
+        result = run_vm("gzip", budget=80_000, collect_trace=False)
+        per_inst = result.vm.cost_model.per_translated_instruction()
+        assert 400 < per_inst < 3000  # paper: ~1,125
+
+    def test_tcache_copy_share_near_twenty_percent(self):
+        from repro.harness.runner import run_vm
+
+        result = run_vm("gzip", budget=80_000, collect_trace=False)
+        share = result.vm.cost_model.phase_fraction("tcache_copy")
+        assert 0.10 < share < 0.35   # paper: ~20%

@@ -1,0 +1,158 @@
+"""Tests for superblock capture and RTL decomposition."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.ildp_isa.opcodes import IFormat
+from repro.translator.decompose import NodeKind, decompose
+from repro.translator.superblock import EndReason
+from repro.vm import CoDesignedVM, VMConfig
+
+
+def capture_superblock(source, fmt=IFormat.MODIFIED, threshold=5):
+    """Run the VM until its first translation and return that superblock."""
+    vm = CoDesignedVM(assemble(source),
+                      VMConfig(fmt=fmt, threshold=threshold))
+    vm.run(max_v_instructions=200_000)
+    assert vm.tcache.fragments, "no fragment was ever translated"
+    return vm.tcache.fragments[0].superblock
+
+
+LOOP = """
+_start: li r1, 100
+        la r2, buf
+loop:   ldq r3, 8(r2)
+        addq r3, 1, r3
+        stq r3, 8(r2)
+        subq r1, 1, r1
+        bne r1, loop
+        call_pal halt
+        .data
+buf:    .space 64
+"""
+
+
+class TestCapture:
+    def test_backward_taken_ends_block(self):
+        superblock = capture_superblock(LOOP)
+        assert superblock.end_reason is EndReason.BACKWARD_TAKEN_BRANCH
+        assert superblock.entries[-1].instr.mnemonic == "bne"
+
+    def test_entry_is_loop_head(self):
+        superblock = capture_superblock(LOOP)
+        first = superblock.entries[0]
+        assert first.instr.mnemonic == "ldq"
+
+    def test_continuation_is_fallthrough(self):
+        superblock = capture_superblock(LOOP)
+        last = superblock.entries[-1]
+        assert superblock.continuation_vpc == last.vpc + 4
+
+    def test_indirect_ends_block(self):
+        superblock = capture_superblock("""
+_start: li r1, 60
+        la r4, fnp
+loop:   ldq r27, 0(r4)
+        jsr r26, (r27)
+        subq r1, 1, r1
+        bne r1, loop
+        call_pal halt
+fn:     ret
+        .data
+fnp:    .quad fn
+""")
+        assert superblock.end_reason is EndReason.INDIRECT_JUMP
+
+    def test_nops_not_counted(self):
+        superblock = capture_superblock("""
+_start: li r1, 50
+loop:   nop
+        addq r2, 1, r2
+        subq r1, 1, r1
+        bne r1, loop
+        call_pal halt
+""")
+        # the nop appears in entries but is excluded from the count
+        assert superblock.alpha_instruction_count() == \
+            len(superblock.entries) - 1
+
+
+class TestDecomposition:
+    def _nodes(self, body, fuse_memory=False, split_cmov=True):
+        source = f"_start: li r1, 20\nloop:   {body}\n" \
+                 "        subq r1, 1, r1\n        bne r1, loop\n" \
+                 "        call_pal halt\n        .data\nbuf: .space 64\n"
+        superblock = capture_superblock(source)
+        return decompose(superblock, fuse_memory=fuse_memory,
+                         split_cmov=split_cmov)
+
+    def test_load_with_displacement_splits(self):
+        nodes = self._nodes("la r2, buf\n        ldq r3, 8(r2)")
+        kinds = [n.kind for n in nodes]
+        load_index = kinds.index(NodeKind.LOAD)
+        addr_calc = nodes[load_index - 1]
+        assert addr_calc.kind is NodeKind.ALU
+        assert addr_calc.dest[0] == "temp"
+        assert nodes[load_index].addr == addr_calc.dest
+        assert nodes[load_index].disp == 0
+
+    def test_load_zero_displacement_not_split(self):
+        nodes = self._nodes("la r2, buf\n        ldq r3, 0(r2)")
+        loads = [n for n in nodes if n.kind is NodeKind.LOAD]
+        assert loads[0].addr == ("reg", 2)
+
+    def test_fused_memory_keeps_displacement(self):
+        nodes = self._nodes("la r2, buf\n        ldq r3, 8(r2)",
+                            fuse_memory=True)
+        loads = [n for n in nodes if n.kind is NodeKind.LOAD]
+        assert loads[0].disp == 8
+        assert loads[0].addr == ("reg", 2)
+
+    def test_cmov_splits_into_pair(self):
+        nodes = self._nodes("cmpeq r1, 5, r4\n        cmovne r4, 7, r5")
+        ops = [n.op for n in nodes if n.kind is NodeKind.ALU]
+        assert "cmov1_ne" in ops
+        assert "cmov2" in ops
+        first = next(n for n in nodes if n.op == "cmov1_ne")
+        second = next(n for n in nodes if n.op == "cmov2")
+        assert first.dest[0] == "temp"
+        assert second.src_a == first.dest
+
+    def test_cmov_unsplit_for_alpha(self):
+        nodes = self._nodes("cmpeq r1, 5, r4\n        cmovne r4, 7, r5",
+                            split_cmov=False)
+        ops = [n.op for n in nodes if n.kind is NodeKind.ALU]
+        assert "cmovne" in ops
+        assert "cmov1_ne" not in ops
+
+    def test_store_data_operand(self):
+        nodes = self._nodes("la r2, buf\n        stq r1, 0(r2)")
+        stores = [n for n in nodes if n.kind is NodeKind.STORE]
+        assert stores[0].data == ("reg", 1)
+
+    def test_r31_source_becomes_zero_imm(self):
+        nodes = self._nodes("addq r31, r1, r4")
+        adds = [n for n in nodes if n.op == "addq" and n.dest == ("reg", 4)]
+        assert adds[0].src_a == ("imm", 0)
+
+    def test_lda_becomes_add(self):
+        nodes = self._nodes("lda r4, 24(r1)")
+        adds = [n for n in nodes if n.dest == ("reg", 4)]
+        assert adds[0].op == "addq"
+        assert adds[0].src_b == ("imm", 24)
+
+    def test_ldah_scales_displacement(self):
+        nodes = self._nodes("ldah r4, 3(r1)")
+        adds = [n for n in nodes if n.dest == ("reg", 4)]
+        assert adds[0].src_b == ("imm", 3 * 65536)
+
+    def test_branch_node_records_direction(self):
+        nodes = self._nodes("addq r2, 1, r2")
+        branch = nodes[-1]
+        assert branch.kind is NodeKind.BRANCH
+        assert branch.taken  # captured on the backward-taken iteration
+        assert branch.taken_target < branch.vpc
+
+    def test_node_indices_sequential(self):
+        nodes = self._nodes("la r2, buf\n        ldq r3, 8(r2)")
+        assert [n.index for n in nodes] == list(range(len(nodes)))

@@ -1,0 +1,55 @@
+"""Determinism: identical inputs must produce identical results everywhere.
+
+The whole evaluation depends on run-to-run reproducibility — no wall-clock,
+no global random state, no dict-order sensitivity.
+"""
+
+import pytest
+
+from repro.harness.runner import run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.uarch.config import ildp_config, SUPERSCALAR
+from repro.uarch.ildp import ILDPModel
+from repro.uarch.ildp_cycle import CycleILDPModel
+from repro.uarch.superscalar import SuperscalarModel
+from repro.vm.config import VMConfig
+
+
+def _run(fmt=IFormat.MODIFIED):
+    return run_vm("gzip", VMConfig(fmt=fmt), budget=15_000)
+
+
+class TestDeterminism:
+    def test_vm_runs_identical(self):
+        a = _run()
+        b = _run()
+        assert a.stats.summary() == b.stats.summary()
+        assert len(a.trace) == len(b.trace)
+        for left, right in zip(a.trace, b.trace):
+            assert left.address == right.address
+            assert left.op_class == right.op_class
+            assert left.taken == right.taken
+
+    def test_fragment_layout_identical(self):
+        a = _run(IFormat.BASIC)
+        b = _run(IFormat.BASIC)
+        assert [f.base_address for f in a.tcache.fragments] == \
+            [f.base_address for f in b.tcache.fragments]
+        assert [f.byte_size for f in a.tcache.fragments] == \
+            [f.byte_size for f in b.tcache.fragments]
+
+    def test_timing_models_deterministic(self):
+        trace = _run().trace
+        assert ILDPModel(ildp_config(8, 0)).run(trace).cycles == \
+            ILDPModel(ildp_config(8, 0)).run(trace).cycles
+        assert CycleILDPModel(ildp_config(8, 0)).run(trace).cycles == \
+            CycleILDPModel(ildp_config(8, 0)).run(trace).cycles
+        assert SuperscalarModel(SUPERSCALAR).run(trace).cycles == \
+            SuperscalarModel(SUPERSCALAR).run(trace).cycles
+
+    def test_cost_model_deterministic(self):
+        a = _run()
+        b = _run()
+        assert a.vm.cost_model.total == b.vm.cost_model.total
+        assert dict(a.vm.cost_model.by_phase) == \
+            dict(b.vm.cost_model.by_phase)

@@ -1,0 +1,135 @@
+"""Disassembler tests for both ISAs."""
+
+import pytest
+
+from repro.ildp_isa.disasm import disassemble_iinstr
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IFormat, IOp
+from repro.isa.disasm import disassemble
+from repro.isa.instruction import Instruction
+
+
+class TestAlphaDisasm:
+    def test_operate(self):
+        assert disassemble(Instruction("addq", ra=1, rb=2, rc=3)) == \
+            "addq r1, r2, r3"
+
+    def test_operate_literal(self):
+        assert disassemble(Instruction("subl", ra=17, rc=17, imm=1,
+                                       islit=True)) == "subl r17, 1, r17"
+
+    def test_memory(self):
+        assert disassemble(Instruction("ldq", ra=3, rb=16, imm=-8)) == \
+            "ldq r3, -8(r16)"
+
+    def test_branch_with_pc(self):
+        text = disassemble(Instruction("bne", ra=17, imm=-11), pc=0x1000)
+        assert text == "bne r17, 0xfd8"
+
+    def test_branch_without_pc(self):
+        assert disassemble(Instruction("bne", ra=17, imm=4)) == \
+            "bne r17, .+4"
+
+    def test_unconditional_br_hides_r31(self):
+        assert disassemble(Instruction("br", ra=31, imm=2)) == "br .+2"
+
+    def test_jump(self):
+        assert disassemble(Instruction("jsr", ra=26, rb=27)) == \
+            "jsr r26, (r27)"
+
+    def test_pal(self):
+        assert disassemble(Instruction("call_pal", imm=0xAA)) == \
+            "call_pal 0xaa"
+
+    def test_rb_only(self):
+        assert disassemble(Instruction("ctpop", rb=3, rc=4)) == \
+            "ctpop r3, r4"
+
+
+class TestIDisasm:
+    def test_basic_alu(self):
+        instr = IInstruction(IOp.ALU, op="subq", acc=1, src_a="gpr",
+                             gpr=17, src_b="imm", imm=1, islit=True)
+        assert disassemble_iinstr(instr) == "A1 <- R17 - 1"
+
+    def test_modified_alu_shows_dest(self):
+        instr = IInstruction(IOp.ALU, op="subq", acc=1, src_a="gpr",
+                             gpr=17, src_b="imm", imm=1, islit=True,
+                             dest_gpr=17)
+        assert disassemble_iinstr(instr, IFormat.MODIFIED) == \
+            "R17(A1) <- R17 - 1"
+
+    def test_scaled_add(self):
+        instr = IInstruction(IOp.ALU, op="s8addq", acc=0, src_a="acc",
+                             src_b="gpr", gpr=0)
+        assert disassemble_iinstr(instr) == "A0 <- 8*A0 + R0"
+
+    def test_load_from_acc(self):
+        instr = IInstruction(IOp.LOAD, acc=0, addr_src="acc")
+        assert disassemble_iinstr(instr) == "A0 <- mem[A0]"
+
+    def test_store(self):
+        instr = IInstruction(IOp.STORE, acc=1, addr_src="acc",
+                             data_src="gpr", gpr=6)
+        assert disassemble_iinstr(instr) == "mem[A1] <- R6"
+
+    def test_copies(self):
+        to_gpr = IInstruction(IOp.COPY_TO_GPR, acc=2, gpr=17)
+        from_gpr = IInstruction(IOp.COPY_FROM_GPR, acc=2, gpr=17)
+        assert disassemble_iinstr(to_gpr) == "R17 <- A2"
+        assert disassemble_iinstr(from_gpr) == "A2 <- R17"
+
+    def test_branch(self):
+        instr = IInstruction(IOp.BRANCH, op="bne", cond_src="acc", acc=1,
+                             target=0x2000)
+        assert disassemble_iinstr(instr) == "P <- 0x2000, if (A1 != 0)"
+
+    def test_call_translator(self):
+        instr = IInstruction(IOp.CALL_TRANSLATOR, vtarget=0x1234)
+        assert disassemble_iinstr(instr) == "call_translator V:0x1234"
+
+    def test_ret_ras(self):
+        instr = IInstruction(IOp.RET_RAS, gpr=26)
+        assert disassemble_iinstr(instr) == "ret_ras (R26)"
+
+    def test_push_ras_unpatched(self):
+        instr = IInstruction(IOp.PUSH_RAS, vtarget=0x1000)
+        assert "dispatch" in disassemble_iinstr(instr)
+
+    def test_every_iop_renders(self):
+        # smoke: no IOp may crash the disassembler
+        samples = {
+            IOp.ALU: IInstruction(IOp.ALU, op="xor", acc=0, src_a="acc",
+                                  src_b="gpr", gpr=1),
+            IOp.LOAD: IInstruction(IOp.LOAD, acc=0, addr_src="acc"),
+            IOp.STORE: IInstruction(IOp.STORE, acc=0, addr_src="acc",
+                                    data_src="gpr", gpr=1),
+            IOp.COPY_TO_GPR: IInstruction(IOp.COPY_TO_GPR, acc=0, gpr=1),
+            IOp.COPY_FROM_GPR: IInstruction(IOp.COPY_FROM_GPR, acc=0,
+                                            gpr=1),
+            IOp.BRANCH: IInstruction(IOp.BRANCH, op="beq", cond_src="acc",
+                                     acc=0, target=4),
+            IOp.BR: IInstruction(IOp.BR, target=4),
+            IOp.SET_VPC_BASE: IInstruction(IOp.SET_VPC_BASE,
+                                           vtarget=0x10),
+            IOp.SAVE_VRA: IInstruction(IOp.SAVE_VRA, gpr=26,
+                                       vtarget=0x10),
+            IOp.PUSH_RAS: IInstruction(IOp.PUSH_RAS, vtarget=0x10,
+                                       target=0x20),
+            IOp.RET_RAS: IInstruction(IOp.RET_RAS, gpr=26),
+            IOp.LOAD_EMB: IInstruction(IOp.LOAD_EMB, acc=0,
+                                       vtarget=0x10),
+            IOp.CALL_TRANSLATOR: IInstruction(IOp.CALL_TRANSLATOR,
+                                              vtarget=0x10),
+            IOp.COND_CALL_TRANSLATOR: IInstruction(
+                IOp.COND_CALL_TRANSLATOR, op="bne", cond_src="acc",
+                acc=0, vtarget=0x10),
+            IOp.TO_DISPATCH: IInstruction(IOp.TO_DISPATCH, gpr=26),
+            IOp.JMP_DISPATCH: IInstruction(IOp.JMP_DISPATCH, acc=0),
+            IOp.HALT: IInstruction(IOp.HALT),
+            IOp.PUTC: IInstruction(IOp.PUTC, gpr=16),
+            IOp.GENTRAP: IInstruction(IOp.GENTRAP),
+        }
+        for iop, instr in samples.items():
+            text = disassemble_iinstr(instr)
+            assert isinstance(text, str) and text

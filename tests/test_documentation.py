@@ -1,0 +1,55 @@
+"""Documentation hygiene: every public module, class and function in the
+library carries a docstring (deliverable (e): doc comments on every public
+item)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if ".programs." in info.name:
+            continue  # workload sources document themselves via DESCRIPTION
+        out.append(info.name)
+    return out
+
+
+MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                missing.append(name)
+    assert not missing, f"{module_name}: undocumented public items " \
+                        f"{missing}"
+
+
+def test_workload_programs_carry_descriptions():
+    from repro.workloads.programs import __name__ as pkg_name
+    import repro.workloads.programs as programs
+
+    for info in pkgutil.iter_modules(programs.__path__):
+        module = importlib.import_module(f"{pkg_name}.{info.name}")
+        assert getattr(module, "DESCRIPTION", None), info.name
+        assert module.__doc__

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run and print what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "dynamic expansion" in proc.stdout
+        assert "modified accumulator I-ISA" in proc.stdout
+
+    def test_fig2_translation(self):
+        proc = run_example("fig2_translation.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "(c) basic I-ISA translation" in proc.stdout
+        assert "(d) modified I-ISA translation" in proc.stdout
+        assert "4 copies" in proc.stdout         # the paper's Fig. 2c
+        assert "0 copies" in proc.stdout         # ... and Fig. 2d
+
+    def test_precise_traps(self):
+        proc = run_example("precise_traps.py")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("matches reference: True") == 2
+
+    def test_chaining_study(self):
+        proc = run_example("chaining_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "no_pred" in proc.stdout
+        assert "sw_pred.ras" in proc.stdout
+
+    def test_ipc_study(self):
+        proc = run_example("ipc_study.py", "mcf")
+        assert proc.returncode == 0, proc.stderr
+        assert "ILDP parameter sweep" in proc.stdout
+
+    def test_custom_workload(self):
+        proc = run_example("custom_workload.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "THE QUICK BROWN FOX" in proc.stdout

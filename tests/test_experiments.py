@@ -1,0 +1,168 @@
+"""Experiment driver tests: each figure/table runs and its paper-shape
+claims hold on a representative subset of workloads."""
+
+import pytest
+
+from repro.harness.experiments import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    overhead,
+    table2,
+)
+
+BUDGET = 60_000
+FAST = ("gzip", "mcf")
+INDIRECT = ("eon", "perlbmk")
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(workloads=FAST + INDIRECT, budget=BUDGET)
+
+    def test_renders(self, result):
+        text = result.render()
+        assert "no_pred" in text and "Avg." in text
+
+    def test_no_pred_worst_on_average(self, result):
+        avg = result.row_for("Avg.")
+        original, no_pred, sw_no_ras, sw_ras = avg[1:5]
+        assert no_pred > sw_no_ras
+        assert no_pred > original
+
+    def test_ras_best_of_translated(self, result):
+        avg = result.row_for("Avg.")
+        assert avg[4] <= avg[3]  # sw_pred.ras <= sw_pred.no_ras
+
+
+class TestFig5:
+    def test_indirect_workloads_expand_more(self):
+        result = fig5.run(workloads=("gzip", "perlbmk"), budget=BUDGET)
+        assert result.row_for("perlbmk")[1] > result.row_for("gzip")[1]
+        assert result.row_for("gzip")[1] >= 1.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(workloads=("gcc", "parser"), budget=BUDGET)
+
+    def test_ras_helps_original(self, result):
+        for name in ("gcc", "parser"):
+            row = result.row_for(name)
+            assert row[2] >= row[1] * 0.95  # orig.ras >= orig.no_ras-ish
+
+    def test_straightened_ras_competitive(self, result):
+        avg_ratio = sum(result.row_for(n)[4] / result.row_for(n)[2]
+                        for n in ("gcc", "parser")) / 2
+        assert avg_ratio > 0.8   # paper: "about the same level"
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(workloads=FAST, budget=BUDGET)
+
+    def test_percentages_sum_to_hundred(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            assert sum(row[1:9]) == pytest.approx(100.0, abs=0.1)
+
+    def test_basic_global_exceeds_modified(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            modified_global, basic_global = row[9], row[10]
+            assert basic_global >= modified_global
+
+    def test_locals_exist(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            assert row[2] > 0  # some local values
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(workloads=FAST, budget=BUDGET)
+
+    def test_modified_beats_basic(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            assert row[4] > row[3]
+
+    def test_native_ipc_highest_for_modified(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            assert row[5] > row[4]
+
+    def test_modified_within_reach_of_straightened(self, result):
+        avg = result.row_for("Avg.")
+        assert avg[4] > 0.6 * avg[2]  # paper: ~15% loss
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(workloads=FAST, budget=BUDGET)
+
+    def test_four_pes_lag(self, result):
+        avg = result.row_for("Avg.")
+        base, four_pe = avg[2], avg[6]
+        assert four_pe <= base
+
+    def test_comm_latency_costs(self, result):
+        avg = result.row_for("Avg.")
+        assert avg[4] < avg[2]
+
+    def test_small_dcache_minor(self, result):
+        avg = result.row_for("Avg.")
+        assert avg[3] > 0.85 * avg[2]  # paper: barely matters
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(workloads=FAST, budget=BUDGET)
+
+    def test_modified_dominates_basic(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            dyn_b, dyn_m, copy_b, copy_m, bytes_b, bytes_m = row[1:7]
+            assert dyn_m < dyn_b
+            assert copy_m < copy_b
+            assert bytes_m < bytes_b * 1.05
+
+    def test_expansions_above_one(self, result):
+        for name in FAST:
+            row = result.row_for(name)
+            assert row[1] > 1.0 and row[2] > 1.0
+
+
+class TestOverhead:
+    def test_scale_and_breakdown(self):
+        result = overhead.run(workloads=FAST, budget=BUDGET)
+        avg = result.row_for("Avg.")
+        assert 400 < avg[1] < 3000           # paper: ~1,125
+        assert 0.10 < avg[2] < 0.35          # paper: ~20% tcache copying
+
+
+class TestCharacterization:
+    def test_mix_shapes(self):
+        from repro.harness.experiments import characterization
+
+        result = characterization.run(workloads=("gzip", "perlbmk",
+                                                 "parser"), budget=30_000)
+        gzip_row = result.row_for("gzip")
+        perl_row = result.row_for("perlbmk")
+        parser_row = result.row_for("parser")
+        # indirect% column: perlbmk is the indirect-heavy one
+        assert perl_row[6] > gzip_row[6]
+        # call+ret%: parser is the recursion-heavy one
+        assert parser_row[5] > gzip_row[5]
+        # every workload captured some superblocks
+        for row in (gzip_row, perl_row, parser_row):
+            assert row[7] > 0

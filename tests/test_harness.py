@@ -1,0 +1,122 @@
+"""Tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.harness.reporting import ExperimentResult, format_table
+from repro.harness.runner import run_original, run_vm
+from repro.ildp_isa.opcodes import IFormat
+from repro.vm.config import VMConfig
+from repro.workloads import WorkloadError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "x"), [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in lines[2]
+        assert "2.000" in lines[3]
+
+    def test_title(self):
+        text = format_table(("a",), [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult("demo", ("workload", "value"),
+                                [["gzip", 1.5], ["mcf", 2.5],
+                                 ["Avg.", 2.0]],
+                                notes=["a note"])
+
+    def test_row_lookup(self, result):
+        assert result.row_for("mcf") == ["mcf", 2.5]
+        with pytest.raises(KeyError):
+            result.row_for("nope")
+
+    def test_render_contains_notes(self, result):
+        assert "note: a note" in result.render()
+
+    def test_rows_copy(self, result):
+        rows = result.rows()
+        rows.append(["junk", 0])
+        assert len(result.rows()) == 3
+
+
+class TestRunner:
+    def test_run_vm_returns_trace(self):
+        result = run_vm("gzip", VMConfig(fmt=IFormat.MODIFIED),
+                        budget=20_000)
+        assert result.trace is not None
+        assert result.stats.fragments_created > 0
+        assert result.tcache is result.vm.tcache
+
+    def test_run_vm_without_trace(self):
+        result = run_vm("gzip", VMConfig(fmt=IFormat.MODIFIED),
+                        budget=20_000, collect_trace=False)
+        assert result.trace is None
+
+    def test_run_vm_respects_budget(self):
+        result = run_vm("gzip", budget=5_000)
+        total = result.stats.total_v_instructions()
+        assert total >= 5_000
+        assert total < 10_000  # fragment-boundary overshoot only
+
+    def test_run_original(self):
+        trace, interp = run_original("gzip", budget=10_000)
+        assert len(trace) == 10_000
+        assert interp.instruction_count == 10_000
+        assert all(record.size == 4 for record in trace[:100])
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            run_vm("nothere")
+
+    def test_scale_passthrough(self):
+        small = run_vm("gzip", budget=1_000_000, scale=1,
+                       collect_trace=False)
+        large = run_vm("gzip", budget=1_000_000, scale=2,
+                       collect_trace=False)
+        assert large.stats.total_v_instructions() > \
+            small.stats.total_v_instructions()
+
+
+class TestTraceUtils:
+    def test_branch_types(self):
+        from repro.uarch.trace_utils import record_for_event
+        from repro.interp.interpreter import ExecEvent
+        from repro.isa.instruction import Instruction
+
+        cases = [
+            (Instruction("bne", ra=1, imm=-2), "cond"),
+            (Instruction("br", ra=31, imm=2), "uncond"),
+            (Instruction("bsr", ra=26, imm=2), "call"),
+            (Instruction("jsr", ra=26, rb=27), "call_ind"),
+            (Instruction("jmp", ra=31, rb=27), "indirect"),
+            (Instruction("ret", ra=31, rb=26), "ret"),
+            (Instruction("addq", ra=1, rb=2, rc=3), None),
+        ]
+        for instr, expected in cases:
+            event = ExecEvent(0x1000, instr, 0x2000, taken=True)
+            assert record_for_event(event).btype == expected
+
+    def test_nop_weight_zero(self):
+        from repro.uarch.trace_utils import record_for_event
+        from repro.interp.interpreter import ExecEvent
+        from repro.isa.instruction import Instruction
+
+        nop = Instruction("bis", ra=31, rb=31, rc=31)
+        event = ExecEvent(0x1000, nop, 0x1004)
+        assert record_for_event(event).v_weight == 0
+
+    def test_mem_addr_propagates(self):
+        from repro.uarch.trace_utils import record_for_event
+        from repro.interp.interpreter import ExecEvent
+        from repro.isa.instruction import Instruction
+
+        ld = Instruction("ldq", ra=1, rb=2, imm=8)
+        event = ExecEvent(0x1000, ld, 0x1004, mem_addr=0x2008)
+        record = record_for_event(event)
+        assert record.op_class == "load"
+        assert record.mem_addr == 0x2008

@@ -1,0 +1,153 @@
+"""Encode/decode round-trip tests for the Alpha subset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    JUMP_OPS,
+    MEMORY_OPS,
+    OPERATE_OPS,
+    RB_ONLY_OPS,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mnemonic", sorted(MEMORY_OPS))
+    def test_memory(self, mnemonic):
+        instr = Instruction(mnemonic, ra=3, rb=16, imm=-48)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", sorted(OPERATE_OPS))
+    def test_operate_register(self, mnemonic):
+        instr = Instruction(mnemonic, ra=1, rb=2, rc=3)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", sorted(OPERATE_OPS))
+    def test_operate_literal(self, mnemonic):
+        instr = Instruction(mnemonic, ra=1, rc=3, imm=200, islit=True)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", sorted(BRANCH_OPS))
+    def test_branch(self, mnemonic):
+        instr = Instruction(mnemonic, ra=17, imm=-1000)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", sorted(JUMP_OPS))
+    def test_jump(self, mnemonic):
+        instr = Instruction(mnemonic, ra=26, rb=27)
+        assert decode(encode(instr)) == instr
+
+    def test_pal(self):
+        instr = Instruction("call_pal", imm=0xAA)
+        assert decode(encode(instr)) == instr
+
+
+class TestRanges:
+    def test_memory_displacement_range(self):
+        encode(Instruction("ldq", ra=1, rb=2, imm=32767))
+        encode(Instruction("ldq", ra=1, rb=2, imm=-32768))
+        with pytest.raises(EncodingError):
+            encode(Instruction("ldq", ra=1, rb=2, imm=32768))
+
+    def test_operate_literal_range(self):
+        encode(Instruction("addq", ra=1, rc=2, imm=255, islit=True))
+        with pytest.raises(EncodingError):
+            encode(Instruction("addq", ra=1, rc=2, imm=256, islit=True))
+        with pytest.raises(EncodingError):
+            encode(Instruction("addq", ra=1, rc=2, imm=-1, islit=True))
+
+    def test_branch_displacement_range(self):
+        encode(Instruction("br", ra=31, imm=(1 << 20) - 1))
+        with pytest.raises(EncodingError):
+            encode(Instruction("br", ra=31, imm=1 << 20))
+
+    def test_decode_rejects_bad_word(self):
+        with pytest.raises(EncodingError):
+            decode(-1)
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0x04 << 26)  # opcode 0x04 is unassigned in our subset
+        with pytest.raises(EncodingError):
+            decode(0x1F << 26)  # opcode 0x1F is unassigned in our subset
+
+    def test_decode_rejects_unknown_function(self):
+        # opcode 0x10 with function 0x7F is not a defined operate op
+        with pytest.raises(EncodingError):
+            decode((0x10 << 26) | (0x7F << 5))
+
+
+class TestPropertyRoundTrip:
+    @given(st.sampled_from(sorted(OPERATE_OPS)), regs, regs, regs)
+    def test_operate_any_registers(self, mnemonic, ra, rb, rc):
+        instr = Instruction(mnemonic, ra=ra, rb=rb, rc=rc)
+        assert decode(encode(instr)) == instr
+
+    @given(st.sampled_from(sorted(MEMORY_OPS)), regs, regs,
+           st.integers(min_value=-32768, max_value=32767))
+    def test_memory_any_displacement(self, mnemonic, ra, rb, disp):
+        instr = Instruction(mnemonic, ra=ra, rb=rb, imm=disp)
+        assert decode(encode(instr)) == instr
+
+    @given(st.sampled_from(sorted(BRANCH_OPS)), regs,
+           st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1))
+    def test_branch_any_displacement(self, mnemonic, ra, disp):
+        instr = Instruction(mnemonic, ra=ra, imm=disp)
+        assert decode(encode(instr)) == instr
+
+
+class TestDecodeFuzz:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decode_is_total_or_rejects(self, word):
+        """Any 32-bit word either decodes to an instruction that
+        re-encodes to an equivalent instruction, or raises EncodingError —
+        never crashes, never loops."""
+        try:
+            instr = decode(word)
+        except EncodingError:
+            return
+        again = decode(encode(instr))
+        assert again == instr
+
+
+class TestRegisterRoles:
+    def test_operate_sources_and_dest(self):
+        instr = Instruction("addq", ra=1, rb=2, rc=3)
+        assert instr.sources() == (1, 2)
+        assert instr.dest() == 3
+
+    def test_r31_filtered(self):
+        instr = Instruction("addq", ra=31, rb=2, rc=31)
+        assert instr.sources() == (2,)
+        assert instr.dest() is None
+
+    def test_cmov_reads_old_dest(self):
+        instr = Instruction("cmoveq", ra=1, rb=2, rc=3)
+        assert instr.sources() == (1, 2, 3)
+
+    def test_rb_only_ops(self):
+        instr = Instruction("sextb", rb=5, rc=6)
+        assert instr.sources() == (5,)
+        assert instr.dest() == 6
+
+    def test_store_sources(self):
+        instr = Instruction("stq", ra=4, rb=5, imm=8)
+        assert instr.sources() == (4, 5)
+        assert instr.dest() is None
+
+    def test_jump_link(self):
+        instr = Instruction("jsr", ra=26, rb=27)
+        assert instr.sources() == (27,)
+        assert instr.dest() == 26
+
+    def test_load_is_pei(self):
+        assert Instruction("ldq", ra=1, rb=2).is_pei()
+        assert not Instruction("lda", ra=1, rb=2).is_pei()
+        assert not Instruction("addq", ra=1, rb=2, rc=3).is_pei()

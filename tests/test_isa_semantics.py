@@ -1,0 +1,146 @@
+"""Semantics tests for the Alpha ALU operations and predicates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.semantics import (
+    ALU_OPS,
+    BRANCH_CONDITIONS,
+    CMOV_CONDITIONS,
+    branch_taken,
+)
+from repro.utils.bitops import MASK64, to_signed, to_unsigned
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestArithmetic:
+    def test_addq_wraps(self):
+        assert ALU_OPS["addq"](MASK64, 1) == 0
+
+    def test_subq_wraps(self):
+        assert ALU_OPS["subq"](0, 1) == MASK64
+
+    def test_addl_sign_extends(self):
+        # 32-bit overflow must sign-extend the truncated result
+        assert ALU_OPS["addl"](0x7FFF_FFFF, 1) == to_unsigned(-(1 << 31))
+
+    def test_subl(self):
+        assert ALU_OPS["subl"](0, 1) == MASK64
+
+    def test_scaled_adds(self):
+        assert ALU_OPS["s4addq"](3, 5) == 17
+        assert ALU_OPS["s8addq"](3, 5) == 29
+        assert ALU_OPS["s4subq"](3, 5) == 7
+        assert ALU_OPS["s8subq"](3, 5) == 19
+
+    def test_mulq_wraps(self):
+        assert ALU_OPS["mulq"](1 << 63, 2) == 0
+
+    def test_umulh(self):
+        assert ALU_OPS["umulh"](1 << 63, 4) == 2
+
+    def test_mull(self):
+        assert ALU_OPS["mull"](0x10000, 0x10000) == 0  # low 32 bits zero
+
+    @given(u64, u64)
+    def test_addq_matches_python(self, a, b):
+        assert ALU_OPS["addq"](a, b) == (a + b) & MASK64
+
+    @given(u64, u64)
+    def test_mulq_matches_python(self, a, b):
+        assert ALU_OPS["mulq"](a, b) == (a * b) & MASK64
+
+
+class TestCompares:
+    def test_cmpeq(self):
+        assert ALU_OPS["cmpeq"](3, 3) == 1
+        assert ALU_OPS["cmpeq"](3, 4) == 0
+
+    def test_signed_compares(self):
+        minus_one = MASK64
+        assert ALU_OPS["cmplt"](minus_one, 0) == 1
+        assert ALU_OPS["cmple"](minus_one, minus_one) == 1
+        assert ALU_OPS["cmplt"](0, minus_one) == 0
+
+    def test_unsigned_compares(self):
+        assert ALU_OPS["cmpult"](0, MASK64) == 1
+        assert ALU_OPS["cmpule"](MASK64, MASK64) == 1
+        assert ALU_OPS["cmpult"](MASK64, 0) == 0
+
+    def test_cmpbge(self):
+        # every byte of 0xFF.. >= every byte of 0
+        assert ALU_OPS["cmpbge"](MASK64, 0) == 0xFF
+        assert ALU_OPS["cmpbge"](0, MASK64) == 0
+        assert ALU_OPS["cmpbge"](0x00FF, 0x00FF) == 0xFF  # equal bytes
+
+    @given(u64, u64)
+    def test_cmplt_matches_signed(self, a, b):
+        expected = 1 if to_signed(a) < to_signed(b) else 0
+        assert ALU_OPS["cmplt"](a, b) == expected
+
+
+class TestLogicalAndShifts:
+    def test_bic_ornot_eqv(self):
+        assert ALU_OPS["bic"](0xFF, 0x0F) == 0xF0
+        assert ALU_OPS["ornot"](0, 0) == MASK64
+        assert ALU_OPS["eqv"](MASK64, MASK64) == MASK64
+
+    def test_shifts_use_low_six_bits(self):
+        assert ALU_OPS["sll"](1, 64) == 1  # shift count wraps at 64
+        assert ALU_OPS["srl"](1 << 63, 63) == 1
+
+    def test_sra_sign_fills(self):
+        assert ALU_OPS["sra"](1 << 63, 63) == MASK64
+
+    def test_zap_zapnot(self):
+        assert ALU_OPS["zap"](MASK64, 0xFF) == 0
+        assert ALU_OPS["zapnot"](MASK64, 0x03) == 0xFFFF
+        assert ALU_OPS["zap"](0x1122334455667788, 0x01) == \
+            0x1122334455667700
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_sll_srl_inverse_on_low_bits(self, a, shift):
+        shifted = ALU_OPS["srl"](ALU_OPS["sll"](a, shift), shift)
+        assert shifted == a & (MASK64 >> shift)
+
+
+class TestExtensionsAndCounts:
+    def test_sextb_sextw(self):
+        assert ALU_OPS["sextb"](0, 0x80) == to_unsigned(-128)
+        assert ALU_OPS["sextw"](0, 0x8000) == to_unsigned(-32768)
+
+    def test_ctpop(self):
+        assert ALU_OPS["ctpop"](0, 0) == 0
+        assert ALU_OPS["ctpop"](0, MASK64) == 64
+
+    def test_ctlz_cttz(self):
+        assert ALU_OPS["ctlz"](0, 0) == 64
+        assert ALU_OPS["ctlz"](0, 1) == 63
+        assert ALU_OPS["ctlz"](0, 1 << 63) == 0
+        assert ALU_OPS["cttz"](0, 0) == 64
+        assert ALU_OPS["cttz"](0, 1 << 13) == 13
+
+    @given(u64)
+    def test_ctpop_matches_bin(self, a):
+        assert ALU_OPS["ctpop"](0, a) == bin(a).count("1")
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("mnemonic,value,expected", [
+        ("beq", 0, True), ("beq", 1, False),
+        ("bne", 0, False), ("bne", 5, True),
+        ("blt", MASK64, True), ("blt", 1, False),
+        ("bge", 0, True), ("bge", MASK64, False),
+        ("ble", 0, True), ("bgt", 1, True), ("bgt", 0, False),
+        ("blbc", 2, True), ("blbc", 3, False),
+        ("blbs", 3, True), ("blbs", 2, False),
+    ])
+    def test_branch_conditions(self, mnemonic, value, expected):
+        assert branch_taken(mnemonic, value) is expected
+
+    def test_cmov_matches_branch_pairs(self):
+        for name, cond in CMOV_CONDITIONS.items():
+            branch = BRANCH_CONDITIONS["b" + name[4:]]
+            for value in (0, 1, 2, 3, MASK64, 1 << 63):
+                assert cond(value) is branch(value)

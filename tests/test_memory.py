@@ -1,0 +1,88 @@
+"""Memory model tests: paging, strict access checks, traps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.semantics import Trap, TrapKind
+from repro.memory.image import Memory, PAGE_SIZE
+
+
+@pytest.fixture
+def memory():
+    mem = Memory()
+    mem.map_segment("data", 0x10000, 0x4000)
+    return mem
+
+
+class TestAccess:
+    def test_zero_filled(self, memory):
+        assert memory.load(0x10000, 8) == 0
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_store_load_roundtrip(self, memory, size):
+        value = 0x1122334455667788 & ((1 << (8 * size)) - 1)
+        memory.store(0x10100, value, size)
+        assert memory.load(0x10100, size) == value
+
+    def test_little_endian(self, memory):
+        memory.store(0x10000, 0x0102030405060708, 8)
+        assert memory.load(0x10000, 1) == 0x08
+        assert memory.load(0x10007, 1) == 0x01
+
+    def test_store_truncates(self, memory):
+        memory.store(0x10000, 0x1FF, 1)
+        assert memory.load(0x10000, 1) == 0xFF
+
+    def test_cross_page_bytes(self, memory):
+        boundary = 0x10000 + PAGE_SIZE - 2
+        memory.write_bytes(boundary, b"\x01\x02\x03\x04")
+        assert memory.read_bytes(boundary, 4) == b"\x01\x02\x03\x04"
+
+    @given(st.integers(min_value=0, max_value=0x3FF8 // 8 * 8),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_property(self, offset, value):
+        mem = Memory()
+        mem.map_segment("data", 0x10000, 0x4000)
+        address = 0x10000 + (offset & ~7)
+        mem.store(address, value, 8)
+        assert mem.load(address, 8) == value
+
+
+class TestTraps:
+    def test_unmapped_load_traps(self, memory):
+        with pytest.raises(Trap) as excinfo:
+            memory.load(0x9999000, 8, vpc=0x123)
+        assert excinfo.value.kind is TrapKind.ACCESS_VIOLATION
+        assert excinfo.value.vpc == 0x123
+        assert excinfo.value.address == 0x9999000
+
+    def test_unmapped_store_traps(self, memory):
+        with pytest.raises(Trap):
+            memory.store(0x9999000, 1, 8)
+
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_unaligned_traps(self, memory, size):
+        with pytest.raises(Trap) as excinfo:
+            memory.load(0x10001, size)
+        assert excinfo.value.kind is TrapKind.UNALIGNED
+
+    def test_byte_access_never_unaligned(self, memory):
+        memory.load(0x10001, 1)  # must not raise
+
+
+class TestSegmentsAndSnapshot:
+    def test_is_mapped(self, memory):
+        assert memory.is_mapped(0x10000)
+        assert not memory.is_mapped(0x500000)
+
+    def test_segment_records(self, memory):
+        segment = memory.segments[0]
+        assert segment.name == "data"
+        assert segment.end == 0x14000
+
+    def test_snapshot_is_independent(self, memory):
+        memory.store(0x10000, 42, 8)
+        clone = memory.snapshot()
+        memory.store(0x10000, 99, 8)
+        assert clone.load(0x10000, 8) == 42
+        assert memory.load(0x10000, 8) == 99

@@ -1,0 +1,48 @@
+"""MRET hotness profiler tests."""
+
+import pytest
+
+from repro.interp.profiler import CandidateKind, HotnessProfiler
+
+
+class TestProfiler:
+    def test_non_candidates_ignored(self):
+        profiler = HotnessProfiler(threshold=3)
+        assert not profiler.record_execution(0x1000)
+        assert not profiler.is_candidate(0x1000)
+
+    def test_candidate_becomes_hot_at_threshold(self):
+        profiler = HotnessProfiler(threshold=3)
+        profiler.note_candidate(0x1000, CandidateKind.INDIRECT_TARGET)
+        assert not profiler.record_execution(0x1000)
+        assert not profiler.record_execution(0x1000)
+        assert profiler.record_execution(0x1000)   # exactly at threshold
+        assert profiler.is_hot(0x1000)
+
+    def test_hot_fires_once(self):
+        profiler = HotnessProfiler(threshold=2)
+        profiler.note_candidate(0x1000, CandidateKind.BACKWARD_BRANCH_TARGET)
+        profiler.record_execution(0x1000)
+        assert profiler.record_execution(0x1000)
+        assert not profiler.record_execution(0x1000)  # only fires at ==
+
+    def test_note_candidate_idempotent(self):
+        profiler = HotnessProfiler(threshold=5)
+        profiler.note_candidate(0x1000, CandidateKind.INDIRECT_TARGET)
+        profiler.record_execution(0x1000)
+        profiler.note_candidate(0x1000, CandidateKind.FRAGMENT_EXIT)
+        assert profiler.candidate_kind(0x1000) is \
+            CandidateKind.INDIRECT_TARGET
+        assert profiler.candidate_count() == 1
+
+    def test_reset(self):
+        profiler = HotnessProfiler(threshold=2)
+        profiler.note_candidate(0x1000, CandidateKind.FRAGMENT_EXIT)
+        profiler.record_execution(0x1000)
+        profiler.record_execution(0x1000)
+        profiler.reset(0x1000)
+        assert not profiler.is_hot(0x1000)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HotnessProfiler(threshold=0)

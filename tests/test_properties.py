@@ -1,0 +1,203 @@
+"""Property-based end-to-end tests.
+
+The central invariant of the whole system: for ANY program, running it
+through interpret -> profile -> translate -> execute must produce exactly
+the architected state and console output of pure interpretation — under
+every I-ISA format, every chaining policy and any accumulator count.
+
+Programs are generated as a hot loop of random ALU/memory/branch
+instructions over a safe register and memory window, so they always
+terminate and never fault.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.ildp_isa.opcodes import IFormat
+from repro.interp import Interpreter
+from repro.translator.chaining import ChainingPolicy
+from repro.vm import CoDesignedVM, VMConfig
+
+#: Registers the generated body may touch freely.
+_BODY_REGS = (3, 4, 5, 6, 7, 8, 9)
+
+_ALU_OPS = ("addq", "subq", "xor", "and", "bis", "sll", "srl", "cmpeq",
+            "cmplt", "s4addq", "mulq", "sextb", "ctpop")
+_CMOV_OPS = ("cmoveq", "cmovne", "cmovlt")
+_BRANCHES = ("beq", "bne", "blt", "bge")
+
+
+@st.composite
+def loop_bodies(draw):
+    """A list of renderable instruction descriptors."""
+    length = draw(st.integers(min_value=3, max_value=18))
+    body = []
+    for _ in range(length):
+        kind = draw(st.sampled_from(
+            ("alu", "alu", "alu", "lit", "load", "store", "cmov",
+             "branch")))
+        a = draw(st.sampled_from(_BODY_REGS))
+        b = draw(st.sampled_from(_BODY_REGS))
+        c = draw(st.sampled_from(_BODY_REGS))
+        if kind == "alu":
+            op = draw(st.sampled_from(_ALU_OPS))
+            body.append(("alu", op, a, b, c))
+        elif kind == "lit":
+            op = draw(st.sampled_from(("addq", "subq", "and", "xor",
+                                       "sll")))
+            lit = draw(st.integers(min_value=0, max_value=63))
+            body.append(("lit", op, a, lit, c))
+        elif kind == "load":
+            disp = draw(st.integers(min_value=0, max_value=31)) * 8
+            body.append(("load", a, disp))
+        elif kind == "store":
+            disp = draw(st.integers(min_value=0, max_value=31)) * 8
+            body.append(("store", a, disp))
+        elif kind == "cmov":
+            op = draw(st.sampled_from(_CMOV_OPS))
+            body.append(("cmov", op, a, b, c))
+        else:
+            op = draw(st.sampled_from(_BRANCHES))
+            skip = draw(st.integers(min_value=1, max_value=3))
+            body.append(("branch", op, a, skip))
+    return body
+
+
+def render(body, iterations=70):
+    lines = [
+        "_start: li r1, %d" % iterations,
+        "        la r2, buf",
+        "        clr r3",
+        "        li r4, 9",
+        "        li r5, 177",
+        "        clr r6",
+        "        li r7, 3",
+        "        li r8, 54",
+        "        clr r9",
+        "loop:",
+    ]
+    for index, descriptor in enumerate(body):
+        kind = descriptor[0]
+        if kind == "alu":
+            _k, op, a, b, c = descriptor
+            if op in ("sextb", "ctpop"):
+                lines.append(f"        {op} r{b}, r{c}")
+            elif op in ("sll", "srl"):
+                # bound shift counts to keep values interesting
+                lines.append(f"        and r{b}, 15, r{c}")
+                lines.append(f"        {op} r{a}, r{c}, r{c}")
+            else:
+                lines.append(f"        {op} r{a}, r{b}, r{c}")
+        elif kind == "lit":
+            _k, op, a, lit, c = descriptor
+            lines.append(f"        {op} r{a}, {lit}, r{c}")
+        elif kind == "load":
+            _k, a, disp = descriptor
+            lines.append(f"        ldq r{a}, {disp}(r2)")
+        elif kind == "store":
+            _k, a, disp = descriptor
+            lines.append(f"        stq r{a}, {disp}(r2)")
+        elif kind == "cmov":
+            _k, op, a, b, c = descriptor
+            lines.append(f"        {op} r{a}, r{b}, r{c}")
+        elif kind == "branch":
+            _k, op, a, skip = descriptor
+            label = f"skip_{index}"
+            lines.append(f"        {op} r{a}, {label}")
+            for pad in range(skip):
+                lines.append(f"        addq r9, {pad + 1}, r9")
+            lines.append(f"{label}:")
+    lines += [
+        "        subq r1, 1, r1",
+        "        bne r1, loop",
+        "        and r9, 0x7f, r16",
+        "        call_pal putc",
+        "        call_pal halt",
+        "        .data",
+        "        .align 8",
+        "buf:    .space 256, 5",
+    ]
+    return "\n".join(lines)
+
+
+def _reference(source):
+    interp = Interpreter(assemble(source))
+    interp.run(max_instructions=500_000)
+    return interp
+
+
+def _check(source, config):
+    reference = _reference(source)
+    vm = CoDesignedVM(assemble(source), config)
+    vm.run(max_v_instructions=500_000)
+    assert vm.halted
+    assert vm.interpreter.console == reference.console
+    assert vm.state.regs == reference.state.regs, \
+        vm.state.diff(reference.state)
+    memory = vm.program.memory
+    ref_memory = reference.program.memory
+    base = vm.program.symbols["buf"]
+    assert memory.read_bytes(base, 256) == ref_memory.read_bytes(base, 256)
+    assert vm.stats.fragments_created > 0, \
+        "program never got translated; the property checked nothing"
+
+
+_SETTINGS = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestTranslationEquivalence:
+    @_SETTINGS
+    @given(loop_bodies())
+    def test_basic_format(self, body):
+        _check(render(body), VMConfig(fmt=IFormat.BASIC, threshold=10))
+
+    @_SETTINGS
+    @given(loop_bodies())
+    def test_modified_format(self, body):
+        _check(render(body), VMConfig(fmt=IFormat.MODIFIED, threshold=10))
+
+    @_SETTINGS
+    @given(loop_bodies())
+    def test_alpha_format(self, body):
+        _check(render(body), VMConfig(fmt=IFormat.ALPHA, threshold=10))
+
+    @_SETTINGS
+    @given(loop_bodies(), st.sampled_from((1, 2, 3, 8)))
+    def test_accumulator_counts(self, body, n_accumulators):
+        _check(render(body), VMConfig(fmt=IFormat.BASIC, threshold=10,
+                                      n_accumulators=n_accumulators))
+
+    @_SETTINGS
+    @given(loop_bodies())
+    def test_fused_memory(self, body):
+        _check(render(body), VMConfig(fmt=IFormat.BASIC, threshold=10,
+                                      fuse_memory=True))
+
+
+class TestStructuralInvariants:
+    @_SETTINGS
+    @given(loop_bodies())
+    def test_basic_format_register_discipline(self, body):
+        """Every accumulator-format instruction uses at most one GPR and
+        one accumulator — the defining I-ISA constraint (Section 2.1)."""
+        from repro.ildp_isa.opcodes import IOp
+
+        vm = CoDesignedVM(assemble(render(body)),
+                          VMConfig(fmt=IFormat.BASIC, threshold=10))
+        vm.run(max_v_instructions=500_000)
+        for fragment in vm.tcache.fragments:
+            for instr in fragment.body:
+                if instr.iop in (IOp.ALU, IOp.LOAD, IOp.STORE):
+                    assert instr.gpr2 is None
+
+    @_SETTINGS
+    @given(loop_bodies())
+    def test_v_weights_account_every_source_instruction(self, body):
+        vm = CoDesignedVM(assemble(render(body)),
+                          VMConfig(fmt=IFormat.MODIFIED, threshold=10))
+        vm.run(max_v_instructions=500_000)
+        for fragment in vm.tcache.fragments:
+            assert sum(i.v_weight for i in fragment.body) == \
+                fragment.source_instr_count

@@ -1,0 +1,43 @@
+"""Tests for the deterministic workload RNG."""
+
+import pytest
+
+from repro.utils.rng import Xorshift64
+
+
+class TestXorshift64:
+    def test_deterministic(self):
+        a = Xorshift64(seed=42)
+        b = Xorshift64(seed=42)
+        assert [a.next_u64() for _ in range(10)] == \
+            [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = Xorshift64(seed=1)
+        b = Xorshift64(seed=2)
+        assert a.next_u64() != b.next_u64()
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Xorshift64(seed=0)
+
+    def test_range_bounds(self):
+        rng = Xorshift64(seed=7)
+        values = [rng.next_range(10) for _ in range(200)]
+        assert all(0 <= v < 10 for v in values)
+        assert len(set(values)) > 1
+
+    def test_range_rejects_nonpositive(self):
+        rng = Xorshift64(seed=7)
+        with pytest.raises(ValueError):
+            rng.next_range(0)
+
+    def test_bytes_length(self):
+        rng = Xorshift64(seed=7)
+        assert len(rng.next_bytes(13)) == 13
+        assert len(rng.next_bytes(0)) == 0
+
+    def test_values_fit_64_bits(self):
+        rng = Xorshift64(seed=99)
+        for _ in range(100):
+            assert 0 <= rng.next_u64() < (1 << 64)

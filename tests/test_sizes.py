@@ -1,0 +1,77 @@
+"""I-ISA size model tests (Sections 2.1 and 2.3)."""
+
+import pytest
+
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IFormat, IOp
+from repro.ildp_isa.sizes import instruction_size
+
+
+def alu(**kwargs):
+    return IInstruction(IOp.ALU, op="addq", acc=0, src_a="acc",
+                        **kwargs)
+
+
+class TestBasicFormat:
+    def test_short_alu_is_16_bit(self):
+        assert instruction_size(alu(src_b="gpr", gpr=5),
+                                IFormat.BASIC) == 2
+
+    def test_short_literal_is_16_bit(self):
+        assert instruction_size(alu(src_b="imm", imm=31, islit=True),
+                                IFormat.BASIC) == 2
+
+    def test_wide_literal_is_32_bit(self):
+        assert instruction_size(alu(src_b="imm", imm=32, islit=True),
+                                IFormat.BASIC) == 4
+
+    def test_copies_are_16_bit(self):
+        copy_to = IInstruction(IOp.COPY_TO_GPR, acc=0, gpr=5)
+        copy_from = IInstruction(IOp.COPY_FROM_GPR, acc=0, gpr=5)
+        assert instruction_size(copy_to, IFormat.BASIC) == 2
+        assert instruction_size(copy_from, IFormat.BASIC) == 2
+
+    def test_plain_load_is_16_bit(self):
+        load = IInstruction(IOp.LOAD, acc=0, addr_src="acc")
+        assert instruction_size(load, IFormat.BASIC) == 2
+
+    def test_fused_displacement_load_is_32_bit(self):
+        load = IInstruction(IOp.LOAD, acc=0, addr_src="gpr", gpr=2, imm=16)
+        assert instruction_size(load, IFormat.BASIC) == 4
+
+    def test_branches_are_32_bit(self):
+        branch = IInstruction(IOp.BRANCH, op="bne", cond_src="acc", acc=0)
+        assert instruction_size(branch, IFormat.BASIC) == 4
+
+    def test_embedded_address_ops_are_64_bit(self):
+        for iop in (IOp.SET_VPC_BASE, IOp.SAVE_VRA, IOp.LOAD_EMB,
+                    IOp.CALL_TRANSLATOR, IOp.PUSH_RAS):
+            instr = IInstruction(iop, acc=0, gpr=26, vtarget=0x1000)
+            assert instruction_size(instr, IFormat.BASIC) == 8
+
+
+class TestModifiedFormat:
+    def test_dest_gpr_forces_32_bit(self):
+        instr = alu(src_b="gpr", gpr=5, dest_gpr=3)
+        assert instruction_size(instr, IFormat.MODIFIED) == 4
+
+    def test_shared_specifier_stays_16_bit(self):
+        # Fig. 2d's accumulate form: R17(A1) <- R17 - 1
+        instr = IInstruction(IOp.ALU, op="subq", acc=1, src_a="gpr",
+                             gpr=17, src_b="imm", imm=1, islit=True,
+                             dest_gpr=17)
+        assert instruction_size(instr, IFormat.MODIFIED) == 2
+
+    def test_temp_dest_stays_16_bit(self):
+        instr = alu(src_b="gpr", gpr=5)  # no dest_gpr: a temp
+        assert instruction_size(instr, IFormat.MODIFIED) == 2
+
+
+class TestAlphaFormat:
+    def test_everything_is_32_bit(self):
+        instr = alu(src_b="gpr", gpr=5, dest_gpr=3)
+        assert instruction_size(instr, IFormat.ALPHA) == 4
+
+    def test_embedded_addresses_are_pairs(self):
+        instr = IInstruction(IOp.LOAD_EMB, acc=0, vtarget=0x1000)
+        assert instruction_size(instr, IFormat.ALPHA) == 8

@@ -1,0 +1,176 @@
+"""Tests for strand formation and accumulator assignment (Section 3.3)."""
+
+import pytest
+
+from repro.translator.decompose import Node, NodeKind
+from repro.translator.strand import TranslationError, form_strands
+from repro.translator.usage import analyze_usage
+
+
+def _index(nodes):
+    for i, node in enumerate(nodes):
+        node.index = i
+    return nodes
+
+
+def alu(dest, a=None, b=None, op="addq"):
+    return Node(NodeKind.ALU, 0x1000, op=op, dest=dest, src_a=a, src_b=b)
+
+
+def store(addr, data):
+    return Node(NodeKind.STORE, 0x1000, addr=addr, data=data)
+
+
+def branch(src):
+    return Node(NodeKind.BRANCH, 0x1000, op="bne", cond_src=src,
+                taken=False, taken_target=0x2000, fallthrough=0x1004)
+
+
+def analyse(nodes, n_accumulators=4):
+    usage = analyze_usage(nodes)
+    return usage, form_strands(nodes, usage, n_accumulators)
+
+
+class TestStrandRules:
+    def test_zero_local_inputs_starts_strand(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            alu(("reg", 2), ("reg", 8), ("imm", 1)),
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.node_strand[0] != strands.node_strand[1]
+
+    def test_single_local_input_joins(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            alu(("reg", 2), ("reg", 1), ("imm", 1)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),  # redef makes v0 local
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.node_strand[0] == strands.node_strand[1]
+        assert strands.resolutions[1]["src_a"] == ("acc",)
+
+    def test_two_global_inputs_get_copy_from(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("reg", 8)),
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.copy_from_before[0] == 7
+        assert strands.resolutions[0]["src_a"] == ("acc",)
+        assert strands.resolutions[0]["src_b"] == ("gpr", 8)
+
+    def test_same_register_twice_needs_no_copy(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("reg", 7)),
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.copy_from_before[0] is None
+
+    def test_two_local_inputs_spills_one(self):
+        # two independent locals feed one consumer; one must spill
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            alu(("reg", 2), ("reg", 8), ("imm", 1)),
+            alu(("reg", 3), ("reg", 1), ("reg", 2)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+            alu(("reg", 2), ("imm", 0), ("imm", 0)),
+            alu(("reg", 3), ("imm", 0), ("imm", 0)),
+        ])
+        usage, strands = analyse(nodes)
+        spilled = [v for v in usage.values if v.spilled]
+        assert len(spilled) == 1
+        # the consumer joined the strand of the non-spilled input
+        joined = strands.node_strand[2]
+        assert joined in (strands.node_strand[0], strands.node_strand[1])
+
+    def test_temp_producer_wins_join(self):
+        # addr-calc temp and a local both feed a node: temp's strand wins
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),      # local
+            alu(("temp", -1), ("reg", 8), ("imm", 8)),    # temp
+            alu(("reg", 2), ("temp", -1), ("reg", 1)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.node_strand[2] == strands.node_strand[1]
+
+    def test_branch_taps_accumulator(self):
+        nodes = _index([
+            alu(("reg", 17), ("reg", 17), ("imm", 1), op="subl"),
+            branch(("reg", 17)),
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.resolutions[1]["cond_src"] == ("acc",)
+        assert strands.node_strand[1] == strands.node_strand[0]
+
+    def test_store_with_two_globals_splits(self):
+        nodes = _index([
+            store(("reg", 7), ("reg", 8)),
+        ])
+        _usage, strands = analyse(nodes)
+        assert strands.copy_from_before[0] == 8
+        assert strands.resolutions[0]["data"] == ("acc",)
+        assert strands.resolutions[0]["addr"] == ("gpr", 7)
+
+
+class TestAccumulatorPressure:
+    def _parallel_strands(self, count):
+        """``count`` independent live values, then consumers for each."""
+        nodes = []
+        for i in range(count):
+            nodes.append(alu(("reg", i + 1), ("reg", 20), ("imm", i)))
+        for i in range(count):
+            nodes.append(alu(("reg", i + 1), ("reg", i + 1), ("imm", 1)))
+        return _index(nodes)
+
+    def test_enough_accumulators_no_termination(self):
+        nodes = self._parallel_strands(4)
+        _usage, strands = analyse(nodes, n_accumulators=4)
+        assert strands.premature_terminations == 0
+
+    def test_exhaustion_terminates_strands(self):
+        nodes = self._parallel_strands(6)
+        usage, strands = analyse(nodes, n_accumulators=4)
+        assert strands.premature_terminations >= 1
+        assert any(v.spilled for v in usage.values)
+
+    def test_distinct_accumulators_for_live_strands(self):
+        nodes = self._parallel_strands(4)
+        _usage, strands = analyse(nodes, n_accumulators=4)
+        accs = {strands.node_acc(i) for i in range(4)}
+        assert len(accs) == 4
+
+    def test_eight_accumulators_avoid_spills(self):
+        nodes = self._parallel_strands(6)
+        _usage, strands = analyse(nodes, n_accumulators=8)
+        assert strands.premature_terminations == 0
+
+    def test_single_accumulator_still_works(self):
+        nodes = self._parallel_strands(3)
+        usage, strands = analyse(nodes, n_accumulators=1)
+        # everything must still get an accumulator (acc 0)
+        assert all(strands.node_acc(i) == 0 for i in range(len(nodes))
+                   if strands.node_strand[i] is not None)
+
+
+class TestValidUntil:
+    def test_join_bounds_previous_value(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+            alu(("reg", 2), ("reg", 1), ("imm", 1)),
+            alu(("reg", 1), ("imm", 0), ("imm", 0)),
+        ])
+        usage, strands = analyse(nodes)
+        vid = usage.producer_of[0].vid
+        # old value visible through the consuming node itself (trap rule)
+        assert strands.acc_valid_until[vid] == 2
+
+    def test_unconsumed_value_valid_to_end(self):
+        import math
+
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("imm", 1)),
+        ])
+        usage, strands = analyse(nodes)
+        vid = usage.producer_of[0].vid
+        assert strands.acc_valid_until[vid] == math.inf

@@ -1,0 +1,156 @@
+"""Unit tests for the smaller microarchitecture building blocks."""
+
+import pytest
+
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.config import MachineConfig
+from repro.uarch.frontend import FrontEnd
+from repro.uarch.predictors import BranchUnit
+from repro.uarch.retire import RetireUnit
+from repro.vm.events import TraceRecord
+
+
+def make_frontend(**overrides):
+    config = MachineConfig("test", **overrides)
+    hierarchy = MemoryHierarchy(config)
+    return FrontEnd(config, hierarchy, BranchUnit(config)), config
+
+
+def record(addr, btype=None, taken=False, target=None):
+    return TraceRecord(addr, 4, "int" if btype is None else "branch",
+                       btype=btype, taken=taken, target=target, v_weight=1)
+
+
+class TestRetireUnit:
+    def test_in_order(self):
+        unit = RetireUnit(rob_size=4, bandwidth=2)
+        first = unit.retire(10)
+        second = unit.retire(5)    # completed earlier but retires later
+        assert second >= first
+
+    def test_bandwidth_limit(self):
+        unit = RetireUnit(rob_size=128, bandwidth=2)
+        cycles = [unit.retire(0) for _ in range(6)]
+        # at most two retirements share any cycle
+        for cycle in set(cycles):
+            assert cycles.count(cycle) <= 2
+
+    def test_rob_occupancy_stalls_dispatch(self):
+        unit = RetireUnit(rob_size=2, bandwidth=1)
+        unit.retire(100)
+        unit.retire(100)
+        # ROB full of instructions retiring at ~100: dispatch at 5 waits
+        assert unit.admit(5) >= 100
+
+    def test_admit_passes_when_space(self):
+        unit = RetireUnit(rob_size=8, bandwidth=4)
+        assert unit.admit(5) == 5
+
+
+class TestFrontEnd:
+    def test_width_limits_group(self):
+        frontend, _config = make_frontend()
+        cycles = [frontend.fetch(record(0x1000 + 4 * i)) for i in range(8)]
+        # warm-up miss aside, instructions 0-3 share a cycle, 4-7 the next
+        assert cycles[3] == cycles[0]
+        assert cycles[4] == cycles[0] + 1
+
+    def test_taken_branch_ends_group(self):
+        frontend, _config = make_frontend()
+        frontend.fetch(record(0x1000))
+        branch = record(0x1004, btype="uncond", taken=True, target=0x2000)
+        cycle = frontend.fetch(branch)
+        frontend.resolve_control(branch, cycle)
+        next_cycle = frontend.fetch(record(0x2000))
+        assert next_cycle > cycle
+
+    def test_mispredict_redirects_fetch(self):
+        frontend, config = make_frontend()
+        # a never-taken branch first predicted taken mispredicts
+        branch = record(0x1000, btype="cond", taken=False)
+        cycle = frontend.fetch(branch)
+        assert frontend.resolve_control(branch, cycle + 10)
+        assert frontend.cycle >= cycle + 10 + config.redirect_latency
+        assert frontend.mispredictions == 1
+
+    def test_icache_miss_stalls(self):
+        frontend, _config = make_frontend()
+        first = frontend.fetch(record(0x1000))   # cold miss charged
+        frontend_warm, _ = make_frontend()
+        frontend_warm.fetch(record(0x1000))
+        warm = frontend_warm.fetch(record(0x1004))  # same line: no miss
+        assert warm < first + 80
+
+
+class TestIInstructionMethods:
+    def test_reads_acc_matrix(self):
+        from repro.ildp_isa.instruction import IInstruction
+        from repro.ildp_isa.opcodes import IOp
+
+        alu = IInstruction(IOp.ALU, op="addq", acc=0, src_a="acc",
+                           src_b="imm", imm=1)
+        assert alu.reads_acc()
+        start = IInstruction(IOp.ALU, op="addq", acc=0, src_a="gpr",
+                             gpr=1, src_b="imm", imm=1)
+        assert not start.reads_acc()
+        load = IInstruction(IOp.LOAD, acc=0, addr_src="acc")
+        assert load.reads_acc()
+        copy_to = IInstruction(IOp.COPY_TO_GPR, acc=0, gpr=1)
+        assert copy_to.reads_acc()
+
+    def test_gpr_sources(self):
+        from repro.ildp_isa.instruction import IInstruction
+        from repro.ildp_isa.opcodes import IOp
+
+        store = IInstruction(IOp.STORE, acc=0, addr_src="acc",
+                             data_src="gpr", gpr=7)
+        assert store.gpr_sources() == (7,)
+        branch = IInstruction(IOp.BRANCH, op="bne", cond_src="gpr", gpr=9)
+        assert branch.gpr_sources() == (9,)
+        ret = IInstruction(IOp.RET_RAS, gpr=26)
+        assert ret.gpr_sources() == (26,)
+
+    def test_gpr_dest_by_format(self):
+        from repro.ildp_isa.instruction import IInstruction
+        from repro.ildp_isa.opcodes import IFormat, IOp
+
+        alu = IInstruction(IOp.ALU, op="addq", acc=0, src_a="acc",
+                           src_b="imm", imm=1, dest_gpr=5,
+                           operational=False)
+        assert alu.gpr_dest(IFormat.BASIC) is None
+        assert alu.gpr_dest(IFormat.MODIFIED) is None   # not operational
+        alu.operational = True
+        assert alu.gpr_dest(IFormat.MODIFIED) == 5
+        assert alu.gpr_dest(IFormat.ALPHA) == 5
+
+    def test_copy_classification(self):
+        from repro.ildp_isa.instruction import IInstruction
+        from repro.ildp_isa.opcodes import IOp
+
+        assert IInstruction(IOp.COPY_TO_GPR, acc=0, gpr=1).is_copy()
+        assert IInstruction(IOp.COPY_FROM_GPR, acc=0, gpr=1).is_copy()
+        assert not IInstruction(IOp.SAVE_VRA, gpr=26,
+                                vtarget=0).is_copy()
+
+
+class TestSuperblockHelpers:
+    def test_side_exit_vpcs(self):
+        from repro.asm import assemble
+        from repro.ildp_isa.opcodes import IFormat
+        from repro.vm import CoDesignedVM, VMConfig
+
+        vm = CoDesignedVM(assemble("""
+_start: li r1, 80
+loop:   and r1, 1, r2
+        beq r2, even
+        addq r3, 1, r3
+even:   subq r1, 1, r1
+        bne r1, loop
+        call_pal halt
+"""), VMConfig(fmt=IFormat.MODIFIED))
+        vm.run(max_v_instructions=100_000)
+        superblock = vm.tcache.fragments[0].superblock
+        exits = superblock.side_exit_vpcs()
+        assert exits  # the beq produces one side exit
+        for vpc in exits:
+            assert vpc != superblock.entry_vpc

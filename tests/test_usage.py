@@ -1,0 +1,156 @@
+"""Tests for the usage ("globalness") classifier of Section 3.3."""
+
+from repro.translator.decompose import Node, NodeKind
+from repro.translator.usage import ValueClass, analyze_usage
+
+
+def _index(nodes):
+    for i, node in enumerate(nodes):
+        node.index = i
+    return nodes
+
+
+def alu(dest, a=None, b=None, op="addq"):
+    return Node(NodeKind.ALU, 0x1000, op=op, dest=dest, src_a=a, src_b=b)
+
+
+def branch(src):
+    return Node(NodeKind.BRANCH, 0x1000, op="bne", cond_src=src,
+                taken=False, taken_target=0x2000, fallthrough=0x1004)
+
+
+def load(dest, addr):
+    return Node(NodeKind.LOAD, 0x1000, dest=dest, addr=addr)
+
+
+class TestClassification:
+    def test_local(self):
+        # r1 defined, used once, overwritten, no exits in between
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 2), ("reg", 1), ("imm", 0)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.LOCAL
+
+    def test_no_user(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.NO_USER
+
+    def test_comm_global(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 2), ("reg", 1), ("imm", 0)),
+            alu(("reg", 3), ("reg", 1), ("imm", 0)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.COMM_GLOBAL
+
+    def test_liveout_global(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 2), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.LIVEOUT_GLOBAL
+
+    def test_liveout_with_single_use_stays_liveout(self):
+        # the subl/bne pattern of Fig. 2: used once, never redefined
+        nodes = _index([
+            alu(("reg", 17), ("reg", 17), ("imm", 1), op="subl"),
+            branch(("reg", 17)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.LIVEOUT_GLOBAL
+        assert len(usage.producer_of[0].uses) == 1
+
+    def test_local_to_global_at_side_exit(self):
+        # value used once but a conditional branch sits inside its lifetime
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            branch(("reg", 5)),
+            alu(("reg", 2), ("reg", 1), ("imm", 0)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.LOCAL_TO_GLOBAL
+
+    def test_nouser_to_global_at_side_exit(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            branch(("reg", 5)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.NOUSER_TO_GLOBAL
+
+    def test_temp(self):
+        nodes = _index([
+            alu(("temp", -1), ("reg", 2), ("imm", 8)),
+            load(("reg", 1), ("temp", -1)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].vclass is ValueClass.TEMP
+
+
+class TestDefUse:
+    def test_livein_detection(self):
+        nodes = _index([
+            alu(("reg", 1), ("reg", 7), ("reg", 8)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.livein_regs == {7, 8}
+        assert usage.node_inputs[0]["src_a"] == ("livein", 7)
+
+    def test_in_block_edge(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 2), ("reg", 1), ("imm", 0)),
+        ])
+        usage = analyze_usage(nodes)
+        resolution = usage.node_inputs[1]["src_a"]
+        assert resolution == ("value", 0)
+        assert usage.input_value(1, "src_a").producer == 0
+
+    def test_redef_recorded(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].redef == 1
+
+    def test_uses_counted_before_redef_only(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),   # v0
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),   # v1 (redef)
+            alu(("reg", 2), ("reg", 1), ("imm", 0)),   # uses v1, not v0
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].uses == []
+        assert usage.producer_of[1].uses == [2]
+
+    def test_class_counts_histogram(self):
+        nodes = _index([
+            alu(("reg", 1), ("imm", 1), ("imm", 2)),
+            alu(("reg", 2), ("reg", 1), ("imm", 0)),
+            alu(("reg", 1), ("imm", 3), ("imm", 4)),
+        ])
+        usage = analyze_usage(nodes)
+        counts = usage.class_counts()
+        assert counts[ValueClass.LOCAL] == 1
+        assert sum(counts.values()) == len(usage.values)
+
+    def test_link_values_marked(self):
+        nodes = _index([
+            Node(NodeKind.BSR, 0x1000, dest=("reg", 26), link=0x1004,
+                 taken_target=0x2000),
+        ])
+        usage = analyze_usage(nodes)
+        assert usage.producer_of[0].via_link

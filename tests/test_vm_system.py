@@ -1,0 +1,121 @@
+"""End-to-end VM tests across the full workload suite."""
+
+import pytest
+
+from repro.ildp_isa.opcodes import IFormat
+from repro.interp import Interpreter
+from repro.translator.chaining import ChainingPolicy
+from repro.vm import CoDesignedVM, VMConfig
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+BUDGET = 150_000
+
+
+def reference_for(name):
+    workload = get_workload(name)
+    interp = Interpreter(workload.program())
+    interp.run(max_instructions=2_000_000)
+    return interp
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("fmt", (IFormat.BASIC, IFormat.MODIFIED))
+def test_workload_cosimulation(name, fmt):
+    reference = reference_for(name)
+    vm = CoDesignedVM(get_workload(name).program(), VMConfig(fmt=fmt))
+    vm.run(max_v_instructions=2_000_000)
+    assert vm.halted
+    assert vm.interpreter.console == reference.console
+    assert vm.state.regs == reference.state.regs
+
+
+@pytest.mark.parametrize("name", ("eon", "perlbmk", "vortex"))
+@pytest.mark.parametrize("policy", (ChainingPolicy.NO_PRED,
+                                    ChainingPolicy.SW_PRED_NO_RAS))
+def test_indirect_heavy_workloads_all_policies(name, policy):
+    reference = reference_for(name)
+    vm = CoDesignedVM(get_workload(name).program(),
+                      VMConfig(fmt=IFormat.MODIFIED, policy=policy))
+    vm.run(max_v_instructions=2_000_000)
+    assert vm.halted
+    assert vm.interpreter.console == reference.console
+
+
+class TestStatsSanity:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for fmt in (IFormat.BASIC, IFormat.MODIFIED):
+            vm = CoDesignedVM(get_workload("gzip").program(),
+                              VMConfig(fmt=fmt))
+            vm.run(max_v_instructions=BUDGET)
+            out[fmt] = vm
+        return out
+
+    def test_modified_expands_less(self, runs):
+        assert runs[IFormat.MODIFIED].stats.dynamic_expansion() < \
+            runs[IFormat.BASIC].stats.dynamic_expansion()
+
+    def test_modified_copies_fewer(self, runs):
+        assert runs[IFormat.MODIFIED].stats.copy_percentage() < \
+            runs[IFormat.BASIC].stats.copy_percentage()
+
+    def test_expansion_above_one(self, runs):
+        for vm in runs.values():
+            assert vm.stats.dynamic_expansion() > 1.0
+
+    def test_interpreted_covers_warmup(self, runs):
+        # hot threshold 50: the loop body runs interpreted ~50 times first
+        for vm in runs.values():
+            assert vm.stats.interpreted_instructions > 400
+
+    def test_fragment_execution_counts(self, runs):
+        for vm in runs.values():
+            assert any(f.execution_count > 10
+                       for f in vm.tcache.fragments)
+
+    def test_usage_histogram_nonempty(self, runs):
+        vm = runs[IFormat.MODIFIED]
+        histogram = vm.stats.dynamic_usage_histogram(vm.tcache)
+        assert sum(histogram.values()) > 0
+
+    def test_summary_keys(self, runs):
+        summary = runs[IFormat.BASIC].stats.summary()
+        for key in ("interpreted", "translated_v", "dynamic_expansion",
+                    "copy_pct", "fragments"):
+            assert key in summary
+
+
+class TestProfilerIntegration:
+    def test_candidates_accumulate(self):
+        vm = CoDesignedVM(get_workload("gcc").program(),
+                          VMConfig(fmt=IFormat.MODIFIED))
+        vm.run(max_v_instructions=BUDGET)
+        assert vm.profiler.candidate_count() > 2
+
+    def test_threshold_respected(self):
+        # a very high threshold means nothing ever gets translated
+        vm = CoDesignedVM(get_workload("gzip").program(),
+                          VMConfig(fmt=IFormat.MODIFIED, threshold=10**9))
+        vm.run(max_v_instructions=20_000)
+        assert vm.stats.fragments_created == 0
+        assert vm.stats.interpreted_instructions >= 20_000
+
+    def test_max_superblock_bounds_fragments(self):
+        vm = CoDesignedVM(get_workload("gzip").program(),
+                          VMConfig(fmt=IFormat.MODIFIED, max_superblock=8))
+        vm.run(max_v_instructions=BUDGET)
+        assert vm.halted is True or vm.stats.fragments_created > 0
+        for fragment in vm.tcache.fragments:
+            assert len(fragment.superblock.entries) <= 8
+
+
+class TestTranslationCost:
+    def test_cost_accumulates(self):
+        vm = CoDesignedVM(get_workload("gzip").program(),
+                          VMConfig(fmt=IFormat.MODIFIED))
+        vm.run(max_v_instructions=BUDGET)
+        cost = vm.cost_model
+        assert cost.fragments == vm.stats.fragments_created
+        assert cost.per_translated_instruction() > 0
+        assert 0 < cost.phase_fraction("tcache_copy") < 1
