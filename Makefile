@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test smoke bench report clean-cache
+
+check: test smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) scripts/smoke_cache.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report -o results.md
+
+clean-cache:
+	rm -rf "$${REPRO_CACHE_DIR:-$$HOME/.cache/repro/runpoints}"

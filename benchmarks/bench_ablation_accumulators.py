@@ -6,10 +6,11 @@ from repro.harness.experiments import ablation_accumulators
 WORKLOADS = ("gzip", "mcf", "gcc", "vortex", "twolf", "crafty")
 
 
-def test_accumulator_count_ablation(bench_once):
+def test_accumulator_count_ablation(bench_once, harness_runner):
     result = bench_once(
         lambda: ablation_accumulators.run(workloads=WORKLOADS,
-                                          budget=BENCH_BUDGET))
+                                          budget=BENCH_BUDGET,
+                                          runner=harness_runner))
     avg = result.row_for("Avg.")
     spills = {1: avg[1], 2: avg[3], 4: avg[5], 8: avg[7]}
     copy_pct = {1: avg[2], 2: avg[4], 4: avg[6], 8: avg[8]}

@@ -9,10 +9,11 @@ from repro.harness.experiments import ablation_fusion
 WORKLOADS = ("gzip", "bzip2", "mcf", "twolf", "vortex", "vpr")
 
 
-def test_memory_fusion_ablation(bench_once):
+def test_memory_fusion_ablation(bench_once, harness_runner):
     result = bench_once(
         lambda: ablation_fusion.run(workloads=WORKLOADS,
-                                    budget=BENCH_BUDGET))
+                                    budget=BENCH_BUDGET,
+                                    runner=harness_runner))
     avg = result.row_for("Avg.")
     split_expansion, fused_expansion = avg[1], avg[2]
     # fusing effective-address computation must reduce the dynamic

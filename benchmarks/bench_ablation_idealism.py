@@ -6,10 +6,11 @@ from repro.harness.experiments import ablation_idealism
 WORKLOADS = ("gzip", "gcc", "mcf", "perlbmk", "vpr", "parser")
 
 
-def test_idealism_ablation(bench_once):
+def test_idealism_ablation(bench_once, harness_runner):
     result = bench_once(
         lambda: ablation_idealism.run(workloads=WORKLOADS,
-                                      budget=BENCH_BUDGET))
+                                      budget=BENCH_BUDGET,
+                                      runner=harness_runner))
     avg = result.row_for("Avg.")
     realistic, perfect_bp, perfect_dcache, both = avg[1:5]
     # removing a constraint can only help

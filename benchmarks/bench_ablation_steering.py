@@ -6,10 +6,11 @@ from repro.harness.experiments import ablation_steering
 WORKLOADS = ("gzip", "mcf", "twolf", "vpr", "gcc", "parser")
 
 
-def test_steering_ablation(bench_once):
+def test_steering_ablation(bench_once, harness_runner):
     result = bench_once(
         lambda: ablation_steering.run(workloads=WORKLOADS,
-                                      budget=BENCH_BUDGET))
+                                      budget=BENCH_BUDGET,
+                                      runner=harness_runner))
     avg = result.row_for("Avg.")
     dep_c0, dep_c2, least_c2, modulo_c2 = avg[1:5]
     # communication latency costs something under every policy

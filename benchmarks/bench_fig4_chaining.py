@@ -5,8 +5,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import fig4
 
 
-def test_fig4_chaining_mispredictions(bench_once):
-    result = bench_once(lambda: fig4.run(budget=BENCH_BUDGET))
+def test_fig4_chaining_mispredictions(bench_once, harness_runner):
+    result = bench_once(lambda: fig4.run(budget=BENCH_BUDGET,
+                                         runner=harness_runner))
     avg = result.row_for("Avg.")
     original, no_pred, sw_no_ras, sw_ras = avg[1:5]
     # paper shapes: no_pred worst; software prediction roughly halves it;

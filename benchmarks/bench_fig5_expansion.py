@@ -4,8 +4,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import fig5
 
 
-def test_fig5_instruction_expansion(bench_once):
-    result = bench_once(lambda: fig5.run(budget=BENCH_BUDGET))
+def test_fig5_instruction_expansion(bench_once, harness_runner):
+    result = bench_once(lambda: fig5.run(budget=BENCH_BUDGET,
+                                         runner=harness_runner))
     rows = {row[0]: row[1] for row in result.rows()}
     # every workload expands (chaining adds instructions) ...
     assert all(value >= 1.0 for value in rows.values())

@@ -4,8 +4,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import fig6
 
 
-def test_fig6_code_straightening(bench_once):
-    result = bench_once(lambda: fig6.run(budget=BENCH_BUDGET))
+def test_fig6_code_straightening(bench_once, harness_runner):
+    result = bench_once(lambda: fig6.run(budget=BENCH_BUDGET,
+                                         runner=harness_runner))
     avg = result.row_for("Avg.")
     orig_noras, orig_ras, straight_noras, straight_ras = avg[1:5]
     # paper shapes: straightening without RAS underperforms the original

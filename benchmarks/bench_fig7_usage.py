@@ -4,8 +4,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import fig7
 
 
-def test_fig7_register_usage(bench_once):
-    result = bench_once(lambda: fig7.run(budget=BENCH_BUDGET))
+def test_fig7_register_usage(bench_once, harness_runner):
+    result = bench_once(lambda: fig7.run(budget=BENCH_BUDGET,
+                                         runner=harness_runner))
     avg = result.row_for("Avg.")
     modified_global, basic_global = avg[9], avg[10]
     # paper: ~25% global outputs for the modified format, rising to ~40%

@@ -5,8 +5,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import fig8
 
 
-def test_fig8_ipc_comparison(bench_once):
-    result = bench_once(lambda: fig8.run(budget=BENCH_BUDGET))
+def test_fig8_ipc_comparison(bench_once, harness_runner):
+    result = bench_once(lambda: fig8.run(budget=BENCH_BUDGET,
+                                         runner=harness_runner))
     avg = result.row_for("Avg.")
     original, straightened, basic, modified, native = avg[1:6]
     # paper shapes:

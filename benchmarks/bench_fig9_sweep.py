@@ -5,8 +5,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import fig9
 
 
-def test_fig9_machine_parameter_sweep(bench_once):
-    result = bench_once(lambda: fig9.run(budget=BENCH_BUDGET))
+def test_fig9_machine_parameter_sweep(bench_once, harness_runner):
+    result = bench_once(lambda: fig9.run(budget=BENCH_BUDGET,
+                                         runner=harness_runner))
     avg = result.row_for("Avg.")
     eight_acc, base, small_dcache, comm2, six_pe, four_pe = avg[1:7]
     # paper shapes:

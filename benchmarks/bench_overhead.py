@@ -5,8 +5,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import overhead
 
 
-def test_translation_overhead(bench_once):
-    result = bench_once(lambda: overhead.run(budget=BENCH_BUDGET))
+def test_translation_overhead(bench_once, harness_runner):
+    result = bench_once(lambda: overhead.run(budget=BENCH_BUDGET,
+                                             runner=harness_runner))
     avg = result.row_for("Avg.")
     per_instruction, tcache_share = avg[1], avg[2]
     # paper: ~1,125 Alpha instructions per translated instruction (about a

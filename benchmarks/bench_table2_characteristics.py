@@ -5,8 +5,9 @@ from benchmarks.conftest import BENCH_BUDGET
 from repro.harness.experiments import table2
 
 
-def test_table2_translated_statistics(bench_once):
-    result = bench_once(lambda: table2.run(budget=BENCH_BUDGET))
+def test_table2_translated_statistics(bench_once, harness_runner):
+    result = bench_once(lambda: table2.run(budget=BENCH_BUDGET,
+                                           runner=harness_runner))
     avg = result.row_for("Avg.")
     dyn_b, dyn_m, copy_b, copy_m, bytes_b, bytes_m, _cost = avg[1:8]
     # paper averages: dynamic 1.60 (B) / 1.36 (M); copies 17.7% / 3.1%;

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Smoke-test the run-point cache end to end.
+
+Runs one experiment twice against a throwaway cache directory and checks
+the acceptance properties: the second run is answered entirely from the
+cache (cache hits == unique run points, zero executed) and renders a
+byte-identical table.  Exits non-zero on any violation.
+
+Usage: PYTHONPATH=src python scripts/smoke_cache.py [experiment] [workloads...]
+"""
+
+import sys
+import tempfile
+
+from repro.harness import experiments
+from repro.harness.parallel import PointRunner
+from repro.harness.resultcache import ResultCache
+
+
+def main(argv):
+    name = argv[1] if len(argv) > 1 else "fig8"
+    workloads = tuple(argv[2:]) or ("gzip", "mcf")
+    module = getattr(experiments, name)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as root:
+        cold = PointRunner(cache=ResultCache(root))
+        first = module.run(workloads=workloads, budget=20_000,
+                           runner=cold).render()
+        print(f"cold: {cold.report.render()}")
+
+        warm = PointRunner(cache=ResultCache(root))
+        second = module.run(workloads=workloads, budget=20_000,
+                            runner=warm).render()
+        print(f"warm: {warm.report.render()}")
+
+        failures = []
+        if warm.report.executed != 0:
+            failures.append(
+                f"warm run executed {warm.report.executed} points")
+        if warm.report.cache_hits != warm.report.unique:
+            failures.append(
+                f"warm run hit {warm.report.cache_hits} of "
+                f"{warm.report.unique} points")
+        if second != first:
+            failures.append("warm table differs from cold table")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+
+    print(f"ok: {name} cached cleanly "
+          f"({warm.report.cache_hits} hits, tables identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -53,6 +53,7 @@ def build_parser():
                                    choices=WORKLOAD_NAMES, dest="workloads",
                                    help="restrict to specific workloads")
     experiment_parser.add_argument("--budget", type=int, default=60_000)
+    _add_runner_arguments(experiment_parser)
 
     map_parser = sub.add_parser(
         "map", help="show a workload's translation-cache fragment map")
@@ -64,7 +65,34 @@ def build_parser():
     report_parser.add_argument("-w", "--workload", action="append",
                                choices=WORKLOAD_NAMES, dest="workloads")
     report_parser.add_argument("--budget", type=int, default=60_000)
+    _add_runner_arguments(report_parser)
     return parser
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_runner_arguments(parser):
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for independent run points")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always execute; skip the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro/runpoints)")
+
+
+def _runner_from(args):
+    from repro.harness.parallel import PointRunner
+    from repro.harness.resultcache import ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return PointRunner(workers=args.workers, cache=cache)
 
 
 def _add_vm_arguments(parser):
@@ -129,8 +157,11 @@ def _command_translate(args, out):
 
 def _command_experiment(args, out):
     module = _EXPERIMENTS[args.name]
-    result = module.run(workloads=args.workloads, budget=args.budget)
+    runner = _runner_from(args)
+    result = module.run(workloads=args.workloads, budget=args.budget,
+                        runner=runner)
     print(result.render(), file=out)
+    print(runner.report.render(), file=out)
     return 0
 
 
@@ -146,13 +177,19 @@ def _command_map(args, out):
 def _command_report(args, out):
     from repro.harness.report import generate_report
 
+    runner = _runner_from(args)
+
     def progress(name, elapsed):
-        print(f"  {name}: {elapsed:.1f}s", file=out)
+        delta = runner.last_report or {}
+        print(f"  {name}: {elapsed:.1f}s "
+              f"({delta.get('executed', 0)} executed, "
+              f"{delta.get('cache_hits', 0)} cached)", file=out)
 
     text = generate_report(workloads=args.workloads, budget=args.budget,
-                           progress=progress)
+                           progress=progress, runner=runner)
     with open(args.output, "w") as handle:
         handle.write(text)
+    print(runner.report.render(), file=out)
     print(f"wrote {args.output}", file=out)
     return 0
 

@@ -7,8 +7,10 @@ dynamic expansion for the basic format (where spills are visible as extra
 copy instructions).
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint
 from repro.ildp_isa.opcodes import IFormat
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
@@ -20,26 +22,32 @@ HEADERS = ("workload",) + tuple(
     for label in ("spills", "copy%"))
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.BASIC,
+                                         n_accumulators=count),
+                          scale=scale, budget=budget)
+              for name in workloads
+              for count in COUNTS]
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
         row = [name]
-        for count in COUNTS:
-            result = run_vm(name, VMConfig(fmt=IFormat.BASIC,
-                                           n_accumulators=count),
-                            scale=scale, budget=budget,
-                            collect_trace=False)
-            row.append(result.stats.premature_terminations)
-            row.append(result.stats.copy_percentage())
+        for _count in COUNTS:
+            summary = next(summaries)
+            row.append(summary["stats"]["premature_terminations"])
+            row.append(summary["stats"]["copy_pct"])
         rows.append(row)
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Ablation — logical accumulator count (basic I-ISA)", HEADERS,
         rows,
         notes=["spills = premature strand terminations at translation "
-               "time; the paper found 4 accumulators sufficient"])
+               "time; the paper found 4 accumulators sufficient"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -7,11 +7,11 @@ modified I-ISA with both decompositions and compares dynamic expansion and
 ILDP IPC.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, ildp_ipc
 from repro.ildp_isa.opcodes import IFormat
-from repro.uarch.config import ildp_config
-from repro.uarch.ildp import ILDPModel
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -19,27 +19,34 @@ HEADERS = ("workload", "expansion split", "expansion fused", "ipc split",
            "ipc fused")
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    machine = ildp_ipc(pes=8, comm=0)
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED,
+                                         fuse_memory=fused),
+                          scale=scale, budget=budget, evals=(machine,))
+              for name in workloads
+              for fused in (False, True)]
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
-        row = [name]
-        ipcs = []
-        for fused in (False, True):
-            result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED,
-                                           fuse_memory=fused),
-                            scale=scale, budget=budget)
-            row.append(result.stats.dynamic_expansion())
-            ipcs.append(ILDPModel(ildp_config(8, 0)).run(result.trace).ipc)
-        row.extend(ipcs)
-        rows.append(row)
+        split = next(summaries)
+        fused = next(summaries)
+        rows.append([name,
+                     split["stats"]["dynamic_expansion"],
+                     fused["stats"]["dynamic_expansion"],
+                     split["evals"][machine.key()]["ipc"],
+                     fused["evals"][machine.key()]["ipc"]])
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Ablation — memory instruction splitting vs fusion "
         "(modified I-ISA)", HEADERS, rows,
         notes=["fusion trades decode complexity for fetch/ROB pressure "
-               "(Section 4.5)"])
+               "(Section 4.5)"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -6,11 +6,11 @@ cache, and both — the standard simulator-paper decomposition of front-end
 vs memory vs true dependence limits.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, ildp_ipc
 from repro.ildp_isa.opcodes import IFormat
-from repro.uarch.config import ildp_config
-from repro.uarch.ildp import ILDPModel
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -19,26 +19,31 @@ HEADERS = ("workload", "realistic", "perfect bp", "perfect D$", "both")
 _POINTS = ((False, False), (True, False), (False, True), (True, True))
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    specs = tuple(ildp_ipc(pes=8, comm=0, perfect_bp=perfect_bp,
+                           perfect_dcache=perfect_dcache)
+                  for perfect_bp, perfect_dcache in _POINTS)
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                          scale=scale, budget=budget, evals=specs)
+              for name in workloads]
+    summaries = runner.run(points)
+
     rows = []
-    for name in workloads:
-        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED), scale=scale,
-                        budget=budget)
+    for name, summary in zip(workloads, summaries):
         row = [name]
-        for perfect_bp, perfect_dcache in _POINTS:
-            machine = ildp_config(8, 0)
-            machine.perfect_prediction = perfect_bp
-            machine.perfect_dcache = perfect_dcache
-            row.append(ILDPModel(machine).run(result.trace).ipc)
+        for spec in specs:
+            row.append(summary["evals"][spec.key()]["ipc"])
         rows.append(row)
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Ablation — idealisation (modified I-ISA, ILDP 8 PE)", HEADERS,
         rows,
         notes=["oracle branch prediction / always-hit L1-D isolate "
-               "front-end and memory losses from true dependence limits"])
+               "front-end and memory losses from true dependence limits"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -6,11 +6,11 @@ dependence-based steering matters once global communication costs cycles,
 against a naive least-loaded policy and a no-renaming modulo policy.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, ildp_ipc
 from repro.ildp_isa.opcodes import IFormat
-from repro.uarch.config import ildp_config
-from repro.uarch.ildp import ILDPModel
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -21,24 +21,29 @@ _POINTS = (("dependence", 0), ("dependence", 2), ("least_loaded", 2),
            ("modulo", 2))
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    specs = tuple(ildp_ipc(pes=8, comm=comm, steering=steering)
+                  for steering, comm in _POINTS)
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                          scale=scale, budget=budget, evals=specs)
+              for name in workloads]
+    summaries = runner.run(points)
+
     rows = []
-    for name in workloads:
-        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED), scale=scale,
-                        budget=budget)
+    for name, summary in zip(workloads, summaries):
         row = [name]
-        for steering, comm in _POINTS:
-            machine = ildp_config(8, comm)
-            machine.steering = steering
-            row.append(ILDPModel(machine).run(result.trace).ipc)
+        for spec in specs:
+            row.append(summary["evals"][spec.key()]["ipc"])
         rows.append(row)
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Ablation — strand steering heuristics (modified I-ISA, 8 PEs)",
         HEADERS, rows,
-        notes=["c0/c2 = 0/2-cycle global communication latency"])
+        notes=["c0/c2 = 0/2-cycle global communication latency"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

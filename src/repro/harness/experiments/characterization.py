@@ -6,8 +6,10 @@ captured superblock size — the properties that drive everything else in
 the evaluation.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, instruction_mix
 from repro.ildp_isa.opcodes import IFormat
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
@@ -16,33 +18,23 @@ HEADERS = ("workload", "dyn insts", "load%", "store%", "cond%",
            "call+ret%", "indirect%", "avg superblock")
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    points = []
+    for name in workloads:
+        points.append(RunPoint.original(name, scale=scale, budget=budget,
+                                        evals=(instruction_mix(),)))
+        points.append(RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                                  scale=scale, budget=budget))
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
-        trace, _interp = run_original(name, scale=scale, budget=budget)
-        total = len(trace)
-        counts = {"load": 0, "store": 0, "cond": 0, "callret": 0,
-                  "indirect": 0}
-        for record in trace:
-            if record.op_class == "load":
-                counts["load"] += 1
-            elif record.op_class == "store":
-                counts["store"] += 1
-            elif record.btype == "cond":
-                counts["cond"] += 1
-            elif record.btype in ("call", "ret"):
-                counts["callret"] += 1
-            elif record.btype in ("call_ind", "indirect"):
-                counts["indirect"] += 1
-
-        vm_result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
-                           scale=scale, budget=budget,
-                           collect_trace=False)
-        fragments = vm_result.tcache.fragments
-        avg_block = (sum(f.source_instr_count for f in fragments)
-                     / len(fragments)) if fragments else 0.0
+        counts = next(summaries)["evals"]["instruction_mix"]
+        vm_summary = next(summaries)
+        total = counts["total"]
         rows.append([
             name, total,
             100.0 * counts["load"] / total,
@@ -50,12 +42,12 @@ def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
             100.0 * counts["cond"] / total,
             100.0 * counts["callret"] / total,
             100.0 * counts["indirect"] / total,
-            avg_block,
+            vm_summary["tcache"]["avg_superblock"],
         ])
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Workload characterization (dynamic instruction mix)", HEADERS,
-        rows)
+        rows, run_report=runner.last_report)
 
 
 def _average_row(rows):

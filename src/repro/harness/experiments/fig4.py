@@ -9,12 +9,16 @@ above the original, and the dual-address RAS brings it down to nearly the
 original's level.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import (  # noqa: F401  (count_mispredictions
+    RunPoint,                          #  re-exported for existing callers)
+    count_mispredictions,
+    mispredictions,
+)
 from repro.ildp_isa.opcodes import IFormat
 from repro.translator.chaining import ChainingPolicy
-from repro.uarch.config import SUPERSCALAR, MachineConfig
-from repro.uarch.predictors import BranchUnit
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -25,40 +29,32 @@ HEADERS = ("workload", "original", "no_pred", "sw_pred.no_ras",
            "sw_pred.ras")
 
 
-def count_mispredictions(trace, machine_config=None):
-    """Feed a trace through the branch-prediction stack alone; returns
-    mispredictions per 1,000 V-ISA instructions.
-
-    Normalising by V-ISA instructions (not machine instructions) keeps the
-    comparison across chaining schemes apples-to-apples: ``no_pred``'s
-    20-instruction dispatch bodies would otherwise dilute its own
-    misprediction rate.
-    """
-    unit = BranchUnit(machine_config if machine_config is not None
-                      else MachineConfig("predictor-only"))
-    for record in trace:
-        unit.note_instruction(record.v_weight)
-        if record.btype is not None:
-            unit.process(record)
-    return unit.stats.per_kilo_instructions()
-
-
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
-    rows = []
+    runner = runner if runner is not None else PointRunner()
+    measure = (mispredictions(),)
+    points = []
     for name in workloads:
-        trace, _interp = run_original(name, scale=scale, budget=budget)
-        row = [name, count_mispredictions(trace)]
+        points.append(RunPoint.original(name, scale=scale, budget=budget,
+                                        evals=measure))
         for policy in POLICIES:
             config = VMConfig(fmt=IFormat.ALPHA, policy=policy)
-            result = run_vm(name, config, scale=scale, budget=budget)
-            row.append(count_mispredictions(result.trace))
+            points.append(RunPoint.vm(name, config, scale=scale,
+                                      budget=budget, evals=measure))
+    summaries = iter(runner.run(points))
+
+    rows = []
+    for name in workloads:
+        row = [name]
+        for _series in range(1 + len(POLICIES)):
+            row.append(next(summaries)["evals"]["mispredictions"])
         rows.append(row)
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Fig. 4 — mispredictions per 1,000 instructions", HEADERS, rows,
-        notes=["code-straightening-only (ALPHA) target; Table 1 predictors"])
+        notes=["code-straightening-only (ALPHA) target; Table 1 predictors"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -7,8 +7,10 @@ register-indirect transfers (gap, perlbmk, eon) expand most; benchmarks
 whose calls are direct BSRs barely expand (Section 4.3).
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint
 from repro.ildp_isa.opcodes import IFormat
 from repro.translator.chaining import ChainingPolicy
 from repro.vm.config import VMConfig
@@ -18,18 +20,21 @@ HEADERS = ("workload", "relative instruction count")
 
 
 def run(workloads=None, scale=None, budget=DEFAULT_BUDGET,
-        policy=ChainingPolicy.SW_PRED_RAS):
+        policy=ChainingPolicy.SW_PRED_RAS, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
-    rows = []
-    for name in workloads:
-        config = VMConfig(fmt=IFormat.ALPHA, policy=policy)
-        result = run_vm(name, config, scale=scale, budget=budget,
-                        collect_trace=False)
-        rows.append([name, result.stats.dynamic_expansion()])
+    runner = runner if runner is not None else PointRunner()
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.ALPHA, policy=policy),
+                          scale=scale, budget=budget)
+              for name in workloads]
+    summaries = runner.run(points)
+
+    rows = [[name, summary["stats"]["dynamic_expansion"]]
+            for name, summary in zip(workloads, summaries)]
     average = sum(row[1] for row in rows) / len(rows)
     rows.append(["Avg.", average])
     return ExperimentResult(
         "Fig. 5 — relative instruction count (straightened / original)",
         HEADERS, rows,
-        notes=[f"chaining policy: {policy.value}"])
+        notes=[f"chaining policy: {policy.value}"],
+        run_report=runner.last_report)

@@ -11,12 +11,12 @@ original-without-RAS (chaining overhead eats the straightening benefit);
 straightened-with-dual-RAS is about level with original-with-RAS.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, superscalar_ipc
 from repro.ildp_isa.opcodes import IFormat
 from repro.translator.chaining import ChainingPolicy
-from repro.uarch.config import MachineConfig
-from repro.uarch.superscalar import SuperscalarModel
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -24,35 +24,43 @@ HEADERS = ("workload", "orig.no_ras", "orig.ras", "straight.no_ras",
            "straight.ras")
 
 
-def _machine(use_ras):
-    return MachineConfig("superscalar-ooo",
-                         use_conventional_ras=use_ras)
-
-
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    points = []
+    for name in workloads:
+        points.append(RunPoint.original(
+            name, scale=scale, budget=budget,
+            evals=(superscalar_ipc(use_ras=False),
+                   superscalar_ipc(use_ras=True))))
+        points.append(RunPoint.vm(
+            name, VMConfig(fmt=IFormat.ALPHA,
+                           policy=ChainingPolicy.SW_PRED_NO_RAS),
+            scale=scale, budget=budget,
+            evals=(superscalar_ipc(use_ras=False),)))
+        points.append(RunPoint.vm(
+            name, VMConfig(fmt=IFormat.ALPHA,
+                           policy=ChainingPolicy.SW_PRED_RAS),
+            scale=scale, budget=budget,
+            evals=(superscalar_ipc(use_ras=True),)))
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
-        trace, _interp = run_original(name, scale=scale, budget=budget)
-        orig_noras = SuperscalarModel(_machine(False)).run(trace).ipc
-        orig_ras = SuperscalarModel(_machine(True)).run(trace).ipc
-
-        noras = run_vm(name, VMConfig(fmt=IFormat.ALPHA,
-                                      policy=ChainingPolicy.SW_PRED_NO_RAS),
-                       scale=scale, budget=budget)
-        straight_noras = SuperscalarModel(_machine(False)).run(
-            noras.trace).ipc
-        ras = run_vm(name, VMConfig(fmt=IFormat.ALPHA,
-                                    policy=ChainingPolicy.SW_PRED_RAS),
-                     scale=scale, budget=budget)
-        straight_ras = SuperscalarModel(_machine(True)).run(ras.trace).ipc
-        rows.append([name, orig_noras, orig_ras, straight_noras,
-                     straight_ras])
+        original = next(summaries)["evals"]
+        straight_noras = next(summaries)["evals"]
+        straight_ras = next(summaries)["evals"]
+        rows.append([name,
+                     original[superscalar_ipc(use_ras=False).key()],
+                     original[superscalar_ipc(use_ras=True).key()],
+                     straight_noras[superscalar_ipc(use_ras=False).key()],
+                     straight_ras[superscalar_ipc(use_ras=True).key()]])
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Fig. 6 — IPC: code straightening and hardware RAS", HEADERS, rows,
-        notes=["IPC counts V-ISA instructions per cycle"])
+        notes=["IPC counts V-ISA instructions per cycle"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -7,8 +7,10 @@ format additionally pays for ``local->global`` and ``no-user->global``
 conversions plus spills, pushing global outputs to about 40%.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint
 from repro.ildp_isa.opcodes import IFormat
 from repro.translator.usage import ValueClass
 from repro.vm.config import VMConfig
@@ -36,17 +38,21 @@ _BASIC_GLOBAL = _MODIFIED_GLOBAL | {ValueClass.LOCAL_TO_GLOBAL,
                                     ValueClass.NOUSER_TO_GLOBAL}
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                          scale=scale, budget=budget)
+              for name in workloads]
+    summaries = runner.run(points)
+
     rows = []
-    for name in workloads:
-        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED), scale=scale,
-                        budget=budget, collect_trace=False)
-        histogram = result.stats.dynamic_usage_histogram(result.tcache)
+    for name, summary in zip(workloads, summaries):
+        histogram = summary["usage"]
         total = sum(histogram.values()) or 1
-        shares = {vclass: 100.0 * count / total
-                  for vclass, count in histogram.items()}
+        shares = {vclass: 100.0 * histogram[vclass.value] / total
+                  for vclass in ValueClass}
         row = [name] + [shares[vclass] for vclass in _ORDER]
         row.append(sum(shares[c] for c in _MODIFIED_GLOBAL))
         row.append(sum(shares[c] for c in _BASIC_GLOBAL))
@@ -54,7 +60,8 @@ def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Fig. 7 — output register usage (% of superblock values, "
-        "dynamically weighted)", HEADERS, rows)
+        "dynamically weighted)", HEADERS, rows,
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

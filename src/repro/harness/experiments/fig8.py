@@ -11,12 +11,11 @@ roughly 15% of straightened-Alpha IPC despite ~36% more instructions, with
 a clearly higher native IPC.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, ildp_ipc, superscalar_ipc
 from repro.ildp_isa.opcodes import IFormat
-from repro.uarch.config import SUPERSCALAR, MachineConfig, ildp_config
-from repro.uarch.ildp import ILDPModel
-from repro.uarch.superscalar import SuperscalarModel
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -24,35 +23,40 @@ HEADERS = ("workload", "original", "straightened", "basic", "modified",
            "native I-IPC")
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    machine = ildp_ipc(pes=8, comm=0)
+    points = []
+    for name in workloads:
+        points.append(RunPoint.original(name, scale=scale, budget=budget,
+                                        evals=(superscalar_ipc(),)))
+        points.append(RunPoint.vm(name, VMConfig(fmt=IFormat.ALPHA),
+                                  scale=scale, budget=budget,
+                                  evals=(superscalar_ipc(),)))
+        points.append(RunPoint.vm(name, VMConfig(fmt=IFormat.BASIC),
+                                  scale=scale, budget=budget,
+                                  evals=(machine,)))
+        points.append(RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                                  scale=scale, budget=budget,
+                                  evals=(machine,)))
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
-        trace, _interp = run_original(name, scale=scale, budget=budget)
-        original = SuperscalarModel(MachineConfig("superscalar-ooo")).run(
-            trace).ipc
-
-        straight = run_vm(name, VMConfig(fmt=IFormat.ALPHA), scale=scale,
-                          budget=budget)
-        straightened = SuperscalarModel(
-            MachineConfig("superscalar-ooo")).run(straight.trace).ipc
-
-        basic_run = run_vm(name, VMConfig(fmt=IFormat.BASIC), scale=scale,
-                           budget=budget)
-        basic = ILDPModel(ildp_config(8, 0)).run(basic_run.trace).ipc
-
-        modified_run = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
-                              scale=scale, budget=budget)
-        modified_result = ILDPModel(ildp_config(8, 0)).run(
-            modified_run.trace)
+        original = next(summaries)["evals"][superscalar_ipc().key()]
+        straightened = next(summaries)["evals"][superscalar_ipc().key()]
+        basic = next(summaries)["evals"][machine.key()]["ipc"]
+        modified = next(summaries)["evals"][machine.key()]
         rows.append([name, original, straightened, basic,
-                     modified_result.ipc, modified_result.native_ipc])
+                     modified["ipc"], modified["native_ipc"]])
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Fig. 8 — IPC comparison (V-ISA instructions per cycle)", HEADERS,
         rows,
-        notes=["ILDP: 8 PEs, 32KB L1-D, 0-cycle communication latency"])
+        notes=["ILDP: 8 PEs, 32KB L1-D, 0-cycle communication latency"],
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -9,11 +9,11 @@ Configurations, matching the paper's bars:
 * 6 PEs — expected ~-5%;  4 PEs — expected ~-18%.
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint, ildp_ipc
 from repro.ildp_isa.opcodes import IFormat
-from repro.uarch.config import ildp_config
-from repro.uarch.ildp import ILDPModel
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
 
@@ -31,28 +31,37 @@ CONFIGS = (
 )
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    # translations depend only on the accumulator count: one VM run per
+    # accumulator count, carrying the machine evaluations that need it
+    by_accs = {}
+    for _label, n_accs, pes, comm, small in CONFIGS:
+        by_accs.setdefault(n_accs, []).append(
+            ildp_ipc(pes=pes, comm=comm, dcache_small=small))
+    points = [RunPoint.vm(name,
+                          VMConfig(fmt=IFormat.MODIFIED,
+                                   n_accumulators=n_accs),
+                          scale=scale, budget=budget, evals=tuple(evals))
+              for name in workloads
+              for n_accs, evals in sorted(by_accs.items())]
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
+        evals_by_accs = {n_accs: next(summaries)["evals"]
+                         for n_accs in sorted(by_accs)}
         row = [name]
-        traces = {}
         for _label, n_accs, pes, comm, small in CONFIGS:
-            # translations depend only on the accumulator count; reuse them
-            if n_accs not in traces:
-                result = run_vm(
-                    name, VMConfig(fmt=IFormat.MODIFIED,
-                                   n_accumulators=n_accs),
-                    scale=scale, budget=budget)
-                traces[n_accs] = result.trace
-            machine = ildp_config(pes, comm, dcache_small=small)
-            row.append(ILDPModel(machine).run(traces[n_accs]).ipc)
+            spec = ildp_ipc(pes=pes, comm=comm, dcache_small=small)
+            row.append(evals_by_accs[n_accs][spec.key()]["ipc"])
         rows.append(row)
     rows.append(_average_row(rows))
     return ExperimentResult(
         "Fig. 9 — IPC variation over machine parameters (modified I-ISA)",
-        HEADERS, rows)
+        HEADERS, rows, run_report=runner.last_report)
 
 
 def _average_row(rows):

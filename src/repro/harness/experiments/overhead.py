@@ -6,8 +6,10 @@ instructions per translated source instruction, with the phase breakdown
 translated instructions field-by-field into the translation cache).
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint
 from repro.ildp_isa.opcodes import IFormat
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
@@ -17,22 +19,26 @@ HEADERS = ("workload", "insts/translated inst", "tcache-copy share",
            "fragments")
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    points = [RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                          scale=scale, budget=budget)
+              for name in workloads]
+    summaries = runner.run(points)
+
     rows = []
-    for name in workloads:
-        result = run_vm(name, VMConfig(fmt=IFormat.MODIFIED), scale=scale,
-                        budget=budget, collect_trace=False)
-        cost = result.vm.cost_model
+    for name, summary in zip(workloads, summaries):
+        cost = summary["cost"]
         rows.append([
             name,
-            cost.per_translated_instruction(),
-            cost.phase_fraction("tcache_copy"),
-            cost.phase_fraction("codegen"),
-            result.stats.interpretation_overhead(),
-            result.vm.profiler.candidate_count(),
-            cost.fragments,
+            cost["per_translated_instruction"],
+            cost["phase_fractions"]["tcache_copy"],
+            cost["phase_fractions"]["codegen"],
+            summary["stats"]["interpretation_overhead"],
+            summary["profiler_candidates"],
+            cost["fragments"],
         ])
     rows.append(["Avg.",
                  sum(r[1] for r in rows) / len(rows),
@@ -46,4 +52,5 @@ def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
         notes=["paper: ~1,125 Alpha instructions per translated "
                "instruction, ~20% in tcache copying",
                "paper Section 4.1: interpretation ~1,000 instructions "
-               "per source instruction; counter population is small"])
+               "per source instruction; counter population is small"],
+        run_report=runner.last_report)

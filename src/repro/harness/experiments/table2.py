@@ -8,8 +8,10 @@ Per benchmark, for the basic (B) and modified (M) formats:
 * modelled translation overhead (last column, ~1,125 on average).
 """
 
+from repro.harness.parallel import PointRunner
 from repro.harness.reporting import ExperimentResult
-from repro.harness.runner import DEFAULT_BUDGET, run_vm
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint
 from repro.ildp_isa.opcodes import IFormat
 from repro.vm.config import VMConfig
 from repro.workloads import WORKLOAD_NAMES
@@ -18,28 +20,36 @@ HEADERS = ("workload", "dyn B", "dyn M", "copy% B", "copy% M",
            "bytes B", "bytes M", "insts/translated inst")
 
 
-def run(workloads=None, scale=None, budget=DEFAULT_BUDGET):
+def run(workloads=None, scale=None, budget=DEFAULT_BUDGET, runner=None):
     """Run the experiment; returns an ExperimentResult (see module doc)."""
     workloads = workloads if workloads is not None else WORKLOAD_NAMES
+    runner = runner if runner is not None else PointRunner()
+    points = []
+    for name in workloads:
+        points.append(RunPoint.vm(name, VMConfig(fmt=IFormat.BASIC),
+                                  scale=scale, budget=budget))
+        points.append(RunPoint.vm(name, VMConfig(fmt=IFormat.MODIFIED),
+                                  scale=scale, budget=budget))
+    summaries = iter(runner.run(points))
+
     rows = []
     for name in workloads:
-        basic = run_vm(name, VMConfig(fmt=IFormat.BASIC), scale=scale,
-                       budget=budget, collect_trace=False)
-        modified = run_vm(name, VMConfig(fmt=IFormat.MODIFIED),
-                          scale=scale, budget=budget, collect_trace=False)
+        basic = next(summaries)
+        modified = next(summaries)
         rows.append([
             name,
-            basic.stats.dynamic_expansion(),
-            modified.stats.dynamic_expansion(),
-            basic.stats.copy_percentage(),
-            modified.stats.copy_percentage(),
-            basic.stats.static_expansion(basic.tcache),
-            modified.stats.static_expansion(modified.tcache),
-            modified.vm.cost_model.per_translated_instruction(),
+            basic["stats"]["dynamic_expansion"],
+            modified["stats"]["dynamic_expansion"],
+            basic["stats"]["copy_pct"],
+            modified["stats"]["copy_pct"],
+            basic["stats"]["static_expansion"],
+            modified["stats"]["static_expansion"],
+            modified["cost"]["per_translated_instruction"],
         ])
     rows.append(_average_row(rows))
     return ExperimentResult(
-        "Table 2 — translated instruction statistics", HEADERS, rows)
+        "Table 2 — translated instruction statistics", HEADERS, rows,
+        run_report=runner.last_report)
 
 
 def _average_row(rows):

@@ -1,0 +1,142 @@
+"""Parallel, memoizing execution of harness run points.
+
+:class:`PointRunner` is the single entry point the experiment drivers use:
+
+* duplicate points inside one batch are computed once and shared;
+* points answered by the :class:`~repro.harness.resultcache.ResultCache`
+  never reach a VM at all;
+* the remaining points run serially (``workers=1``) or fan out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Every run point is an
+  independent, deterministic pure function (see
+  :mod:`repro.harness.runpoints`), so the three execution strategies are
+  interchangeable — the equivalence tests assert bit-identical tables.
+
+If the process pool cannot be created or dies (restricted sandboxes,
+missing semaphores), the runner falls back to serial execution and records
+the fact in its report rather than failing the experiment.
+"""
+
+import time
+
+from repro.harness.runpoints import execute_point
+
+
+class RunReport:
+    """Counters accumulated across one runner's batches."""
+
+    def __init__(self):
+        self.requested = 0
+        self.unique = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.vm_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.pool_failures = 0
+
+    def snapshot(self):
+        """A plain-dict copy (for per-experiment deltas)."""
+        return {
+            "requested": self.requested,
+            "unique": self.unique,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "vm_seconds": self.vm_seconds,
+            "wall_seconds": self.wall_seconds,
+            "pool_failures": self.pool_failures,
+        }
+
+    def render(self):
+        """One human-readable line for CLI output."""
+        line = (f"run points: {self.requested} requested, "
+                f"{self.unique} unique, {self.cache_hits} cache hits, "
+                f"{self.executed} executed; "
+                f"vm time {self.vm_seconds:.1f}s, "
+                f"wall {self.wall_seconds:.1f}s")
+        if self.pool_failures:
+            line += f" (pool unavailable, ran serially x{self.pool_failures})"
+        return line
+
+    def __repr__(self):
+        return f"RunReport({self.render()})"
+
+
+def _delta(before, after):
+    return {key: after[key] - before[key] for key in after}
+
+
+class PointRunner:
+    """Executes batches of run points with caching and optional workers."""
+
+    def __init__(self, workers=1, cache=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache
+        self.report = RunReport()
+        #: report delta for the most recent :meth:`run` call
+        self.last_report = None
+
+    def run(self, points):
+        """Execute ``points``; returns their summaries in input order."""
+        points = list(points)
+        before = self.report.snapshot()
+        started = time.perf_counter()
+
+        # de-duplicate within the batch
+        order = []            # unique points, first-seen order
+        index_of = {}         # identity -> position in `order`
+        slots = []            # for each input point: its unique index
+        for point in points:
+            identity = point.identity()
+            if identity not in index_of:
+                index_of[identity] = len(order)
+                order.append(point)
+            slots.append(index_of[identity])
+
+        summaries = [None] * len(order)
+        pending = []
+        for index, point in enumerate(order):
+            cached = self.cache.get(point) if self.cache is not None \
+                else None
+            if cached is not None:
+                summaries[index] = cached
+                self.report.cache_hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            self._execute_pending(order, summaries, pending)
+
+        self.report.requested += len(points)
+        self.report.unique += len(order)
+        self.report.wall_seconds += time.perf_counter() - started
+        self.last_report = _delta(before, self.report.snapshot())
+        return [summaries[slot] for slot in slots]
+
+    # -- execution strategies -------------------------------------------------
+
+    def _execute_pending(self, order, summaries, pending):
+        executed = None
+        if self.workers > 1 and len(pending) > 1:
+            executed = self._run_pool([order[i] for i in pending])
+        if executed is None:
+            executed = [execute_point(order[i]) for i in pending]
+        for index, summary in zip(pending, executed):
+            summaries[index] = summary
+            self.report.executed += 1
+            self.report.vm_seconds += summary.get("elapsed", 0.0)
+            if self.cache is not None:
+                self.cache.put(order[index], summary)
+
+    def _run_pool(self, points):
+        """Fan out over a process pool; returns None when unavailable."""
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        max_workers = min(self.workers, len(points))
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(execute_point, points))
+        except (OSError, ImportError, PermissionError, BrokenProcessPool):
+            self.report.pool_failures += 1
+            return None

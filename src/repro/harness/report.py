@@ -8,6 +8,7 @@ markdown document — the "reproduce everything" button.
 import time
 
 from repro.harness import experiments
+from repro.harness.parallel import PointRunner
 
 #: (experiment module name, paper anchor) in presentation order.
 REPORT_SECTIONS = (
@@ -38,8 +39,14 @@ def _markdown_table(result):
 
 
 def generate_report(workloads=None, budget=60_000, sections=None,
-                    progress=None):
-    """Run every experiment; returns the markdown text."""
+                    progress=None, runner=None):
+    """Run every experiment; returns the markdown text.
+
+    All sections share one ``runner``, so identical run points requested
+    by several experiments execute only once per report — and, with a
+    cache attached, at most once ever.
+    """
+    runner = runner if runner is not None else PointRunner()
     chosen = sections if sections is not None else \
         [name for name, _title in REPORT_SECTIONS]
     titles = dict(REPORT_SECTIONS)
@@ -53,7 +60,8 @@ def generate_report(workloads=None, budget=60_000, sections=None,
     for name in chosen:
         module = getattr(experiments, name)
         started = time.time()
-        result = module.run(workloads=workloads, budget=budget)
+        result = module.run(workloads=workloads, budget=budget,
+                            runner=runner)
         elapsed = time.time() - started
         if progress is not None:
             progress(name, elapsed)

@@ -29,11 +29,16 @@ def _cell(value):
 class ExperimentResult:
     """Headers + rows + provenance for one experiment."""
 
-    def __init__(self, name, headers, rows, notes=None):
+    def __init__(self, name, headers, rows, notes=None, run_report=None):
         self.name = name
         self.headers = headers
         self._rows = rows
         self.notes = notes or []
+        #: Per-run timing / cache-hit counters from the PointRunner that
+        #: produced the rows (a plain dict), or None.  Deliberately *not*
+        #: part of :meth:`render`: the rendered table must stay
+        #: byte-identical across serial, parallel and cached executions.
+        self.run_report = run_report
 
     def rows(self):
         return list(self._rows)

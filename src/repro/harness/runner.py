@@ -1,4 +1,14 @@
-"""Shared run plumbing for the experiment drivers."""
+"""Shared run plumbing for the experiment drivers.
+
+``run_vm`` / ``run_original`` are the low-level primitives: they execute
+one workload and hand back live simulator objects.  The experiment
+drivers do not call them directly any more — they declare
+:class:`~repro.harness.runpoints.RunPoint` batches and hand them to a
+:class:`~repro.harness.parallel.PointRunner`, which executes them through
+:func:`~repro.harness.runpoints.execute_point` (itself built on the
+primitives below), optionally in parallel worker processes and memoised
+by the persistent :class:`~repro.harness.resultcache.ResultCache`.
+"""
 
 from repro.uarch.trace_utils import interpreter_trace
 from repro.vm.config import VMConfig

@@ -1,0 +1,319 @@
+"""Declarative run points: the unit of work the experiment harness runs.
+
+Every figure/table experiment boils down to a set of independent
+``(workload, config, budget)`` VM or pure-interpreter runs, each followed
+by a handful of trace-derived measurements (timing-model IPC, predictor
+statistics, instruction-mix counts).  Experiments declare these as
+:class:`RunPoint` values — plain, hashable, picklable data — and hand them
+to :class:`repro.harness.parallel.PointRunner`, which can execute them
+serially, fan them out over a process pool, or answer them from the
+persistent result cache.
+
+The contract that makes caching and parallelism safe is that
+:func:`execute_point` is a *pure function* of the run point: the whole
+simulator is deterministic (no wall clock, no global random state), so two
+executions of the same point produce the same :class:`RunSummary` fields,
+bit for bit.  Summaries carry only JSON-able scalars and small dicts —
+never live VM objects or traces — so a summary computed in a worker
+process, read back from the cache, or computed inline is indistinguishable.
+"""
+
+import time
+
+from repro.harness.runner import DEFAULT_BUDGET, run_original, run_vm
+from repro.translator.usage import ValueClass
+from repro.uarch.config import MachineConfig, ildp_config
+from repro.uarch.ildp import ILDPModel
+from repro.uarch.predictors import BranchUnit
+from repro.uarch.superscalar import SuperscalarModel
+from repro.vm.config import VMConfig
+
+#: Bump when the summary layout or any run semantics change; part of every
+#: cache key, so stale on-disk entries can never be returned.
+SCHEMA_VERSION = 1
+
+
+class EvalSpec:
+    """One named trace-derived measurement with frozen parameters."""
+
+    __slots__ = ("name", "params")
+
+    def __init__(self, name, **params):
+        if name not in EVALUATORS:
+            raise KeyError(f"unknown evaluator {name!r}")
+        self.name = name
+        self.params = tuple(sorted(params.items()))
+
+    def key(self):
+        """Stable string identity, used as the summary's ``evals`` key."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+    def __eq__(self, other):
+        return isinstance(other, EvalSpec) and \
+            (self.name, self.params) == (other.name, other.params)
+
+    def __hash__(self):
+        return hash((self.name, self.params))
+
+    def __repr__(self):
+        return f"EvalSpec({self.key()})"
+
+
+def ildp_ipc(pes=8, comm=0, dcache_small=False, steering="dependence",
+             perfect_bp=False, perfect_dcache=False):
+    """ILDP timing model; yields ``{"ipc", "native_ipc"}``."""
+    return EvalSpec("ildp_ipc", pes=pes, comm=comm,
+                    dcache_small=dcache_small, steering=steering,
+                    perfect_bp=perfect_bp, perfect_dcache=perfect_dcache)
+
+
+def superscalar_ipc(use_ras=True):
+    """Out-of-order superscalar timing model; yields the V-ISA IPC."""
+    return EvalSpec("superscalar_ipc", use_ras=use_ras)
+
+
+def mispredictions():
+    """Branch-prediction stack alone; mispredictions per 1,000 V-ISA
+    instructions (Fig. 4)."""
+    return EvalSpec("mispredictions")
+
+
+def instruction_mix():
+    """Dynamic instruction-mix counts for the characterization table."""
+    return EvalSpec("instruction_mix")
+
+
+class RunPoint:
+    """One independent harness run, as data.
+
+    ``kind`` is ``"vm"`` (co-designed VM) or ``"original"`` (pure
+    interpretation, the paper's unmodified-binary configuration).
+    ``config`` is a tuple of sorted ``(field, value)`` pairs from
+    :meth:`VMConfig.key_fields` — primitives only, so points hash, pickle
+    and serialise to JSON without help.
+    """
+
+    __slots__ = ("kind", "workload", "scale", "budget", "config", "evals")
+
+    def __init__(self, kind, workload, scale, budget, config, evals):
+        self.kind = kind
+        self.workload = workload
+        self.scale = scale
+        self.budget = budget
+        self.config = config
+        self.evals = tuple(evals)
+
+    @classmethod
+    def vm(cls, workload, config=None, scale=None, budget=DEFAULT_BUDGET,
+           evals=()):
+        """A co-designed-VM run point."""
+        config = config if config is not None else VMConfig()
+        fields = tuple(sorted(config.key_fields().items()))
+        return cls("vm", workload, scale, budget, fields, evals)
+
+    @classmethod
+    def original(cls, workload, scale=None, budget=DEFAULT_BUDGET,
+                 evals=()):
+        """A pure-interpretation ("original binary") run point."""
+        return cls("original", workload, scale, budget, None, evals)
+
+    def key_dict(self):
+        """Canonical JSON-able identity (the cache key's preimage)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": self.kind,
+            "workload": self.workload,
+            "scale": self.scale,
+            "budget": self.budget,
+            "config": None if self.config is None else dict(self.config),
+            "evals": [spec.key() for spec in self.evals],
+        }
+
+    def identity(self):
+        """Hashable identity tuple (for de-duplication within a batch)."""
+        return (self.kind, self.workload, self.scale, self.budget,
+                self.config, self.evals)
+
+    def __eq__(self, other):
+        return isinstance(other, RunPoint) and \
+            self.identity() == other.identity()
+
+    def __hash__(self):
+        return hash(self.identity())
+
+    def __repr__(self):
+        return (f"RunPoint({self.kind}, {self.workload}, "
+                f"budget={self.budget}, {len(self.evals)} evals)")
+
+
+# -- trace evaluators ---------------------------------------------------------
+
+def _eval_ildp_ipc(params, trace):
+    machine = ildp_config(params["pes"], params["comm"],
+                          dcache_small=params["dcache_small"])
+    machine.steering = params["steering"]
+    machine.perfect_prediction = params["perfect_bp"]
+    machine.perfect_dcache = params["perfect_dcache"]
+    result = ILDPModel(machine).run(trace)
+    return {"ipc": result.ipc, "native_ipc": result.native_ipc}
+
+
+def _eval_superscalar_ipc(params, trace):
+    machine = MachineConfig("superscalar-ooo",
+                            use_conventional_ras=params["use_ras"])
+    return SuperscalarModel(machine).run(trace).ipc
+
+
+def _eval_mispredictions(params, trace):
+    return count_mispredictions(trace)
+
+
+def _eval_instruction_mix(params, trace):
+    counts = {"total": len(trace), "load": 0, "store": 0, "cond": 0,
+              "callret": 0, "indirect": 0}
+    for record in trace:
+        if record.op_class == "load":
+            counts["load"] += 1
+        elif record.op_class == "store":
+            counts["store"] += 1
+        elif record.btype == "cond":
+            counts["cond"] += 1
+        elif record.btype in ("call", "ret"):
+            counts["callret"] += 1
+        elif record.btype in ("call_ind", "indirect"):
+            counts["indirect"] += 1
+    return counts
+
+
+def count_mispredictions(trace, machine_config=None):
+    """Feed a trace through the branch-prediction stack alone; returns
+    mispredictions per 1,000 V-ISA instructions.
+
+    Normalising by V-ISA instructions (not machine instructions) keeps the
+    comparison across chaining schemes apples-to-apples: ``no_pred``'s
+    20-instruction dispatch bodies would otherwise dilute its own
+    misprediction rate.
+    """
+    unit = BranchUnit(machine_config if machine_config is not None
+                      else MachineConfig("predictor-only"))
+    for record in trace:
+        unit.note_instruction(record.v_weight)
+        if record.btype is not None:
+            unit.process(record)
+    return unit.stats.per_kilo_instructions()
+
+
+EVALUATORS = {
+    "ildp_ipc": _eval_ildp_ipc,
+    "superscalar_ipc": _eval_superscalar_ipc,
+    "mispredictions": _eval_mispredictions,
+    "instruction_mix": _eval_instruction_mix,
+}
+
+
+# -- execution ----------------------------------------------------------------
+
+def execute_point(point):
+    """Run one point and distil it into a JSON-able summary dict.
+
+    This is the function parallel workers call; it must stay importable at
+    module top level and must not return live simulator objects.
+    """
+    started = time.perf_counter()
+    if point.kind == "original":
+        summary = _execute_original(point)
+    elif point.kind == "vm":
+        summary = _execute_vm(point)
+    else:
+        raise ValueError(f"unknown run-point kind {point.kind!r}")
+    summary["elapsed"] = time.perf_counter() - started
+    return summary
+
+
+def _base_summary(point):
+    return {
+        "kind": point.kind,
+        "workload": point.workload,
+        "scale": point.scale,
+        "budget": point.budget,
+        "evals": {},
+    }
+
+
+def _run_evals(summary, point, trace):
+    for spec in point.evals:
+        summary["evals"][spec.key()] = \
+            EVALUATORS[spec.name](dict(spec.params), trace)
+
+
+def _execute_original(point):
+    trace, interpreter = run_original(point.workload, scale=point.scale,
+                                      budget=point.budget)
+    summary = _base_summary(point)
+    summary.update({
+        "committed": interpreter.instruction_count,
+        "committed_nonnop": sum(record.v_weight for record in trace),
+        "console": interpreter.console_text(),
+        "state": {"pc": interpreter.state.pc,
+                  "regs": list(interpreter.state.regs)},
+        "trace_len": len(trace),
+    })
+    _run_evals(summary, point, trace)
+    return summary
+
+
+def _execute_vm(point):
+    config = VMConfig.from_dict(dict(point.config))
+    needs_trace = bool(point.evals)
+    result = run_vm(point.workload, config, scale=point.scale,
+                    budget=point.budget, collect_trace=needs_trace)
+    vm, stats, tcache = result.vm, result.stats, result.tcache
+    cost = vm.cost_model
+    fragments = tcache.fragments
+    source_instrs = sum(f.source_instr_count for f in fragments)
+    usage = stats.dynamic_usage_histogram(tcache)
+
+    summary = _base_summary(point)
+    summary.update({
+        "committed": stats.total_v_instructions(),
+        "committed_nonnop": stats.committed_v_instructions(),
+        "console": vm.console_text(),
+        "state": {"pc": vm.state.pc, "regs": list(vm.state.regs)},
+        "halted": vm.halted,
+        "trace_len": len(result.trace) if result.trace is not None else None,
+        "stats": {
+            "interpreted": stats.interpreted_instructions,
+            "translated_v": stats.source_instructions_executed,
+            "iinstructions": stats.iinstructions_executed,
+            "dispatch_instructions": stats.dispatch_instructions,
+            "dynamic_expansion": stats.dynamic_expansion(),
+            "copy_pct": stats.copy_percentage(),
+            "static_expansion": stats.static_expansion(tcache),
+            "fragments": stats.fragments_created,
+            "ras_hit_rate": stats.ras_hit_rate(),
+            "premature_terminations": stats.premature_terminations,
+            "interpretation_overhead": stats.interpretation_overhead(),
+            "traps_delivered": stats.traps_delivered,
+            "tcache_flushes": stats.tcache_flushes,
+        },
+        "tcache": {
+            "fragments": len(fragments),
+            "source_instructions": source_instrs,
+            "code_bytes": tcache.total_code_bytes(),
+            "avg_superblock": (source_instrs / len(fragments)
+                               if fragments else 0.0),
+        },
+        "cost": {
+            "per_translated_instruction": cost.per_translated_instruction(),
+            "phase_fractions": {phase: cost.phase_fraction(phase)
+                                for phase in sorted(cost.weights)},
+            "fragments": cost.fragments,
+        },
+        "profiler_candidates": vm.profiler.candidate_count(),
+        "usage": {vclass.value: usage[vclass] for vclass in ValueClass},
+    })
+    _run_evals(summary, point, result.trace if needs_trace else [])
+    return summary

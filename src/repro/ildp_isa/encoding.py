@@ -1,0 +1,207 @@
+"""Binary encoding of I-ISA instructions.
+
+The in-memory translator works on :class:`IInstruction` objects; this
+module defines the reference bit-level encoding a real co-designed VM
+would emit into its concealed translation cache.  One instruction packs
+into a fixed-width word (:data:`IWORD_BITS` bits, returned as a Python
+int) laid out LSB-first in the field order of :data:`_FIELDS` below.
+
+Design notes:
+
+* every optional field spends a sentinel code (``0`` = absent) rather
+  than a separate presence bit, except the three address fields, which
+  carry an explicit presence bit so that address 0 stays representable;
+* ``imm`` is 64-bit two's complement — V-ISA displacements and literals
+  are sign-extended before they reach the translator;
+* the *layout* attributes (``address``, ``size``, ``strand_start``,
+  ``v_weight``) are deliberately not encoded: they are products of
+  translation-cache layout, recomputed when a fragment is placed, not
+  part of the instruction itself;
+* :func:`decode_iinstr` validates every field domain and the reserved
+  high bits, so a corrupted word raises :class:`IEncodingError` instead
+  of producing a plausible-looking wrong instruction.
+"""
+
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IOp
+from repro.ildp_isa.semantics import IALU_OPS
+from repro.isa.semantics import BRANCH_CONDITIONS
+
+
+class IEncodingError(Exception):
+    """Raised for unencodable instructions and malformed words."""
+
+
+#: iop code = index into this table (sorted for stability across runs).
+_IOPS = tuple(sorted(IOp, key=lambda iop: iop.value))
+_IOP_CODE = {iop: index for index, iop in enumerate(_IOPS)}
+
+#: op-name code; 0 reserved for None.  Covers the ALU table (including
+#: the cmov decomposition helpers) and the branch-condition names.
+_OP_NAMES = (None,) + tuple(sorted(set(IALU_OPS) | set(BRANCH_CONDITIONS)))
+_OP_CODE = {name: index for index, name in enumerate(_OP_NAMES)}
+
+#: operand-source specifier code (shared by the five ``*_src`` fields).
+_SOURCES = (None, "acc", "gpr", "gpr2", "imm", "zero")
+_SOURCE_CODE = {name: index for index, name in enumerate(_SOURCES)}
+
+_MEM_SIZES = (1, 2, 4, 8)
+
+_REG_BITS = 6         # 0 = None, else register + 1 (registers 0..31)
+_ACC_BITS = 5         # 0 = None, else accumulator + 1
+_ADDR_BITS = 48       # target / vtarget / vpc value width
+_IMM_BITS = 64
+
+
+def _optional(value, limit, what):
+    """Sentinel-coded optional small int: 0 = None, else value + 1."""
+    if value is None:
+        return 0
+    if not isinstance(value, int) or not 0 <= value < limit:
+        raise IEncodingError(f"{what} out of range: {value!r}")
+    return value + 1
+
+
+def _coded(table, value, what):
+    try:
+        return table[value]
+    except (KeyError, TypeError):
+        raise IEncodingError(f"unencodable {what}: {value!r}") from None
+
+
+def _address(value, what):
+    """Presence-bit-plus-value coding for the address fields."""
+    if value is None:
+        return 0
+    if not isinstance(value, int) or not 0 <= value < (1 << _ADDR_BITS):
+        raise IEncodingError(f"{what} out of range: {value!r}")
+    return (1 << _ADDR_BITS) | value
+
+
+def encode_iinstr(instr):
+    """Pack one IInstruction into its fixed-width binary word."""
+    if instr.imm is None or not -(1 << 63) <= instr.imm < (1 << 63):
+        raise IEncodingError(f"imm out of range: {instr.imm!r}")
+    if instr.mem_size not in _MEM_SIZES:
+        raise IEncodingError(f"bad mem_size: {instr.mem_size!r}")
+
+    fields = (
+        (_coded(_IOP_CODE, instr.iop, "iop"), 5),
+        (_coded(_OP_CODE, instr.op, "op"), 7),
+        (_optional(instr.acc, (1 << _ACC_BITS) - 1, "acc"), _ACC_BITS),
+        (_optional(instr.gpr, 32, "gpr"), _REG_BITS),
+        (_optional(instr.gpr2, 32, "gpr2"), _REG_BITS),
+        (_optional(instr.dest_gpr, 32, "dest_gpr"), _REG_BITS),
+        (instr.imm & ((1 << _IMM_BITS) - 1), _IMM_BITS),
+        (1 if instr.islit else 0, 1),
+        (_coded(_SOURCE_CODE, instr.src_a, "src_a"), 3),
+        (_coded(_SOURCE_CODE, instr.src_b, "src_b"), 3),
+        (_coded(_SOURCE_CODE, instr.addr_src, "addr_src"), 3),
+        (_coded(_SOURCE_CODE, instr.data_src, "data_src"), 3),
+        (_coded(_SOURCE_CODE, instr.cond_src, "cond_src"), 3),
+        (1 if instr.operational else 0, 1),
+        (_MEM_SIZES.index(instr.mem_size), 2),
+        (1 if instr.mem_signed else 0, 1),
+        (_address(instr.target, "target"), _ADDR_BITS + 1),
+        (_address(instr.vtarget, "vtarget"), _ADDR_BITS + 1),
+        (_address(instr.vpc, "vpc"), _ADDR_BITS + 1),
+    )
+    word = 0
+    shift = 0
+    for value, width in fields:
+        word |= value << shift
+        shift += width
+    return word
+
+
+#: Total payload width; the word is exactly this wide and any higher bit
+#: set is a malformed-word error.  Kept in sync with the field list in
+#: :func:`encode_iinstr`.
+IWORD_BITS = (5 + 7 + _ACC_BITS + 3 * _REG_BITS + _IMM_BITS + 1
+              + 5 * 3 + 1 + 2 + 1 + 3 * (_ADDR_BITS + 1))
+
+
+class _Reader:
+    def __init__(self, word):
+        self.word = word
+        self.shift = 0
+
+    def take(self, width):
+        value = (self.word >> self.shift) & ((1 << width) - 1)
+        self.shift += width
+        return value
+
+
+def _decode_optional(code, limit, what):
+    if code == 0:
+        return None
+    value = code - 1
+    if value >= limit:
+        raise IEncodingError(f"malformed {what} code: {code}")
+    return value
+
+
+def _decode_table(table, code, what):
+    if code >= len(table):
+        raise IEncodingError(f"malformed {what} code: {code}")
+    return table[code]
+
+
+def _decode_address(code):
+    if code & (1 << _ADDR_BITS):
+        return code & ((1 << _ADDR_BITS) - 1)
+    if code != 0:
+        raise IEncodingError("address bits set without presence bit")
+    return None
+
+
+def decode_iinstr(word):
+    """Unpack a binary word; raises IEncodingError on any malformation."""
+    if not isinstance(word, int) or word < 0:
+        raise IEncodingError(f"not an instruction word: {word!r}")
+    if word >> IWORD_BITS:
+        raise IEncodingError("reserved high bits set")
+
+    reader = _Reader(word)
+    iop = _decode_table(_IOPS, reader.take(5), "iop")
+    op = _decode_table(_OP_NAMES, reader.take(7), "op")
+    acc = _decode_optional(reader.take(_ACC_BITS),
+                           (1 << _ACC_BITS) - 1, "acc")
+    gpr = _decode_optional(reader.take(_REG_BITS), 32, "gpr")
+    gpr2 = _decode_optional(reader.take(_REG_BITS), 32, "gpr2")
+    dest_gpr = _decode_optional(reader.take(_REG_BITS), 32, "dest_gpr")
+    imm = reader.take(_IMM_BITS)
+    if imm >= (1 << 63):
+        imm -= 1 << _IMM_BITS
+    islit = bool(reader.take(1))
+    src_a = _decode_table(_SOURCES, reader.take(3), "src_a")
+    src_b = _decode_table(_SOURCES, reader.take(3), "src_b")
+    addr_src = _decode_table(_SOURCES, reader.take(3), "addr_src")
+    data_src = _decode_table(_SOURCES, reader.take(3), "data_src")
+    cond_src = _decode_table(_SOURCES, reader.take(3), "cond_src")
+    operational = bool(reader.take(1))
+    mem_size = _MEM_SIZES[reader.take(2)]
+    mem_signed = bool(reader.take(1))
+    target = _decode_address(reader.take(_ADDR_BITS + 1))
+    vtarget = _decode_address(reader.take(_ADDR_BITS + 1))
+    vpc = _decode_address(reader.take(_ADDR_BITS + 1))
+
+    return IInstruction(iop, op=op, acc=acc, gpr=gpr, gpr2=gpr2, imm=imm,
+                        islit=islit, src_a=src_a, src_b=src_b,
+                        addr_src=addr_src, data_src=data_src,
+                        cond_src=cond_src, dest_gpr=dest_gpr,
+                        operational=operational, mem_size=mem_size,
+                        mem_signed=mem_signed, target=target,
+                        vtarget=vtarget, vpc=vpc)
+
+
+#: The attributes the codec round-trips (everything except layout state).
+SEMANTIC_FIELDS = ("iop", "op", "acc", "gpr", "gpr2", "imm", "islit",
+                   "src_a", "src_b", "addr_src", "data_src", "cond_src",
+                   "dest_gpr", "operational", "mem_size", "mem_signed",
+                   "target", "vtarget", "vpc")
+
+
+def iinstr_fields(instr):
+    """Semantic-field dict, for equality checks in round-trip tests."""
+    return {name: getattr(instr, name) for name in SEMANTIC_FIELDS}

@@ -25,6 +25,15 @@ _PAL_HALT = PAL_FUNCTIONS["halt"]
 _PAL_PUTC = PAL_FUNCTIONS["putc"]
 _PAL_GENTRAP = PAL_FUNCTIONS["gentrap"]
 
+#: Decoded instructions keyed by the 32-bit instruction *word*, shared by
+#: every interpreter in the process.  ``decode()`` is a pure function of
+#: the word, so keying by content (rather than by PC) lets interpreters
+#: re-running the same program — cached or parallel harness workers, the
+#: co-simulation reference runs — reuse each other's decode work, and makes
+#: it impossible for a stale entry to survive a code rewrite: a changed
+#: word is simply a different key.
+DECODE_CACHE = {}
+
 
 class Halted(Exception):
     """The program executed ``call_pal halt``."""
@@ -56,15 +65,19 @@ class Interpreter:
         self.state = _initial_state(program)
         self.console = console if console is not None else []
         self.instruction_count = 0
-        self._decode_cache = {}
+        self._decode_cache = DECODE_CACHE
 
     def fetch(self, pc):
-        """Decode (with caching) the instruction at ``pc``."""
-        instr = self._decode_cache.get(pc)
+        """Decode (with caching) the instruction at ``pc``.
+
+        The word is always re-read from memory, so self-modifying code is
+        decoded correctly; only the word -> instruction mapping is cached.
+        """
+        word = self.memory.load(pc, 4, vpc=pc)
+        instr = self._decode_cache.get(word)
         if instr is None:
-            word = self.memory.load(pc, 4, vpc=pc)
             instr = decode(word)
-            self._decode_cache[pc] = instr
+            self._decode_cache[word] = instr
         return instr
 
     def step(self):

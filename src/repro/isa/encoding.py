@@ -104,5 +104,8 @@ def decode(word):
         if word & (1 << 12):
             lit = (word >> 13) & 0xFF
             return Instruction(name, ra=ra, rc=rc, imm=lit, islit=True)
+        if word & 0xE000:  # bits 15:13 are SBZ in the register form
+            raise EncodingError(
+                f"operate instruction with SBZ bits set: {word:#x}")
         return Instruction(name, ra=ra, rb=rb, rc=rc)
     raise EncodingError(f"unknown opcode {opcode:#x}")

@@ -93,3 +93,10 @@ def _is_nop(instr):
     if instr.kind is Kind.LDA and instr.ra == 31:
         return True
     return False
+
+
+def elided_by_translation(instr):
+    """True for instructions that produce no translated code at all:
+    architectural NOPs and plain BR (removed by code straightening)."""
+    return _is_nop(instr) or \
+        (instr.kind is Kind.UNCOND_BRANCH and instr.ra == 31)

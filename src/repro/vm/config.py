@@ -59,8 +59,16 @@ class VMConfig:
 
     def copy(self, **overrides):
         """A copy of this config with keyword overrides applied."""
-        fields = dict(
-            fmt=self.fmt, policy=self.policy,
+        fields = self.to_dict()
+        fields["fmt"] = self.fmt
+        fields["policy"] = self.policy
+        fields.update(overrides)
+        return VMConfig(**fields)
+
+    def to_dict(self):
+        """All fields as JSON-able primitives (enums become their values)."""
+        return dict(
+            fmt=self.fmt.value, policy=self.policy.value,
             n_accumulators=self.n_accumulators, threshold=self.threshold,
             max_superblock=self.max_superblock, fuse_memory=self.fuse_memory,
             ras_depth=self.ras_depth, strict_modified=self.strict_modified,
@@ -69,8 +77,24 @@ class VMConfig:
             flush_on_phase_change=self.flush_on_phase_change,
             flush_window=self.flush_window,
             flush_rate_factor=self.flush_rate_factor)
-        fields.update(overrides)
-        return VMConfig(**fields)
+
+    def key_fields(self):
+        """The fields that identify a run for result caching.
+
+        ``collect_trace`` is excluded: trace collection is observational
+        and cannot change the architected run or any derived metric.
+        """
+        fields = self.to_dict()
+        del fields["collect_trace"]
+        return fields
+
+    @classmethod
+    def from_dict(cls, fields):
+        """Rebuild a config from :meth:`to_dict` output."""
+        fields = dict(fields)
+        fields["fmt"] = IFormat(fields["fmt"])
+        fields["policy"] = ChainingPolicy(fields["policy"])
+        return cls(**fields)
 
     def __repr__(self):
         return (f"VMConfig({self.fmt.value}, {self.policy.value}, "

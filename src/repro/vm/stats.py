@@ -20,6 +20,9 @@ class VMStats:
 
     def __init__(self):
         self.interpreted_instructions = 0
+        #: interpreted instructions the translator would have elided
+        #: (architectural NOPs and straightened-away plain BRs)
+        self.interpreted_elided = 0
         #: executed translated instructions, ALPHA-format weighting applied
         self.iinstructions_executed = 0
         self.copies_executed = 0
@@ -76,6 +79,18 @@ class VMStats:
         """All V-ISA instructions executed (interpreted + translated)."""
         return (self.interpreted_instructions
                 + self.source_instructions_executed)
+
+    def committed_v_instructions(self):
+        """Committed V-ISA instructions, counting only those that survive
+        translation (no NOPs, no straightened-away plain BRs).
+
+        Translated execution never counts elided instructions (they emit no
+        I-ISA code, hence carry no ``v_weight``); subtracting the elided
+        ones seen while interpreting yields a count directly comparable
+        with a pure-interpreter reference run (the co-simulation invariant
+        the differential tests check).
+        """
+        return self.total_v_instructions() - self.interpreted_elided
 
     def dynamic_expansion(self):
         """Executed translated instructions (dispatch included) per V-ISA

@@ -18,7 +18,12 @@ from repro.isa.semantics import Trap
 from repro.tcache.cache import TranslationCache
 from repro.translator.cost import TranslationCostModel
 from repro.translator.pipeline import Translator
-from repro.translator.superblock import EndReason, Superblock, SuperblockEntry
+from repro.translator.superblock import (
+    EndReason,
+    Superblock,
+    SuperblockEntry,
+    elided_by_translation,
+)
 from repro.vm.config import VMConfig
 from repro.vm.executor import ExitReason, FragmentExecutor
 from repro.vm.stats import VMStats
@@ -111,6 +116,8 @@ class CoDesignedVM:
             self.stats.traps_delivered += 1
             raise VMTrap(trap, self.state.copy()) from trap
         self.stats.interpreted_instructions += 1
+        if elided_by_translation(event.instr):
+            self.stats.interpreted_elided += 1
         self._profile(event)
 
     def _profile(self, event):
@@ -147,6 +154,8 @@ class CoDesignedVM:
                 self.stats.traps_delivered += 1
                 raise VMTrap(trap, self.state.copy()) from trap
             self.stats.interpreted_instructions += 1
+            if elided_by_translation(event.instr):
+                self.stats.interpreted_elided += 1
             entries.append(SuperblockEntry(event.pc, event.instr,
                                            event.taken, event.next_pc))
             visited.add(event.pc)

@@ -38,12 +38,35 @@ class TestCli:
         assert "hottest fragment" in text
         assert "<-" in text  # RTL notation lines
 
-    def test_experiment(self):
+    def test_experiment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         code, text = run_cli("experiment", "fig5", "-w", "gzip",
                              "--budget", "20000")
         assert code == 0
         assert "Fig. 5" in text
         assert "gzip" in text
+        assert "1 executed" in text
+
+    def test_experiment_second_run_hits_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, first = run_cli("experiment", "fig5", "-w", "gzip",
+                              "--budget", "20000")
+        assert code == 0
+        code, second = run_cli("experiment", "fig5", "-w", "gzip",
+                               "--budget", "20000")
+        assert code == 0
+        assert "1 cache hits, 0 executed" in second
+        # the rendered table itself is byte-identical
+        assert first.split("run points:")[0] == \
+            second.split("run points:")[0]
+
+    def test_experiment_no_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, text = run_cli("experiment", "fig5", "-w", "gzip",
+                             "--budget", "20000", "--no-cache")
+        assert code == 0
+        assert "0 cache hits, 1 executed" in text
+        assert not any(tmp_path.iterdir())
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):

@@ -189,12 +189,44 @@ target:     call_pal halt
         assert event.taken
         assert event.next_pc == event.pc + 8
 
-    def test_decode_cache_reused(self):
+    def test_decode_cache_keyed_by_word(self):
+        # two textually identical instructions at different PCs share one
+        # content-keyed cache entry
         interp = Interpreter(assemble("""
+            addq r1, 1, r1
+            addq r1, 1, r1
+            call_pal halt
+        """))
+        first = interp.fetch(interp.state.pc)
+        second = interp.fetch(interp.state.pc + 4)
+        assert first is second
+
+    def test_decode_cache_shared_between_interpreters(self):
+        source = """
             li r1, 3
 loop:       subq r1, 1, r1
             bne r1, loop
             call_pal halt
+        """
+        a = Interpreter(assemble(source))
+        b = Interpreter(assemble(source))
+        assert a.fetch(a.state.pc) is b.fetch(b.state.pc)
+
+    def test_decode_cache_sees_code_rewrite(self):
+        # a stale entry must not survive a code rewrite: the word is the
+        # key, so a rewritten instruction decodes as its new self
+        from repro.isa.encoding import encode
+        from repro.isa.instruction import Instruction
+
+        interp = Interpreter(assemble("""
+            addq r1, 1, r1
+            call_pal halt
         """))
-        interp.run()
-        assert len(interp._decode_cache) == 4
+        pc = interp.state.pc
+        before = interp.fetch(pc)
+        assert before.mnemonic == "addq"
+        word = encode(Instruction("subq", ra=2, rb=3, rc=4))
+        interp.memory.store(pc, word, 4)
+        after = interp.fetch(pc)
+        assert after.mnemonic == "subq"
+        assert (after.ra, after.rb, after.rc) == (2, 3, 4)

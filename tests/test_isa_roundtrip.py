@@ -1,0 +1,251 @@
+"""Seeded-random round-trip property tests for both binary codecs.
+
+The V-ISA (Alpha subset) encoder/decoder and the I-ISA codec must agree:
+``decode(encode(x)) == x`` for every representable instruction, and
+``encode(decode(w)) == w`` for every word ``decode`` accepts.  Malformed
+words must raise rather than decode into something plausible.
+"""
+
+import pytest
+
+from repro.ildp_isa.encoding import (
+    IEncodingError,
+    IWORD_BITS,
+    decode_iinstr,
+    encode_iinstr,
+    iinstr_fields,
+)
+from repro.ildp_isa.instruction import IInstruction
+from repro.ildp_isa.opcodes import IOp
+from repro.ildp_isa.semantics import IALU_OPS
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    JUMP_OPS,
+    Kind,
+    MEMORY_OPS,
+    OPERATE_OPS,
+    kind_of,
+)
+from repro.isa.semantics import BRANCH_CONDITIONS
+from repro.utils.rng import Xorshift64
+
+ROUNDS = 40
+
+
+def _signed(rng, bits):
+    return rng.next_range(1 << bits) - (1 << (bits - 1))
+
+
+def _roundtrip(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    again = decode(word)
+    assert again == instr, (instr, again)
+    assert encode(again) == word
+    return again
+
+
+class TestVisaRoundtrip:
+    def test_memory_format(self):
+        rng = Xorshift64(seed=101)
+        for mnemonic in sorted(MEMORY_OPS):
+            for _ in range(ROUNDS):
+                _roundtrip(Instruction(mnemonic,
+                                       ra=rng.next_range(32),
+                                       rb=rng.next_range(32),
+                                       imm=_signed(rng, 16)))
+
+    def test_operate_format_register(self):
+        rng = Xorshift64(seed=102)
+        for mnemonic in sorted(OPERATE_OPS):
+            for _ in range(ROUNDS):
+                _roundtrip(Instruction(mnemonic,
+                                       ra=rng.next_range(32),
+                                       rb=rng.next_range(32),
+                                       rc=rng.next_range(32)))
+
+    def test_operate_format_literal(self):
+        rng = Xorshift64(seed=103)
+        for mnemonic in sorted(OPERATE_OPS):
+            for _ in range(ROUNDS):
+                _roundtrip(Instruction(mnemonic,
+                                       ra=rng.next_range(32),
+                                       rc=rng.next_range(32),
+                                       imm=rng.next_range(256),
+                                       islit=True))
+
+    def test_branch_format(self):
+        rng = Xorshift64(seed=104)
+        for mnemonic in sorted(BRANCH_OPS):
+            for _ in range(ROUNDS):
+                _roundtrip(Instruction(mnemonic,
+                                       ra=rng.next_range(32),
+                                       imm=_signed(rng, 21)))
+
+    def test_jump_format(self):
+        rng = Xorshift64(seed=105)
+        for mnemonic in sorted(JUMP_OPS):
+            for _ in range(ROUNDS):
+                _roundtrip(Instruction(mnemonic,
+                                       ra=rng.next_range(32),
+                                       rb=rng.next_range(32),
+                                       imm=rng.next_range(1 << 14)))
+
+    def test_pal_format(self):
+        rng = Xorshift64(seed=106)
+        for _ in range(ROUNDS):
+            _roundtrip(Instruction("call_pal",
+                                   imm=rng.next_range(1 << 26)))
+
+    def test_every_kind_is_covered(self):
+        covered = {kind_of(m) for table in
+                   (MEMORY_OPS, OPERATE_OPS, BRANCH_OPS, JUMP_OPS)
+                   for m in table}
+        covered.add(kind_of("call_pal"))
+        assert covered == set(Kind)
+
+    def test_out_of_range_fields_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("ldq", ra=1, rb=2, imm=1 << 15))
+        with pytest.raises(EncodingError):
+            encode(Instruction("addq", ra=1, rc=2, imm=256, islit=True))
+        with pytest.raises(EncodingError):
+            encode(Instruction("br", imm=1 << 20))
+        with pytest.raises(EncodingError):
+            encode(Instruction("jmp", ra=1, rb=2, imm=1 << 14))
+        with pytest.raises(EncodingError):
+            encode(Instruction("call_pal", imm=1 << 26))
+
+    def test_malformed_words_rejected(self):
+        for word in (-1, 1 << 32, 0x07 << 26,  # unknown opcode
+                     (0x10 << 26) | (0x7F << 5)):  # unknown operate func
+            with pytest.raises(EncodingError):
+                decode(word)
+
+    def test_random_words_reject_or_roundtrip(self):
+        rng = Xorshift64(seed=107)
+        decoded = 0
+        for _ in range(4000):
+            word = rng.next_range(1 << 32)
+            try:
+                instr = decode(word)
+            except EncodingError:
+                continue
+            decoded += 1
+            assert encode(instr) == word
+        assert decoded > 0  # the property must actually exercise both arms
+
+
+def _random_iinstr(rng, iop):
+    """A random-but-in-domain instruction of the given operation class."""
+    sources = (None, "acc", "gpr", "gpr2", "imm", "zero")
+    op_names = (None,) + tuple(sorted(set(IALU_OPS)
+                                      | set(BRANCH_CONDITIONS)))
+
+    def maybe(bound):
+        value = rng.next_range(bound + 1)
+        return None if value == bound else value
+
+    return IInstruction(
+        iop,
+        op=op_names[rng.next_range(len(op_names))],
+        acc=maybe(8),
+        gpr=maybe(32),
+        gpr2=maybe(32),
+        imm=_signed(rng, 64),
+        islit=bool(rng.next_range(2)),
+        src_a=sources[rng.next_range(len(sources))],
+        src_b=sources[rng.next_range(len(sources))],
+        addr_src=sources[rng.next_range(len(sources))],
+        data_src=sources[rng.next_range(len(sources))],
+        cond_src=sources[rng.next_range(len(sources))],
+        dest_gpr=maybe(32),
+        operational=bool(rng.next_range(2)),
+        mem_size=(1, 2, 4, 8)[rng.next_range(4)],
+        mem_signed=bool(rng.next_range(2)),
+        target=maybe(1 << 32),
+        vtarget=maybe(1 << 32),
+        vpc=maybe(1 << 32),
+    )
+
+
+class TestIisaRoundtrip:
+    def test_every_iop_roundtrips(self):
+        rng = Xorshift64(seed=201)
+        for iop in sorted(IOp, key=lambda o: o.value):
+            for _ in range(ROUNDS):
+                instr = _random_iinstr(rng, iop)
+                word = encode_iinstr(instr)
+                assert 0 <= word < (1 << IWORD_BITS)
+                again = decode_iinstr(word)
+                assert iinstr_fields(again) == iinstr_fields(instr)
+                assert encode_iinstr(again) == word
+
+    def test_layout_fields_not_encoded(self):
+        instr = IInstruction(IOp.ALU, op="addq", acc=1, src_a="acc",
+                             src_b="imm", imm=3)
+        instr.address = 0x4000
+        instr.size = 4
+        instr.strand_start = True
+        instr.v_weight = 1
+        again = decode_iinstr(encode_iinstr(instr))
+        assert again.address is None
+        assert again.size is None
+        assert again.strand_start is False
+        assert again.v_weight == 0
+
+    def test_unencodable_instructions_rejected(self):
+        with pytest.raises(IEncodingError):
+            encode_iinstr(IInstruction(IOp.ALU, op="not_an_op"))
+        with pytest.raises(IEncodingError):
+            encode_iinstr(IInstruction(IOp.ALU, src_a="stack"))
+        with pytest.raises(IEncodingError):
+            encode_iinstr(IInstruction(IOp.ALU, gpr=32))
+        with pytest.raises(IEncodingError):
+            encode_iinstr(IInstruction(IOp.ALU, imm=1 << 63))
+        with pytest.raises(IEncodingError):
+            encode_iinstr(IInstruction(IOp.LOAD, mem_size=3))
+        with pytest.raises(IEncodingError):
+            encode_iinstr(IInstruction(IOp.BR, target=1 << 48))
+
+    def test_malformed_words_rejected(self):
+        with pytest.raises(IEncodingError):
+            decode_iinstr(-1)
+        with pytest.raises(IEncodingError):
+            decode_iinstr(1 << IWORD_BITS)  # reserved high bits
+        with pytest.raises(IEncodingError):
+            decode_iinstr("0")
+        with pytest.raises(IEncodingError):
+            decode_iinstr(31)  # iop code past the table
+
+    def test_random_words_reject_or_roundtrip(self):
+        rng = Xorshift64(seed=202)
+        decoded = 0
+        for _ in range(2000):
+            word = 0
+            for _chunk in range((IWORD_BITS + 63) // 64):
+                word = (word << 64) | rng.next_u64()
+            word &= (1 << IWORD_BITS) - 1
+            try:
+                instr = decode_iinstr(word)
+            except IEncodingError:
+                continue
+            decoded += 1
+            assert encode_iinstr(instr) == word
+        assert decoded > 0
+
+    def test_translated_fragments_roundtrip(self):
+        from repro.harness.runner import run_vm
+        from repro.vm.config import VMConfig
+
+        result = run_vm("gzip", VMConfig(), budget=20_000,
+                        collect_trace=False)
+        count = 0
+        for fragment in result.tcache.fragments:
+            for instr in fragment.body:
+                again = decode_iinstr(encode_iinstr(instr))
+                assert iinstr_fields(again) == iinstr_fields(instr)
+                count += 1
+        assert count > 0

@@ -1,0 +1,201 @@
+"""Equivalence and caching properties of the parallel run layer.
+
+The contract: serial execution, process-pool execution, and cache-answered
+execution are indistinguishable — the experiment tables they produce are
+byte-identical — and the cache key covers everything that can change a
+result (config, budget, scale, evals), so any such change is a miss.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import fig5, fig8
+from repro.harness.parallel import PointRunner
+from repro.harness.resultcache import ResultCache, point_key
+from repro.harness.runpoints import RunPoint, execute_point, ildp_ipc
+from repro.ildp_isa.opcodes import IFormat
+from repro.vm.config import VMConfig
+
+WORKLOADS = ("gzip", "mcf")
+BUDGET = 20_000
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path))
+
+
+def _point(workload="gzip", budget=BUDGET, **config_kwargs):
+    return RunPoint.vm(workload, VMConfig(**config_kwargs), budget=budget)
+
+
+class TestExecutionEquivalence:
+    def test_serial_parallel_cached_tables_identical(self, cache):
+        serial = fig5.run(workloads=WORKLOADS, budget=BUDGET,
+                          runner=PointRunner()).render()
+        parallel = fig5.run(workloads=WORKLOADS, budget=BUDGET,
+                            runner=PointRunner(workers=2)).render()
+
+        warm = PointRunner(cache=cache)
+        first = fig5.run(workloads=WORKLOADS, budget=BUDGET,
+                         runner=warm).render()
+        second = fig5.run(workloads=WORKLOADS, budget=BUDGET,
+                          runner=warm).render()
+
+        assert parallel == serial
+        assert first == serial
+        assert second == serial
+
+    def test_pool_and_serial_summaries_bit_identical(self):
+        points = [_point("gzip"), _point("mcf")]
+        serial = [execute_point(p) for p in points]
+        runner = PointRunner(workers=2)
+        pooled = runner.run(points)
+        # elapsed is wall-clock measurement, everything else is determined
+        for a, b in zip(serial, pooled):
+            a, b = dict(a), dict(b)
+            a.pop("elapsed"), b.pop("elapsed")
+            assert json.loads(json.dumps(a)) == json.loads(json.dumps(b))
+
+    def test_warm_cache_answers_every_point(self, cache):
+        runner = PointRunner(cache=cache)
+        fig8.run(workloads=WORKLOADS, budget=BUDGET, runner=runner)
+        executed_cold = runner.last_report["executed"]
+        assert executed_cold > 0
+
+        rerun = PointRunner(cache=ResultCache(cache.root))
+        fig8.run(workloads=WORKLOADS, budget=BUDGET, runner=rerun)
+        # acceptance criterion: cache-hit count == run-point count
+        assert rerun.last_report["executed"] == 0
+        assert rerun.last_report["cache_hits"] == \
+            rerun.last_report["unique"] == executed_cold
+
+
+class TestDeduplication:
+    def test_duplicates_computed_once(self):
+        runner = PointRunner()
+        out = runner.run([_point(), _point(), _point("mcf")])
+        assert runner.last_report["requested"] == 3
+        assert runner.last_report["unique"] == 2
+        assert runner.last_report["executed"] == 2
+        assert out[0] == out[1]
+        assert out[2]["workload"] == "mcf"
+
+    def test_dedupe_distinguishes_evals(self):
+        spec = ildp_ipc(pes=4, comm=0)
+        plain = _point()
+        with_eval = RunPoint.vm("gzip", VMConfig(), budget=BUDGET,
+                                evals=(spec,))
+        runner = PointRunner()
+        runner.run([plain, with_eval])
+        assert runner.last_report["unique"] == 2
+
+
+class TestCacheKey:
+    def test_identical_points_same_key(self):
+        assert point_key(_point()) == point_key(_point())
+
+    def test_config_change_misses(self, cache):
+        runner = PointRunner(cache=cache)
+        runner.run([_point()])
+        runner.run([_point(fmt=IFormat.BASIC)])
+        assert runner.report.cache_hits == 0
+        assert runner.report.executed == 2
+
+    def test_budget_change_misses(self, cache):
+        runner = PointRunner(cache=cache)
+        runner.run([_point()])
+        runner.run([_point(budget=BUDGET + 1)])
+        assert runner.report.cache_hits == 0
+        assert runner.report.executed == 2
+
+    def test_eval_change_misses(self, cache):
+        runner = PointRunner(cache=cache)
+        runner.run([RunPoint.vm("gzip", VMConfig(), budget=BUDGET,
+                                evals=(ildp_ipc(pes=4, comm=0),))])
+        runner.run([RunPoint.vm("gzip", VMConfig(), budget=BUDGET,
+                                evals=(ildp_ipc(pes=8, comm=0),))])
+        assert runner.report.cache_hits == 0
+
+    def test_same_point_hits(self, cache):
+        runner = PointRunner(cache=cache)
+        runner.run([_point()])
+        runner.run([_point()])
+        assert runner.report.cache_hits == 1
+        assert runner.report.executed == 1
+
+    def test_collect_trace_not_in_key(self):
+        with_trace = VMConfig(collect_trace=True)
+        without = VMConfig(collect_trace=False)
+        assert "collect_trace" not in with_trace.key_fields()
+        assert point_key(RunPoint.vm("gzip", with_trace)) == \
+            point_key(RunPoint.vm("gzip", without))
+
+
+class TestCacheRobustness:
+    def test_corrupt_entry_reexecuted(self, cache):
+        runner = PointRunner(cache=cache)
+        point = _point()
+        runner.run([point])
+        path = pathlib.Path(cache._path(point_key(point)))
+        path.write_text("{not json")
+
+        rerun = PointRunner(cache=ResultCache(cache.root))
+        rerun.run([point])
+        assert rerun.report.cache_hits == 0
+        assert rerun.report.executed == 1
+        # ... and the entry was rewritten cleanly
+        again = PointRunner(cache=ResultCache(cache.root))
+        again.run([point])
+        assert again.report.cache_hits == 1
+
+    def test_key_collision_detected(self, cache):
+        """An entry whose recorded point differs from the request is not
+        returned, even if it landed under the same file name."""
+        a, b = _point(), _point("mcf")
+        runner = PointRunner(cache=cache)
+        runner.run([a])
+        path = pathlib.Path(cache._path(point_key(a)))
+        entry = json.loads(path.read_text())
+        entry["point"] = b.key_dict()
+        path.write_text(json.dumps(entry))
+
+        rerun = PointRunner(cache=ResultCache(cache.root))
+        rerun.run([a])
+        assert rerun.report.cache_hits == 0
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        """A bad --cache-dir must not kill the sweep — the run simply
+        isn't memoized."""
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("in the way")
+        runner = PointRunner(cache=ResultCache(str(blocked)))
+        out = runner.run([_point()])
+        assert out[0]["workload"] == "gzip"
+        assert runner.cache.stores == 0
+        assert runner.cache.store_failures == 1
+
+    def test_clear(self, cache):
+        runner = PointRunner(cache=cache)
+        runner.run([_point()])
+        assert cache.stores == 1
+        cache.clear()
+        rerun = PointRunner(cache=ResultCache(cache.root))
+        rerun.run([_point()])
+        assert rerun.report.cache_hits == 0
+
+
+class TestRunReport:
+    def test_render_mentions_counts(self):
+        runner = PointRunner()
+        runner.run([_point(), _point()])
+        line = runner.report.render()
+        assert "2 requested" in line
+        assert "1 unique" in line
+        assert "1 executed" in line
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            PointRunner(workers=0)
