@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke bench report clean-cache
+.PHONY: check test smoke bench bench-quick report clean-cache
 
 check: test smoke
 
@@ -10,9 +10,14 @@ test:
 
 smoke:
 	$(PYTHON) scripts/smoke_cache.py
+	$(PYTHON) scripts/smoke_exec_engine.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-quick:
+	REPRO_BENCH_BUDGET=10000 $(PYTHON) -m pytest \
+		benchmarks/bench_exec_engine.py -q -s
 
 report:
 	$(PYTHON) -m repro report -o results.md

@@ -1,0 +1,89 @@
+"""Execution-engine benchmark — naive vs specialized VM throughput.
+
+Runs the fig8 workload set end to end (DBT + functional execution, trace
+collection off) under both ``VMConfig.exec_engine`` settings and writes
+per-workload and aggregate wall times to ``BENCH_exec.json`` in the repo
+root.  Each measurement is the best of ``REPS`` runs after a warm-up pass,
+so one-time costs (imports, decode-cache population) don't pollute the
+engine comparison.
+
+``REPRO_BENCH_BUDGET`` overrides the V-ISA budget per run (``make
+bench-quick`` uses this); the aggregate-speedup assertion only applies at
+the full default budget, where timings are stable enough to gate on.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.conftest import BENCH_BUDGET
+from repro.harness.runner import run_vm
+from repro.vm.config import VMConfig
+
+WORKLOADS = ("gzip", "mcf", "twolf", "vortex")
+ENGINES = ("naive", "specialized")
+REPS = 3
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+MIN_AGGREGATE_SPEEDUP = 1.5
+
+
+def _budget():
+    return int(os.environ.get("REPRO_BENCH_BUDGET", BENCH_BUDGET))
+
+
+def _time_once(workload, engine, budget):
+    config = VMConfig(exec_engine=engine)
+    started = time.perf_counter()
+    run_vm(workload, config, budget=budget, collect_trace=False)
+    return time.perf_counter() - started
+
+
+def _best_time(workload, engine, budget):
+    return min(_time_once(workload, engine, budget) for _ in range(REPS))
+
+
+def test_exec_engine_speedup():
+    budget = _budget()
+    for workload in WORKLOADS:            # warm caches for both engines
+        for engine in ENGINES:
+            _time_once(workload, engine, budget)
+
+    rows = []
+    totals = dict.fromkeys(ENGINES, 0.0)
+    for workload in WORKLOADS:
+        times = {engine: _best_time(workload, engine, budget)
+                 for engine in ENGINES}
+        for engine in ENGINES:
+            totals[engine] += times[engine]
+        rows.append({
+            "workload": workload,
+            "naive_seconds": round(times["naive"], 4),
+            "specialized_seconds": round(times["specialized"], 4),
+            "speedup": round(times["naive"] / times["specialized"], 2),
+        })
+
+    aggregate = totals["naive"] / totals["specialized"]
+    record = {
+        "benchmark": "exec_engine",
+        "workloads": list(WORKLOADS),
+        "budget": budget,
+        "reps": REPS,
+        "rows": rows,
+        "naive_total_seconds": round(totals["naive"], 4),
+        "specialized_total_seconds": round(totals["specialized"], 4),
+        "aggregate_speedup": round(aggregate, 2),
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    for row in rows:
+        print(f"{row['workload']:8s} naive {row['naive_seconds']:.3f}s, "
+              f"specialized {row['specialized_seconds']:.3f}s "
+              f"({row['speedup']:.2f}x)")
+    print(f"aggregate speedup {aggregate:.2f}x -> {OUTPUT.name}")
+
+    if budget >= BENCH_BUDGET:
+        assert aggregate >= MIN_AGGREGATE_SPEEDUP, (
+            f"specialized engine only {aggregate:.2f}x faster than naive "
+            f"(need >= {MIN_AGGREGATE_SPEEDUP}x)")

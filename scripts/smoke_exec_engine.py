@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Smoke-test the closure-specialized execution engine.
+
+Runs one workload to its natural halt under both ``VMConfig.exec_engine``
+settings and checks the acceptance properties: identical final register
+state, program counter, console output, committed-instruction count, and
+every ``VMStats`` counter.  Exits non-zero on any divergence.
+
+Usage: PYTHONPATH=src python scripts/smoke_exec_engine.py [workload] [budget]
+"""
+
+import sys
+
+from repro.harness.runner import run_vm
+from repro.vm.config import VMConfig
+
+
+def main(argv):
+    workload = argv[1] if len(argv) > 1 else "gzip"
+    budget = int(argv[2]) if len(argv) > 2 else 200_000
+
+    results = {}
+    for engine in ("naive", "specialized"):
+        results[engine] = run_vm(workload, VMConfig(exec_engine=engine),
+                                 budget=budget, collect_trace=False)
+    naive, specialized = results["naive"], results["specialized"]
+
+    failures = []
+    if specialized.vm.state.regs != naive.vm.state.regs:
+        failures.append("final register state differs")
+    if specialized.vm.state.pc != naive.vm.state.pc:
+        failures.append("final PC differs")
+    if specialized.vm.console_text() != naive.vm.console_text():
+        failures.append("console output differs")
+    if specialized.stats.committed_v_instructions() != \
+            naive.stats.committed_v_instructions():
+        failures.append("committed-instruction counts differ")
+    stats_diff = [key for key in vars(naive.stats)
+                  if vars(naive.stats)[key] != vars(specialized.stats)[key]]
+    if stats_diff:
+        failures.append(f"stats counters differ: {', '.join(stats_diff)}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+
+    committed = naive.stats.committed_v_instructions()
+    print(f"ok: engines agree on {workload} "
+          f"({committed} committed V-ISA instructions, "
+          f"{naive.stats.fragments_created} fragments)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -104,13 +104,19 @@ def _add_vm_arguments(parser):
     parser.add_argument("--accumulators", type=int, default=4)
     parser.add_argument("--budget", type=int, default=200_000)
     parser.add_argument("--fuse-memory", action="store_true")
+    parser.add_argument("--exec-engine",
+                        choices=("specialized", "naive"),
+                        default="specialized",
+                        help="run pre-compiled step closures (specialized) "
+                             "or the reference dispatch (naive)")
 
 
 def _config_from(args):
     return VMConfig(fmt=_FORMATS[args.fmt],
                     policy=_POLICIES[args.policy],
                     n_accumulators=args.accumulators,
-                    fuse_memory=args.fuse_memory)
+                    fuse_memory=args.fuse_memory,
+                    exec_engine=args.exec_engine)
 
 
 def _command_workloads(_args, out):

@@ -16,9 +16,15 @@ missing semaphores), the runner falls back to serial execution and records
 the fact in its report rather than failing the experiment.
 """
 
+import os
 import time
 
 from repro.harness.runpoints import execute_point
+
+
+def _execute_chunk(points):
+    """Run one worker's whole share of a batch as a single pool task."""
+    return [execute_point(point) for point in points]
 
 
 class RunReport:
@@ -129,14 +135,33 @@ class PointRunner:
                 self.cache.put(order[index], summary)
 
     def _run_pool(self, points):
-        """Fan out over a process pool; returns None when unavailable."""
+        """Fan out over a process pool; returns None to run serially.
+
+        Points are chunked round-robin so each worker receives *one*
+        task covering its whole share of the batch: process startup,
+        pickling and scheduling overhead is paid once per worker rather
+        than once per point.  The worker count is clamped to the
+        machine's cores — a pool wider than the machine (or any pool on
+        a single-core machine) only adds overhead, which is how an
+        earlier BENCH_harness.json ended up with four workers slower
+        than serial.
+        """
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
-        max_workers = min(self.workers, len(points))
+        cores = os.cpu_count() or 1
+        max_workers = min(self.workers, len(points), cores)
+        if max_workers < 2:
+            return None     # a 1-worker pool is pure overhead
+        chunks = [points[i::max_workers] for i in range(max_workers)]
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                return list(pool.map(execute_point, points))
+                chunk_results = list(pool.map(_execute_chunk, chunks))
         except (OSError, ImportError, PermissionError, BrokenProcessPool):
             self.report.pool_failures += 1
             return None
+        summaries = [None] * len(points)
+        for start, chunk_result in enumerate(chunk_results):
+            for offset, summary in enumerate(chunk_result):
+                summaries[start + offset * max_workers] = summary
+        return summaries

@@ -51,6 +51,12 @@ class IOp(enum.Enum):
     PUTC = "putc"
     GENTRAP = "gentrap"
 
+    #: Enum members are singletons, so the identity hash is equivalent to
+    #: the default name-based hash — and much cheaper.  ``VMStats``
+    #: counters are keyed by IOp on every executed instruction, which
+    #: makes hashing measurably hot under both execution engines.
+    __hash__ = object.__hash__
+
 
 #: IOps that end a fragment's fall-through path unconditionally.
 TERMINATORS = frozenset(

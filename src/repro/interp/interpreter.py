@@ -7,8 +7,18 @@ exactly the architected state transitions this interpreter produces.
 ``step()`` executes one instruction and returns an :class:`ExecEvent`
 describing what happened, which the VM uses for profiling, superblock
 capture and trace generation.
+
+Two engines execute steps (selected per interpreter, default
+``"specialized"``):
+
+* **specialized** — each decoded instruction carries a pre-bound step
+  closure (see :mod:`repro.interp.specialize`) built once at decode time:
+  no per-step ``Kind`` dispatch, no table lookups, no dict construction.
+* **naive** — the readable reference dispatch below, kept for
+  differential testing and as the semantics of record.
 """
 
+from repro.interp.specialize import STORE_SIZES, build_step
 from repro.isa.encoding import decode
 from repro.isa.opcodes import Kind, PAL_FUNCTIONS
 from repro.isa.registers import SP_REG
@@ -25,14 +35,27 @@ _PAL_HALT = PAL_FUNCTIONS["halt"]
 _PAL_PUTC = PAL_FUNCTIONS["putc"]
 _PAL_GENTRAP = PAL_FUNCTIONS["gentrap"]
 
+#: Conditional-move predicate lookup, hoisted out of the step loop.
+_CMOV_GET = CMOV_CONDITIONS.get
+
 #: Decoded instructions keyed by the 32-bit instruction *word*, shared by
-#: every interpreter in the process.  ``decode()`` is a pure function of
-#: the word, so keying by content (rather than by PC) lets interpreters
-#: re-running the same program — cached or parallel harness workers, the
-#: co-simulation reference runs — reuse each other's decode work, and makes
-#: it impossible for a stale entry to survive a code rewrite: a changed
-#: word is simply a different key.
+#: every interpreter in the process.  Each entry is an
+#: ``(instruction, step_closure)`` pair: ``decode()`` and the closure
+#: specialization are pure functions of the word, so keying by content
+#: (rather than by PC) lets interpreters re-running the same program —
+#: cached or parallel harness workers, the co-simulation reference runs —
+#: reuse each other's decode *and* specialization work, and makes it
+#: impossible for a stale entry to survive a code rewrite: a changed word
+#: is simply a different key.
 DECODE_CACHE = {}
+
+
+def _decode_entry(word):
+    """Decode ``word`` and specialize its step closure; cache both."""
+    instr = decode(word)
+    entry = (instr, build_step(instr))
+    DECODE_CACHE[word] = entry
+    return entry
 
 
 class Halted(Exception):
@@ -59,28 +82,51 @@ class ExecEvent:
 class Interpreter:
     """Executes a loaded V-ISA program instruction by instruction."""
 
-    def __init__(self, program, console=None):
+    def __init__(self, program, console=None, exec_engine="specialized"):
+        if exec_engine not in ("specialized", "naive"):
+            raise ValueError(f"unknown exec engine {exec_engine!r}")
         self.program = program
         self.memory = program.memory
         self.state = _initial_state(program)
         self.console = console if console is not None else []
         self.instruction_count = 0
+        self.exec_engine = exec_engine
         self._decode_cache = DECODE_CACHE
+        #: the engine is chosen once; ``step`` is re-bound per instance so
+        #: the hot loop pays no per-step engine check
+        self.step = self._step_specialized if exec_engine == "specialized" \
+            else self._step_naive
 
     def fetch(self, pc):
         """Decode (with caching) the instruction at ``pc``.
 
         The word is always re-read from memory, so self-modifying code is
-        decoded correctly; only the word -> instruction mapping is cached.
+        decoded correctly; only the word -> (instruction, closure) mapping
+        is cached.
         """
         word = self.memory.load(pc, 4, vpc=pc)
-        instr = self._decode_cache.get(word)
-        if instr is None:
-            instr = decode(word)
-            self._decode_cache[word] = instr
-        return instr
+        entry = self._decode_cache.get(word)
+        if entry is None:
+            entry = _decode_entry(word)
+        return entry[0]
 
-    def step(self):
+    # -- specialized engine ---------------------------------------------------
+
+    def _step_specialized(self):
+        """Execute one instruction via its pre-bound step closure."""
+        state = self.state
+        pc = state.pc
+        word = self.memory.load(pc, 4, vpc=pc)
+        entry = self._decode_cache.get(word)
+        if entry is None:
+            entry = _decode_entry(word)
+        event = entry[1](self, state, state.regs, pc)
+        self.instruction_count += 1
+        return event
+
+    # -- naive engine (the reference semantics) -------------------------------
+
+    def _step_naive(self):
         """Execute one instruction; raises :class:`Halted` or :class:`Trap`."""
         state = self.state
         pc = state.pc
@@ -93,7 +139,7 @@ class Interpreter:
         mnemonic = instr.mnemonic
 
         if kind is Kind.ALU:
-            cond = CMOV_CONDITIONS.get(mnemonic)
+            cond = _CMOV_GET(mnemonic)
             b_value = instr.imm if instr.islit else regs[instr.rb]
             if cond is not None:
                 if cond(regs[instr.ra]):
@@ -111,7 +157,7 @@ class Interpreter:
             state.write(instr.ra, value)
         elif kind is Kind.STORE:
             mem_addr = (regs[instr.rb] + instr.imm) & MASK64
-            size = {"stb": 1, "stw": 2, "stl": 4, "stq": 8}[mnemonic]
+            size = STORE_SIZES[mnemonic]
             self.memory.store(mem_addr, regs[instr.ra], size, vpc=pc)
         elif kind is Kind.COND_BRANCH:
             if BRANCH_CONDITIONS[mnemonic](regs[instr.ra]):
@@ -138,9 +184,10 @@ class Interpreter:
     def run(self, max_instructions=10_000_000):
         """Run until halt or trap; returns the executed instruction count."""
         executed = 0
+        step = self.step
         try:
             while executed < max_instructions:
-                self.step()
+                step()
                 executed += 1
         except Halted:
             pass

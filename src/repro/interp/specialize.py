@@ -1,0 +1,229 @@
+"""Decode-time specialization of V-ISA instructions into step closures.
+
+The paper's thesis is "translate once, execute many"; this module applies
+the same idea to the interpreter itself.  :func:`build_step` lowers one
+decoded instruction into a pre-bound Python closure: the operand registers,
+ALU function, conditional-move/branch predicate, load size and sign, store
+size and branch displacement are all resolved once, when the instruction
+word is first decoded, instead of being re-derived from tables on every
+execution.  The closures live in the shared
+:data:`~repro.interp.interpreter.DECODE_CACHE` next to the instruction
+they specialize, so every interpreter in the process reuses them.
+
+Every closure has the signature ``step(interp, state, regs, pc)`` and must
+be observationally identical to the naive ``Interpreter.step`` dispatch:
+same architected updates in the same order, same :class:`ExecEvent`
+fields, same exceptions (:class:`Halted`, :class:`Trap`) raised before the
+PC advances.  The differential tests hold the two engines to that
+contract.
+"""
+
+from repro.isa.opcodes import Kind, PAL_FUNCTIONS
+from repro.isa.registers import ZERO_REG
+from repro.isa.semantics import (
+    ALU_OPS,
+    BRANCH_CONDITIONS,
+    CMOV_CONDITIONS,
+    Trap,
+    TrapKind,
+)
+from repro.utils.bitops import MASK64, sext
+
+_PAL_HALT = PAL_FUNCTIONS["halt"]
+_PAL_PUTC = PAL_FUNCTIONS["putc"]
+_PAL_GENTRAP = PAL_FUNCTIONS["gentrap"]
+
+#: store mnemonic -> access size in bytes (shared with the naive engine).
+STORE_SIZES = {"stb": 1, "stw": 2, "stl": 4, "stq": 8}
+
+#: load mnemonic -> (access size in bytes, sign-extend flag).
+LOAD_SIZES = {"ldq": (8, False), "ldl": (4, True), "ldwu": (2, False),
+              "ldbu": (1, False)}
+
+
+def _build_alu(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra, rb, rc = instr.ra, instr.rb, instr.rc
+    imm = instr.imm
+    cond = CMOV_CONDITIONS.get(instr.mnemonic)
+
+    if cond is not None:
+        if instr.islit:
+            def step(interp, state, regs, pc):
+                if cond(regs[ra]) and rc != ZERO_REG:
+                    regs[rc] = imm
+                state.pc = next_pc = pc + 4
+                return ExecEvent(pc, instr, next_pc)
+        else:
+            def step(interp, state, regs, pc):
+                if cond(regs[ra]) and rc != ZERO_REG:
+                    regs[rc] = regs[rb]
+                state.pc = next_pc = pc + 4
+                return ExecEvent(pc, instr, next_pc)
+        return step
+
+    op = ALU_OPS[instr.mnemonic]
+    if rc == ZERO_REG:
+        # result discarded: an architectural NOP that still executes
+        def step(interp, state, regs, pc):
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    elif instr.islit:
+        def step(interp, state, regs, pc):
+            regs[rc] = op(regs[ra], imm)
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    else:
+        def step(interp, state, regs, pc):
+            regs[rc] = op(regs[ra], regs[rb])
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    return step
+
+
+def _build_lda(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra, rb = instr.ra, instr.rb
+    displacement = instr.imm * 65536 if instr.mnemonic == "ldah" else \
+        instr.imm
+
+    if ra == ZERO_REG:
+        def step(interp, state, regs, pc):
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    else:
+        def step(interp, state, regs, pc):
+            regs[ra] = (regs[rb] + displacement) & MASK64
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    return step
+
+
+def _build_load(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra, rb, imm = instr.ra, instr.rb, instr.imm
+    size, signed = LOAD_SIZES[instr.mnemonic]
+    bits = 8 * size
+    write = ra != ZERO_REG
+
+    if signed:
+        def step(interp, state, regs, pc):
+            mem_addr = (regs[rb] + imm) & MASK64
+            value = sext(interp.memory.load(mem_addr, size, vpc=pc), bits)
+            if write:
+                regs[ra] = value
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc, False, mem_addr)
+    else:
+        def step(interp, state, regs, pc):
+            mem_addr = (regs[rb] + imm) & MASK64
+            value = interp.memory.load(mem_addr, size, vpc=pc)
+            if write:
+                regs[ra] = value
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc, False, mem_addr)
+    return step
+
+
+def _build_store(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra, rb, imm = instr.ra, instr.rb, instr.imm
+    size = STORE_SIZES[instr.mnemonic]
+
+    def step(interp, state, regs, pc):
+        mem_addr = (regs[rb] + imm) & MASK64
+        interp.memory.store(mem_addr, regs[ra], size, vpc=pc)
+        state.pc = next_pc = pc + 4
+        return ExecEvent(pc, instr, next_pc, False, mem_addr)
+    return step
+
+
+def _build_cond_branch(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra = instr.ra
+    cond = BRANCH_CONDITIONS[instr.mnemonic]
+    offset = 4 + 4 * instr.imm
+
+    def step(interp, state, regs, pc):
+        if cond(regs[ra]):
+            state.pc = next_pc = pc + offset
+            return ExecEvent(pc, instr, next_pc, True)
+        state.pc = next_pc = pc + 4
+        return ExecEvent(pc, instr, next_pc)
+    return step
+
+
+def _build_uncond_branch(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra = instr.ra
+    offset = 4 + 4 * instr.imm
+    link = ra != ZERO_REG
+
+    def step(interp, state, regs, pc):
+        if link:
+            regs[ra] = pc + 4
+        state.pc = next_pc = pc + offset
+        return ExecEvent(pc, instr, next_pc, True)
+    return step
+
+
+def _build_jump(instr):
+    from repro.interp.interpreter import ExecEvent
+
+    ra, rb = instr.ra, instr.rb
+    link = ra != ZERO_REG
+
+    def step(interp, state, regs, pc):
+        # the target is read before the link write, as JMP R, (R) demands
+        target = regs[rb] & ~3 & MASK64
+        if link:
+            regs[ra] = pc + 4
+        state.pc = target
+        return ExecEvent(pc, instr, target, True)
+    return step
+
+
+def _build_pal(instr):
+    from repro.interp.interpreter import ExecEvent, Halted
+
+    function = instr.imm
+    if function == _PAL_HALT:
+        def step(interp, state, regs, pc):
+            raise Halted()
+    elif function == _PAL_GENTRAP:
+        def step(interp, state, regs, pc):
+            raise Trap(TrapKind.GENTRAP, vpc=pc)
+    elif function == _PAL_PUTC:
+        def step(interp, state, regs, pc):
+            interp.console.append(regs[16] & 0xFF)
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    else:
+        # unknown PAL functions are architectural no-ops in this machine
+        def step(interp, state, regs, pc):
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    return step
+
+
+_BUILDERS = {
+    Kind.ALU: _build_alu,
+    Kind.LDA: _build_lda,
+    Kind.LOAD: _build_load,
+    Kind.STORE: _build_store,
+    Kind.COND_BRANCH: _build_cond_branch,
+    Kind.UNCOND_BRANCH: _build_uncond_branch,
+    Kind.JUMP: _build_jump,
+    Kind.PAL: _build_pal,
+}
+
+
+def build_step(instr):
+    """Specialize one decoded instruction into a pre-bound step closure."""
+    return _BUILDERS[instr.kind](instr)

@@ -121,9 +121,12 @@ class TranslationCache:
             instr.target = target
             exit_record.patched = True
             self.patches_applied += 1
+            # the in-place binary patch invalidates any compiled closures
+            fragment.invalidate_compiled()
         for fragment, index in self._pending_ras.pop(vpc, []):
             fragment.body[index].target = target
             self.patches_applied += 1
+            fragment.invalidate_compiled()
 
     def flush(self):
         """Drop all fragments (translation cache flush, Section 4.1).

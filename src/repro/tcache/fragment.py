@@ -53,6 +53,16 @@ class Fragment:
         self.base_address = None         # assigned at layout time
         self.byte_size = None
         self.execution_count = 0
+        #: step closures compiled by :mod:`repro.vm.specialize`, managed by
+        #: ``FragmentExecutor._code_for``: the key identifies the executor
+        #: the code was compiled for, the two slots hold the trace-off and
+        #: trace-on variants.
+        self._compiled_key = None
+        self._compiled = [None, None]
+
+    def invalidate_compiled(self):
+        """Drop compiled step closures after an in-place body patch."""
+        self._compiled = [None, None]
 
     def entry_address(self):
         """Translation-cache address of the fragment's first instruction."""

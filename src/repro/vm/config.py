@@ -28,13 +28,18 @@ class VMConfig:
                  stop_at_existing_fragment=True,
                  flush_on_phase_change=False,
                  flush_window=5_000,
-                 flush_rate_factor=4.0):
+                 flush_rate_factor=4.0,
+                 exec_engine="specialized"):
         if n_accumulators < 1:
             raise ValueError("need at least one accumulator")
         if threshold < 1:
             raise ValueError("hot threshold must be positive")
         if max_superblock < 1:
             raise ValueError("superblock size must be positive")
+        if exec_engine not in ("specialized", "naive"):
+            raise ValueError(
+                f"unknown exec engine {exec_engine!r} "
+                "(expected 'specialized' or 'naive')")
         self.fmt = fmt
         self.policy = policy
         self.n_accumulators = n_accumulators
@@ -56,6 +61,13 @@ class VMConfig:
         self.flush_on_phase_change = flush_on_phase_change
         self.flush_window = flush_window
         self.flush_rate_factor = flush_rate_factor
+        #: How the interpreter and fragment executor run instructions:
+        #: ``"specialized"`` executes pre-bound closures built once at
+        #: decode/translation time, ``"naive"`` re-dispatches each
+        #: instruction through the reference if/elif chains.  Both engines
+        #: are observationally identical (the differential suite asserts
+        #: it); the naive engine is kept as the readable reference.
+        self.exec_engine = exec_engine
 
     def copy(self, **overrides):
         """A copy of this config with keyword overrides applied."""
@@ -76,16 +88,20 @@ class VMConfig:
             stop_at_existing_fragment=self.stop_at_existing_fragment,
             flush_on_phase_change=self.flush_on_phase_change,
             flush_window=self.flush_window,
-            flush_rate_factor=self.flush_rate_factor)
+            flush_rate_factor=self.flush_rate_factor,
+            exec_engine=self.exec_engine)
 
     def key_fields(self):
         """The fields that identify a run for result caching.
 
         ``collect_trace`` is excluded: trace collection is observational
         and cannot change the architected run or any derived metric.
+        ``exec_engine`` is excluded for the same reason: both engines
+        produce bit-identical results, so cached summaries are shared.
         """
         fields = self.to_dict()
         del fields["collect_trace"]
+        del fields["exec_engine"]
         return fields
 
     @classmethod

@@ -15,6 +15,7 @@ the program halts, or a trap must be delivered.
 """
 
 import enum
+import itertools
 
 from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.ildp_isa.semantics import IALU_OPS, icond_taken
@@ -33,6 +34,14 @@ _ALPHA_WEIGHTS = {
 }
 
 _MUL_OPS = frozenset({"mull", "mulq", "umulh"})
+
+#: Serial numbers identifying which executor a fragment's compiled closure
+#: lists belong to (see ``FragmentExecutor._code_for``).
+_EXECUTOR_SERIALS = itertools.count()
+
+#: Lazily bound ``repro.vm.specialize.compile_fragment`` (that module
+#: imports this one, so it cannot be imported at the top).
+_compile_fragment = None
 
 
 class ExitReason(enum.Enum):
@@ -77,6 +86,8 @@ class FragmentExecutor:
         self.ras = []
         #: modified-format staleness tracking (strict mode)
         self._stale = set()
+        #: identity under which fragments cache compiled closures for us
+        self._compile_key = next(_EXECUTOR_SERIALS)
 
     # -- register plumbing ---------------------------------------------------
 
@@ -116,7 +127,15 @@ class FragmentExecutor:
         ``state`` is the shared :class:`~repro.interp.state.ArchState`; its
         register list is the GPR file (operational + architected in one,
         with staleness assertions for the modified format).
+
+        ``VMConfig.exec_engine`` selects how fragment bodies run: the
+        specialized engine executes pre-compiled step closures (see
+        :mod:`repro.vm.specialize`), the naive engine is the readable
+        per-instruction dispatch below.  Both are observationally
+        identical.
         """
+        if self.config.exec_engine == "specialized":
+            return self._run_specialized(fragment, state, max_instructions)
         regs = state.regs
         self._stale.clear()
         frag = fragment
@@ -163,6 +182,79 @@ class FragmentExecutor:
                     return ExecResult(ExitReason.BUDGET,
                                       vpc=frag.entry_vpc, fragment=frag)
                 frag.execution_count += 1
+            elif kind == "exit":
+                state.pc = value.vpc if value.vpc is not None else state.pc
+                return value
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+
+    # -- specialized engine ------------------------------------------------------
+
+    def _code_for(self, frag, traced):
+        """The fragment's compiled closure list for this executor.
+
+        Compiled code is keyed per executor: closures pre-resolve branch
+        targets through *our* translation cache and reflect *our* config,
+        and a fragment can be handed to a different executor (tests do
+        this after hand-mutating instructions), so a key mismatch simply
+        recompiles.  Chaining patches call ``invalidate_compiled``.
+        """
+        global _compile_fragment
+        if frag._compiled_key != self._compile_key:
+            frag._compiled_key = self._compile_key
+            frag._compiled = [None, None]
+        code = frag._compiled[traced]
+        if code is None:
+            if _compile_fragment is None:
+                from repro.vm.specialize import compile_fragment
+                _compile_fragment = compile_fragment
+            code = _compile_fragment(self, frag, traced)
+            frag._compiled[traced] = code
+        return code
+
+    def _run_specialized(self, fragment, state, max_instructions=None):
+        """The ``run`` loop over pre-compiled step closures.
+
+        Per-instruction statistics live inside the closures; the V-ISA
+        budget is charged from the ``source_instructions_executed`` delta,
+        which the closures advance exactly as the naive loop's local
+        counter would.
+        """
+        regs = state.regs
+        stats = self.stats
+        traced = self.trace is not None
+        self._stale.clear()
+        frag = fragment
+        frag.execution_count += 1
+        code = self._code_for(frag, traced)
+        index = 0
+        start_v = stats.source_instructions_executed
+
+        while True:
+            try:
+                outcome = code[index](self, regs, state)
+            except Trap as trap:
+                vpc = frag.body[index].vpc
+                trap.vpc = vpc
+                return ExecResult(ExitReason.TRAP, vpc=vpc, fragment=frag,
+                                  body_index=index, trap=trap)
+            if outcome is None:
+                index += 1
+                continue
+            kind, value = outcome
+            if kind == "goto":
+                frag, index = value
+                # Fragment transitions restart staleness tracking and are
+                # the only budget checkpoints — see ``run`` for why.
+                self._stale.clear()
+                if max_instructions is not None and \
+                        stats.source_instructions_executed - start_v >= \
+                        max_instructions:
+                    state.pc = frag.entry_vpc
+                    return ExecResult(ExitReason.BUDGET,
+                                      vpc=frag.entry_vpc, fragment=frag)
+                frag.execution_count += 1
+                code = self._code_for(frag, traced)
             elif kind == "exit":
                 state.pc = value.vpc if value.vpc is not None else state.pc
                 return value
@@ -238,19 +330,20 @@ class FragmentExecutor:
         op = instr.op
         a = self._operand(instr, instr.src_a, regs, fmt)
         b = self._operand(instr, instr.src_b, regs, fmt)
-        if fmt is IFormat.ALPHA and op in CMOV_CONDITIONS:
+        is_cmov = fmt is IFormat.ALPHA and op in CMOV_CONDITIONS
+        if is_cmov:
             old = regs[instr.dest_gpr] if instr.dest_gpr is not None else 0
             result = b if CMOV_CONDITIONS[op](a) else old
-            srcs = self._alu_srcs(instr) + ((instr.dest_gpr,)
-                                            if instr.dest_gpr is not None
-                                            else ())
         else:
             result = IALU_OPS[op](a, b)
+        if self.trace is not None:
             srcs = self._alu_srcs(instr)
-        self._trace_simple(instr, "mul" if op in _MUL_OPS else "int",
-                           srcs=srcs, dst=instr.gpr_dest(fmt),
-                           acc=instr.acc, acc_read=instr.src_a == "acc"
-                           or instr.src_b == "acc")
+            if is_cmov and instr.dest_gpr is not None:
+                srcs += (instr.dest_gpr,)
+            self._trace_simple(instr, "mul" if op in _MUL_OPS else "int",
+                               srcs=srcs, dst=instr.gpr_dest(fmt),
+                               acc=instr.acc, acc_read=instr.src_a == "acc"
+                               or instr.src_b == "acc")
         self._commit_result(instr, result, regs, fmt)
 
     def _commit_result(self, instr, result, regs, fmt):
@@ -270,20 +363,22 @@ class FragmentExecutor:
         address = (base + instr.imm) & MASK64
         raw = self.memory.load(address, instr.mem_size, vpc=instr.vpc)
         value = sext(raw, 8 * instr.mem_size) if instr.mem_signed else raw
-        self._trace_simple(instr, "load", srcs=self._addr_srcs(instr),
-                           dst=instr.gpr_dest(fmt), acc=instr.acc,
-                           acc_read=instr.addr_src == "acc",
-                           mem_addr=address)
+        if self.trace is not None:
+            self._trace_simple(instr, "load", srcs=self._addr_srcs(instr),
+                               dst=instr.gpr_dest(fmt), acc=instr.acc,
+                               acc_read=instr.addr_src == "acc",
+                               mem_addr=address)
         self._commit_result(instr, value, regs, fmt)
 
     def _do_store(self, instr, regs, fmt):
         base = self._operand(instr, instr.addr_src, regs, fmt)
         address = (base + instr.imm) & MASK64
         data = self._operand(instr, instr.data_src, regs, fmt)
-        self._trace_simple(instr, "store", srcs=self._store_srcs(instr),
-                           acc=instr.acc,
-                           acc_read=instr.addr_src == "acc"
-                           or instr.data_src == "acc", mem_addr=address)
+        if self.trace is not None:
+            self._trace_simple(instr, "store", srcs=self._store_srcs(instr),
+                               acc=instr.acc,
+                               acc_read=instr.addr_src == "acc"
+                               or instr.data_src == "acc", mem_addr=address)
         self.memory.store(address, data & MASK64, instr.mem_size,
                           vpc=instr.vpc)
 

@@ -36,7 +36,8 @@ class CoDesignedVM:
     def __init__(self, program, config=None):
         self.program = program
         self.config = config if config is not None else VMConfig()
-        self.interpreter = Interpreter(program)
+        self.interpreter = Interpreter(
+            program, exec_engine=self.config.exec_engine)
         self.state = self.interpreter.state
         self.profiler = HotnessProfiler(self.config.threshold)
         self.tcache = TranslationCache()

@@ -62,3 +62,25 @@ def test_other_formats_match_interpreter(name, fmt):
                                     ChainingPolicy.SW_PRED_NO_RAS))
 def test_other_chaining_policies_match_interpreter(name, policy):
     _assert_equivalent(name, VMConfig(fmt=IFormat.MODIFIED, policy=policy))
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_execution_engines_agree(name):
+    """The specialized engine must be bit-identical to the naive one:
+    same architected state, console, committed counts, and every
+    ``VMStats`` counter, on every workload."""
+    results = {}
+    for engine in ("naive", "specialized"):
+        config = VMConfig(fmt=IFormat.MODIFIED, exec_engine=engine)
+        results[engine] = run_vm(name, config, budget=HALT_BUDGET,
+                                 collect_trace=False)
+    naive, specialized = results["naive"], results["specialized"]
+
+    assert specialized.vm.halted and naive.vm.halted
+    assert specialized.vm.state.pc == naive.vm.state.pc
+    assert specialized.vm.state.regs == naive.vm.state.regs, \
+        specialized.vm.state.diff(naive.vm.state)
+    assert specialized.vm.console_text() == naive.vm.console_text()
+    assert specialized.stats.committed_v_instructions() == \
+        naive.stats.committed_v_instructions()
+    assert vars(specialized.stats) == vars(naive.stats)
