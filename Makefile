@@ -11,6 +11,7 @@ test:
 smoke:
 	$(PYTHON) scripts/smoke_cache.py
 	$(PYTHON) scripts/smoke_exec_engine.py
+	$(PYTHON) scripts/smoke_telemetry.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -7,9 +7,18 @@ root.  Each measurement is the best of ``REPS`` runs after a warm-up pass,
 so one-time costs (imports, decode-cache population) don't pollute the
 engine comparison.
 
+The same file carries the telemetry overhead gate: the specialized
+timings above run with ``VMConfig.telemetry`` off (the default), so if a
+prior ``BENCH_exec.json`` from the *same machine* exists, the fresh
+telemetry-off total must stay within :data:`TELEMETRY_OFF_LIMIT` of it —
+the no-op telemetry path may cost at most 2%.  A telemetry-*on* pass is
+also measured and recorded (informational; the live instrumentation is
+allowed to cost real time).
+
 ``REPRO_BENCH_BUDGET`` overrides the V-ISA budget per run (``make
-bench-quick`` uses this); the aggregate-speedup assertion only applies at
-the full default budget, where timings are stable enough to gate on.
+bench-quick`` uses this); the aggregate-speedup and overhead assertions
+only apply at the full default budget, where timings are stable enough
+to gate on.
 """
 
 import json
@@ -17,7 +26,7 @@ import os
 import pathlib
 import time
 
-from benchmarks.conftest import BENCH_BUDGET
+from benchmarks.conftest import BENCH_BUDGET, machine_metadata
 from repro.harness.runner import run_vm
 from repro.vm.config import VMConfig
 
@@ -26,21 +35,46 @@ ENGINES = ("naive", "specialized")
 REPS = 3
 OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exec.json"
 MIN_AGGREGATE_SPEEDUP = 1.5
+#: telemetry-off total may be at most 2% slower than the prior record...
+TELEMETRY_OFF_LIMIT = 1.02
+#: ...plus a small absolute slack so sub-hundredth-second jitter on very
+#: fast machines cannot trip a 2% relative gate
+TELEMETRY_OFF_SLACK_S = 0.02
 
 
 def _budget():
     return int(os.environ.get("REPRO_BENCH_BUDGET", BENCH_BUDGET))
 
 
-def _time_once(workload, engine, budget):
-    config = VMConfig(exec_engine=engine)
+def _time_once(workload, engine, budget, telemetry=False):
+    config = VMConfig(exec_engine=engine, telemetry=telemetry)
     started = time.perf_counter()
     run_vm(workload, config, budget=budget, collect_trace=False)
     return time.perf_counter() - started
 
 
-def _best_time(workload, engine, budget):
-    return min(_time_once(workload, engine, budget) for _ in range(REPS))
+def _best_time(workload, engine, budget, telemetry=False):
+    return min(_time_once(workload, engine, budget, telemetry)
+               for _ in range(REPS))
+
+
+def _prior_record(budget):
+    """The previous BENCH_exec.json, if it can gate this run.
+
+    Comparable means: same workloads, budget, rep count and machine
+    (metadata block identical).  A record without machine metadata, or
+    from other hardware, yields None and the overhead gate is skipped.
+    """
+    try:
+        prior = json.loads(OUTPUT.read_text())
+    except (OSError, ValueError):
+        return None
+    if (prior.get("workloads") == list(WORKLOADS)
+            and prior.get("budget") == budget
+            and prior.get("reps") == REPS
+            and prior.get("machine") == machine_metadata()):
+        return prior
+    return None
 
 
 def test_exec_engine_speedup():
@@ -63,7 +97,15 @@ def test_exec_engine_speedup():
             "speedup": round(times["naive"] / times["specialized"], 2),
         })
 
+    telemetry_total = 0.0
+    for workload in WORKLOADS:
+        _time_once(workload, "specialized", budget, telemetry=True)
+        telemetry_total += _best_time(workload, "specialized", budget,
+                                      telemetry=True)
+
     aggregate = totals["naive"] / totals["specialized"]
+    telemetry_ratio = telemetry_total / totals["specialized"]
+    prior = _prior_record(budget)
     record = {
         "benchmark": "exec_engine",
         "workloads": list(WORKLOADS),
@@ -73,6 +115,9 @@ def test_exec_engine_speedup():
         "naive_total_seconds": round(totals["naive"], 4),
         "specialized_total_seconds": round(totals["specialized"], 4),
         "aggregate_speedup": round(aggregate, 2),
+        "telemetry_on_total_seconds": round(telemetry_total, 4),
+        "telemetry_on_ratio": round(telemetry_ratio, 3),
+        "machine": machine_metadata(),
     }
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -82,8 +127,23 @@ def test_exec_engine_speedup():
               f"specialized {row['specialized_seconds']:.3f}s "
               f"({row['speedup']:.2f}x)")
     print(f"aggregate speedup {aggregate:.2f}x -> {OUTPUT.name}")
+    print(f"telemetry on: {telemetry_total:.3f}s "
+          f"({telemetry_ratio:.2f}x of telemetry-off)")
 
     if budget >= BENCH_BUDGET:
         assert aggregate >= MIN_AGGREGATE_SPEEDUP, (
             f"specialized engine only {aggregate:.2f}x faster than naive "
             f"(need >= {MIN_AGGREGATE_SPEEDUP}x)")
+        if prior is not None:
+            baseline = prior["specialized_total_seconds"]
+            limit = baseline * TELEMETRY_OFF_LIMIT + TELEMETRY_OFF_SLACK_S
+            print(f"telemetry-off gate: {totals['specialized']:.3f}s vs "
+                  f"prior {baseline:.3f}s (limit {limit:.3f}s)")
+            assert totals["specialized"] <= limit, (
+                f"telemetry-off run {totals['specialized']:.3f}s exceeds "
+                f"{TELEMETRY_OFF_LIMIT:.0%} of the prior record "
+                f"{baseline:.3f}s — the disabled-telemetry path must stay "
+                f"within 2%")
+        else:
+            print("telemetry-off gate: no comparable prior record; "
+                  "recorded fresh baseline")

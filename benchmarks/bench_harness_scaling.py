@@ -10,7 +10,7 @@ import json
 import pathlib
 import time
 
-from benchmarks.conftest import BENCH_BUDGET
+from benchmarks.conftest import BENCH_BUDGET, machine_metadata
 from repro.harness.experiments import fig8
 from repro.harness.parallel import PointRunner
 from repro.harness.resultcache import ResultCache
@@ -52,6 +52,7 @@ def test_harness_scaling(tmp_path):
         "serial_seconds": serial_s,
         "parallel4_seconds": parallel_s,
         "cached_seconds": cached_s,
+        "machine": machine_metadata(),
     }
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
     print()

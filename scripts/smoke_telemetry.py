@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Smoke-test the repro.obs telemetry subsystem.
+
+Runs one workload with telemetry enabled and checks the acceptance
+properties end to end: events were emitted and export as parseable JSON
+Lines, the translator and VM phase timers recorded spans, fragments were
+profiled with entry counts matching the translation cache's execution
+counts, and — against a second telemetry-off run — ``VMStats`` and the
+architected state are bit-identical (the no-op parity contract).  Exits
+non-zero on any failure.
+
+Usage: PYTHONPATH=src python scripts/smoke_telemetry.py [workload] [budget]
+"""
+
+import sys
+
+from repro.harness.runner import run_vm
+from repro.obs.events import parse_jsonl
+from repro.vm.config import VMConfig
+
+
+def main(argv):
+    workload = argv[1] if len(argv) > 1 else "gzip"
+    budget = int(argv[2]) if len(argv) > 2 else 200_000
+
+    on = run_vm(workload, VMConfig(telemetry=True), budget=budget,
+                collect_trace=False)
+    off = run_vm(workload, VMConfig(), budget=budget, collect_trace=False)
+    telemetry = on.vm.telemetry
+
+    failures = []
+    if not telemetry.enabled:
+        failures.append("telemetry facade is the null object")
+
+    events = telemetry.events
+    if events.emitted == 0:
+        failures.append("no events were emitted")
+    parsed = parse_jsonl(events.to_jsonl())
+    if len(parsed) != len(events):
+        failures.append(f"JSONL round-trip lost records "
+                        f"({len(parsed)} != {len(events)})")
+    if parsed != events.records():
+        failures.append("JSONL round-trip altered records")
+
+    timers = telemetry.registry.timers
+    phase_spans = sum(timer.count for name, timer in timers.items()
+                      if name.startswith("phase."))
+    if phase_spans == 0:
+        failures.append("no phase-timer spans recorded")
+    if "phase.translate.codegen" not in timers:
+        failures.append("translator pipeline timers missing")
+
+    profiled_entries = sum(record.entries
+                           for record in telemetry.fragments.records.values())
+    cache_execs = sum(fragment.execution_count
+                      for fragment in on.tcache.fragments)
+    if profiled_entries != cache_execs:
+        failures.append(f"profiled entries {profiled_entries} != cache "
+                        f"execution counts {cache_execs}")
+
+    if vars(on.stats) != vars(off.stats):
+        failures.append("VMStats differ between telemetry on and off")
+    if on.vm.state.regs != off.vm.state.regs or \
+            on.vm.state.pc != off.vm.state.pc:
+        failures.append("architected state differs between telemetry "
+                        "on and off")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+
+    print(f"ok: telemetry on {workload} — {events.emitted} events "
+          f"({events.dropped} dropped), {phase_spans} phase spans, "
+          f"{len(telemetry.fragments)} fragments profiled, "
+          f"stats identical with telemetry off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

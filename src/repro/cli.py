@@ -5,6 +5,7 @@
     python -m repro workloads                 # list the workload suite
     python -m repro run gzip --fmt modified   # run one workload in the VM
     python -m repro translate gzip            # dump the hottest fragment
+    python -m repro profile gzip              # hot fragments + phase times
     python -m repro experiment fig8 -w gzip -w mcf   # one paper experiment
 """
 
@@ -45,6 +46,17 @@ def build_parser():
     translate_parser = sub.add_parser(
         "translate", help="show a workload's hottest translated fragment")
     _add_vm_arguments(translate_parser)
+
+    profile_parser = sub.add_parser(
+        "profile", help="run with telemetry and report the hottest "
+                        "fragments and translation-phase times")
+    _add_vm_arguments(profile_parser)
+    profile_parser.add_argument("--top", type=_positive_int, default=10,
+                                help="fragments to show (default 10)")
+    profile_parser.add_argument("--events-jsonl", default=None,
+                                metavar="PATH",
+                                help="also export the event stream as "
+                                     "JSON lines")
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures")
@@ -109,6 +121,9 @@ def _add_vm_arguments(parser):
                         default="specialized",
                         help="run pre-compiled step closures (specialized) "
                              "or the reference dispatch (naive)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the repro.obs telemetry subsystem "
+                             "(metrics, events, fragment profiling)")
 
 
 def _config_from(args):
@@ -116,7 +131,8 @@ def _config_from(args):
                     policy=_POLICIES[args.policy],
                     n_accumulators=args.accumulators,
                     fuse_memory=args.fuse_memory,
-                    exec_engine=args.exec_engine)
+                    exec_engine=args.exec_engine,
+                    telemetry=getattr(args, "telemetry", False))
 
 
 def _command_workloads(_args, out):
@@ -129,15 +145,62 @@ def _command_run(args, out):
     result = run_vm(args.workload, _config_from(args), budget=args.budget,
                     collect_trace=False)
     stats = result.stats
-    print(f"workload           : {args.workload}", file=out)
-    print(f"target             : {args.fmt} / {args.policy}", file=out)
-    print(f"console            : {result.vm.console_text()!r}", file=out)
-    for key, value in stats.summary().items():
-        print(f"{key:19s}: {value}", file=out)
+    print(f"workload : {args.workload}", file=out)
+    print(f"target   : {args.fmt} / {args.policy}", file=out)
+    print(f"console  : {result.vm.console_text()!r}", file=out)
+    for line in stats.render_lines():
+        print(line, file=out)
     cost = result.vm.cost_model
-    print(f"translation cost   : "
+    print(f"translation cost: "
           f"{cost.per_translated_instruction():.0f} insts/translated inst",
           file=out)
+    telemetry = result.vm.telemetry
+    if telemetry.enabled:
+        from repro.obs.profile import phase_breakdown_lines
+
+        print("", file=out)
+        print("telemetry:", file=out)
+        events = telemetry.events.summary()
+        print(f"  events: {events['emitted']} emitted, "
+              f"{events['dropped']} dropped", file=out)
+        for line in phase_breakdown_lines(telemetry.registry):
+            print(f"  {line}", file=out)
+    return 0
+
+
+def _command_profile(args, out):
+    from repro.obs.profile import hot_fragment_table, phase_breakdown_lines
+    from repro.tcache.dump import cache_totals_line
+
+    config = _config_from(args).copy(telemetry=True)
+    result = run_vm(args.workload, config, budget=args.budget,
+                    collect_trace=False)
+    vm = result.vm
+    telemetry = vm.telemetry
+    print(f"profile of {args.workload} "
+          f"({args.fmt} / {args.policy}, budget {args.budget})", file=out)
+    print(cache_totals_line(result.tcache), file=out)
+    print("", file=out)
+    for line in result.stats.render_lines():
+        print(line, file=out)
+    print("", file=out)
+    for line in phase_breakdown_lines(telemetry.registry):
+        print(line, file=out)
+    print("", file=out)
+    for line in hot_fragment_table(telemetry.fragments, result.tcache,
+                                   top=args.top):
+        print(line, file=out)
+    events = telemetry.events.summary()
+    print("", file=out)
+    print(f"events: {events['emitted']} emitted, "
+          f"{events['dropped']} dropped "
+          f"(ring capacity {telemetry.events.capacity})", file=out)
+    for kind in sorted(events["by_kind"]):
+        print(f"  {kind:22s} {events['by_kind'][kind]}", file=out)
+    if args.events_jsonl is not None:
+        with open(args.events_jsonl, "w") as handle:
+            handle.write(telemetry.events.to_jsonl())
+        print(f"wrote {args.events_jsonl}", file=out)
     return 0
 
 
@@ -208,6 +271,7 @@ def main(argv=None, out=None):
         "workloads": _command_workloads,
         "run": _command_run,
         "translate": _command_translate,
+        "profile": _command_profile,
         "experiment": _command_experiment,
         "map": _command_map,
         "report": _command_report,

@@ -20,6 +20,8 @@ import os
 import time
 
 from repro.harness.runpoints import execute_point
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import merge_summary
 
 
 def _execute_chunk(points):
@@ -81,6 +83,12 @@ class PointRunner:
         self.report = RunReport()
         #: report delta for the most recent :meth:`run` call
         self.last_report = None
+        #: telemetry blocks from every unique summary this runner has
+        #: produced, folded into one registry (pool workers cannot share
+        #: a live registry, so their summaries are merged on the way
+        #: back; cached summaries merge the telemetry recorded when the
+        #: entry was first computed)
+        self.telemetry = MetricsRegistry()
 
     def run(self, points):
         """Execute ``points``; returns their summaries in input order."""
@@ -112,6 +120,11 @@ class PointRunner:
 
         if pending:
             self._execute_pending(order, summaries, pending)
+
+        for summary in summaries:
+            if "telemetry" in summary:
+                merge_summary(self.telemetry, summary["telemetry"],
+                              host=summary.get("telemetry_host"))
 
         self.report.requested += len(points)
         self.report.unique += len(order)

@@ -34,11 +34,19 @@ class RunResult:
 
 
 def run_vm(workload_name, config=None, scale=None, budget=DEFAULT_BUDGET,
-           collect_trace=True):
-    """Run one workload under the co-designed VM."""
+           collect_trace=True, telemetry=None):
+    """Run one workload under the co-designed VM.
+
+    ``telemetry`` overrides ``config.telemetry`` when not None (the
+    harness forces it on so run summaries carry telemetry blocks; the
+    CLI leaves the config's setting alone).
+    """
     workload = get_workload(workload_name)
-    config = (config if config is not None else VMConfig()).copy(
-        collect_trace=collect_trace)
+    config = config if config is not None else VMConfig()
+    overrides = {"collect_trace": collect_trace}
+    if telemetry is not None:
+        overrides["telemetry"] = telemetry
+    config = config.copy(**overrides)
     vm = CoDesignedVM(workload.program(scale), config)
     vm.run(max_v_instructions=budget)
     return RunResult(workload_name, config, vm)

@@ -13,7 +13,8 @@ The contract that makes caching and parallelism safe is that
 :func:`execute_point` is a *pure function* of the run point: the whole
 simulator is deterministic (no wall clock, no global random state), so two
 executions of the same point produce the same :class:`RunSummary` fields,
-bit for bit.  Summaries carry only JSON-able scalars and small dicts —
+bit for bit — except the wall-clock ``elapsed`` and ``telemetry_host``
+entries, which are process-local by construction.  Summaries carry only JSON-able scalars and small dicts —
 never live VM objects or traces — so a summary computed in a worker
 process, read back from the cache, or computed inline is indistinguishable.
 """
@@ -30,7 +31,8 @@ from repro.vm.config import VMConfig
 
 #: Bump when the summary layout or any run semantics change; part of every
 #: cache key, so stale on-disk entries can never be returned.
-SCHEMA_VERSION = 1
+#: 2: VM summaries grew the ``telemetry`` / ``telemetry_host`` blocks.
+SCHEMA_VERSION = 2
 
 
 class EvalSpec:
@@ -269,7 +271,8 @@ def _execute_vm(point):
     config = VMConfig.from_dict(dict(point.config))
     needs_trace = bool(point.evals)
     result = run_vm(point.workload, config, scale=point.scale,
-                    budget=point.budget, collect_trace=needs_trace)
+                    budget=point.budget, collect_trace=needs_trace,
+                    telemetry=True)
     vm, stats, tcache = result.vm, result.stats, result.tcache
     cost = vm.cost_model
     fragments = tcache.fragments
@@ -314,6 +317,10 @@ def _execute_vm(point):
         },
         "profiler_candidates": vm.profiler.candidate_count(),
         "usage": {vclass.value: usage[vclass] for vclass in ValueClass},
+        # deterministic telemetry: part of the bit-identical contract
+        "telemetry": vm.telemetry.summary(),
+        # process-local wall-clock measurements: like "elapsed", outside it
+        "telemetry_host": vm.telemetry.host_summary(),
     })
     _run_evals(summary, point, result.trace if needs_trace else [])
     return summary

@@ -92,6 +92,11 @@ class Interpreter:
         self.instruction_count = 0
         self.exec_engine = exec_engine
         self._decode_cache = DECODE_CACHE
+        #: process-local telemetry: words decoded because they were absent
+        #: from the (process-global) :data:`DECODE_CACHE`.  Nondeterministic
+        #: across processes — a warm cache makes every fetch a hit — so the
+        #: harness reports it in the host (non-reproducible) block only.
+        self.decode_misses = 0
         #: the engine is chosen once; ``step`` is re-bound per instance so
         #: the hot loop pays no per-step engine check
         self.step = self._step_specialized if exec_engine == "specialized" \
@@ -107,6 +112,7 @@ class Interpreter:
         word = self.memory.load(pc, 4, vpc=pc)
         entry = self._decode_cache.get(word)
         if entry is None:
+            self.decode_misses += 1
             entry = _decode_entry(word)
         return entry[0]
 
@@ -119,6 +125,7 @@ class Interpreter:
         word = self.memory.load(pc, 4, vpc=pc)
         entry = self._decode_cache.get(word)
         if entry is None:
+            self.decode_misses += 1
             entry = _decode_entry(word)
         event = entry[1](self, state, state.regs, pc)
         self.instruction_count += 1

@@ -1,0 +1,37 @@
+"""Telemetry subsystem: metrics registry, event stream, fragment profiling.
+
+``repro.obs`` is the VM's observability layer (see
+``docs/observability.md`` for the catalogue and overhead methodology):
+
+* :mod:`repro.obs.registry` — named counters, gauges, wall-clock timers
+  and fixed-bucket histograms, with a zero-overhead no-op twin;
+* :mod:`repro.obs.events` — a bounded ring buffer of typed records with
+  JSONL export;
+* :mod:`repro.obs.profile` — per-fragment execution profiling and the
+  ``repro profile`` report renderers;
+* :mod:`repro.obs.telemetry` — the facade ``VMConfig.telemetry`` selects
+  (default: the no-op :data:`NULL_TELEMETRY`).
+"""
+
+from repro.obs.events import Event, EventKind, EventStream, parse_jsonl
+from repro.obs.profile import (
+    FragmentProfiler,
+    hot_fragment_table,
+    phase_breakdown_lines,
+)
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    make_telemetry,
+    merge_summary,
+)
+
+__all__ = [
+    "Event", "EventKind", "EventStream", "parse_jsonl",
+    "FragmentProfiler", "hot_fragment_table", "phase_breakdown_lines",
+    "MetricsRegistry", "NULL_REGISTRY",
+    "NULL_TELEMETRY", "NullTelemetry", "Telemetry", "make_telemetry",
+    "merge_summary",
+]

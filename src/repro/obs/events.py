@@ -1,0 +1,160 @@
+"""The structured event stream: a bounded ring buffer of typed records.
+
+Where the registry (:mod:`repro.obs.registry`) answers "how much", the
+event stream answers "what happened, in order": fragment lifecycle
+(created, entered, chained, invalidated), translation-cache flushes, trap
+deliveries, superblock captures and dispatch runs, each as a small typed
+record with a global sequence number.
+
+The buffer is bounded (default :data:`DEFAULT_CAPACITY` records) so a
+long run cannot grow memory without limit: once full, the oldest records
+are dropped and counted, while per-kind totals keep counting everything
+ever emitted.  Records export to JSON Lines — one JSON object per line —
+and :func:`parse_jsonl` round-trips them, which is what external tooling
+(and the smoke test) consumes.
+"""
+
+import json
+from collections import Counter, deque
+
+#: Default ring-buffer capacity, in records.
+DEFAULT_CAPACITY = 4096
+
+
+class EventKind:
+    """Names of the event types the VM emits (plain strings)."""
+
+    FRAGMENT_CREATED = "fragment_created"
+    FRAGMENT_ENTERED = "fragment_entered"
+    FRAGMENT_CHAINED = "fragment_chained"
+    FRAGMENT_INVALIDATED = "fragment_invalidated"
+    TCACHE_FLUSH = "tcache_flush"
+    TRAP_DELIVERED = "trap_delivered"
+    SUPERBLOCK_CAPTURED = "superblock_captured"
+    DISPATCH_RUN = "dispatch_run"
+
+
+class Event:
+    """One typed record: a sequence number, a kind, and a payload dict."""
+
+    __slots__ = ("seq", "kind", "data")
+
+    def __init__(self, seq, kind, data):
+        self.seq = seq
+        self.kind = kind
+        self.data = data
+
+    def to_json(self):
+        """The record as a JSON-able dict (the JSONL line's object)."""
+        return {"seq": self.seq, "kind": self.kind, "data": self.data}
+
+    def __eq__(self, other):
+        return isinstance(other, Event) and \
+            (self.seq, self.kind, self.data) == \
+            (other.seq, other.kind, other.data)
+
+    def __repr__(self):
+        return f"Event({self.seq}, {self.kind}, {self.data})"
+
+
+class EventStream:
+    """A bounded, ordered buffer of :class:`Event` records."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("event capacity must be positive")
+        self.capacity = capacity
+        self._buffer = deque(maxlen=capacity)
+        self.emitted = 0
+        self.by_kind = Counter()
+
+    def emit(self, kind, **data):
+        """Append one record; returns it.
+
+        When the buffer is full the oldest record is silently dropped
+        (``dropped`` counts them); per-kind totals are never dropped.
+        """
+        event = Event(self.emitted, kind, data)
+        self.emitted += 1
+        self.by_kind[kind] += 1
+        self._buffer.append(event)
+        return event
+
+    @property
+    def dropped(self):
+        """Records evicted from the ring so far."""
+        return self.emitted - len(self._buffer)
+
+    def __len__(self):
+        return len(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+    def records(self, kind=None):
+        """Buffered records in order, optionally filtered by kind."""
+        if kind is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.kind == kind]
+
+    def summary(self):
+        """Emission totals as a JSON-able dict."""
+        return {
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "by_kind": dict(sorted(self.by_kind.items())),
+        }
+
+    def to_jsonl(self):
+        """The buffered records as JSON Lines text."""
+        return "".join(json.dumps(event.to_json(), sort_keys=True) + "\n"
+                       for event in self._buffer)
+
+    def __repr__(self):
+        return (f"EventStream({len(self._buffer)}/{self.capacity} "
+                f"buffered, {self.emitted} emitted)")
+
+
+def parse_jsonl(text):
+    """Parse JSON Lines text back into a list of :class:`Event` records."""
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        events.append(Event(obj["seq"], obj["kind"], obj["data"]))
+    return events
+
+
+class NullEventStream:
+    """The no-op event stream wired up when telemetry is disabled."""
+
+    capacity = 0
+    emitted = 0
+    dropped = 0
+    by_kind = {}
+
+    def emit(self, kind, **data):
+        """No-op; returns None."""
+        return None
+
+    def records(self, kind=None):
+        """Always empty."""
+        return []
+
+    def summary(self):
+        """An all-zero summary."""
+        return {"emitted": 0, "dropped": 0, "by_kind": {}}
+
+    def to_jsonl(self):
+        """Empty text."""
+        return ""
+
+    def __len__(self):
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+
+NULL_EVENTS = NullEventStream()

@@ -1,0 +1,330 @@
+"""Metrics registry: named counters, gauges, timers and histograms.
+
+The registry is the numeric half of the telemetry subsystem (the event
+stream in :mod:`repro.obs.events` is the other).  Four metric kinds cover
+everything the DBT wants to report:
+
+* **counters** — monotonically increasing totals (fragments created,
+  dispatch runs);
+* **gauges** — last-written point-in-time values (live fragment count,
+  translation-cache bytes);
+* **timers** — accumulated wall-clock seconds plus a span count (translator
+  phase times, interpret/execute split);
+* **histograms** — fixed-bucket distributions (superblock lengths,
+  fragment body sizes).
+
+Every metric serialises to JSON-able primitives (:meth:`MetricsRegistry.
+to_dict`) and merges associatively (:meth:`MetricsRegistry.merge_dict`):
+counters, timers and histogram buckets add, gauges keep the maximum (the
+only order-independent choice without timestamps).  That makes registries
+from parallel harness workers — which arrive as plain dicts inside run
+summaries — foldable into one aggregate view.
+
+A parallel no-op implementation (:data:`NULL_REGISTRY`) exposes the same
+surface with every operation stubbed out; it is what the VM wires up when
+``VMConfig.telemetry`` is off, so disabled telemetry costs at most an
+attribute load at the call site.
+"""
+
+import time
+from bisect import bisect_left
+
+#: Default histogram bucket upper bounds (values above the last bound land
+#: in the overflow bucket).  Suits instruction-count-like quantities.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add ``amount`` (default 1) to the total."""
+        self.value += amount
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-written point-in-time value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        """Record the current value."""
+        self.value = value
+
+    def __repr__(self):
+        return f"Gauge({self.name}={self.value})"
+
+
+class _TimerSpan:
+    """Context manager measuring one span for its owning :class:`Timer`."""
+
+    __slots__ = ("_timer", "_started")
+
+    def __init__(self, timer):
+        self._timer = timer
+        self._started = None
+
+    def __enter__(self):
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._timer.add(time.perf_counter() - self._started)
+        return False
+
+
+class Timer:
+    """Accumulated wall-clock seconds plus the number of measured spans."""
+
+    __slots__ = ("name", "seconds", "count")
+
+    def __init__(self, name):
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds, count=1):
+        """Credit ``seconds`` of measured time (``count`` spans)."""
+        self.seconds += seconds
+        self.count += count
+
+    def time(self):
+        """A context manager that measures one span into this timer."""
+        return _TimerSpan(self)
+
+    def __repr__(self):
+        return f"Timer({self.name}={self.seconds:.6f}s/{self.count})"
+
+
+class Histogram:
+    """A fixed-bucket distribution.
+
+    ``bounds`` are ascending inclusive upper edges; one extra overflow
+    bucket catches everything above the last bound.  Fixed buckets keep
+    observation O(log n) and make merging across registries a plain
+    element-wise sum.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total")
+
+    def __init__(self, name, bounds=DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+
+    def observe(self, value, count=1):
+        """Record ``value`` falling into its bucket ``count`` times."""
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.total += count
+
+    def reset(self):
+        """Zero every bucket (used for rebuild-on-finalize histograms)."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+
+    def __repr__(self):
+        return f"Histogram({self.name}, n={self.total})"
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use and mergeable."""
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.timers = {}
+        self.histograms = {}
+
+    # -- creation-on-use ------------------------------------------------------
+
+    def counter(self, name):
+        """The counter called ``name`` (created on first use)."""
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name):
+        """The gauge called ``name`` (created on first use)."""
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name):
+        """The timer called ``name`` (created on first use)."""
+        metric = self.timers.get(name)
+        if metric is None:
+            metric = self.timers[name] = Timer(name)
+        return metric
+
+    def histogram(self, name, bounds=DEFAULT_BUCKETS):
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` only applies at creation; asking again with different
+        bounds is an error (silent re-bucketing would corrupt merges).
+        """
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, bounds)
+        elif tuple(bounds) != metric.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"{metric.bounds}")
+        return metric
+
+    # -- serialisation and merging -------------------------------------------
+
+    def to_dict(self):
+        """Every metric as JSON-able primitives."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "timers": {n: {"seconds": t.seconds, "count": t.count}
+                       for n, t in sorted(self.timers.items())},
+            "histograms": {n: {"bounds": list(h.bounds),
+                               "counts": list(h.counts),
+                               "total": h.total}
+                           for n, h in sorted(self.histograms.items())},
+        }
+
+    def merge_dict(self, data):
+        """Fold a :meth:`to_dict` payload into this registry.
+
+        Counters, timers and histogram buckets add; gauges keep the
+        maximum of the two values.  Histograms must agree on bounds.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, fields in data.get("timers", {}).items():
+            self.timer(name).add(fields["seconds"], fields["count"])
+        for name, fields in data.get("histograms", {}).items():
+            histogram = self.histogram(name, tuple(fields["bounds"]))
+            if list(histogram.bounds) != list(fields["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bounds mismatch on merge")
+            for index, count in enumerate(fields["counts"]):
+                histogram.counts[index] += count
+            histogram.total += fields["total"]
+        return self
+
+    def merge(self, other):
+        """Fold another registry into this one (see :meth:`merge_dict`)."""
+        return self.merge_dict(other.to_dict())
+
+    def __repr__(self):
+        return (f"MetricsRegistry({len(self.counters)} counters, "
+                f"{len(self.gauges)} gauges, {len(self.timers)} timers, "
+                f"{len(self.histograms)} histograms)")
+
+
+# -- the no-op twin -----------------------------------------------------------
+
+class _NullSpan:
+    """A context manager that measures nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+class _NullMetric:
+    """One object impersonating every metric kind, all operations no-ops."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    seconds = 0.0
+    count = 0
+    total = 0
+
+    def inc(self, amount=1):
+        """No-op."""
+
+    def set(self, value):
+        """No-op."""
+
+    def add(self, seconds, count=1):
+        """No-op."""
+
+    def observe(self, value, count=1):
+        """No-op."""
+
+    def reset(self):
+        """No-op."""
+
+    def time(self):
+        """A no-op span."""
+        return _NULL_SPAN
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The zero-overhead registry used when telemetry is disabled.
+
+    Every accessor returns the shared no-op metric; nothing is ever
+    allocated or recorded, and :meth:`to_dict` is empty.
+    """
+
+    counters = {}
+    gauges = {}
+    timers = {}
+    histograms = {}
+
+    def counter(self, name):
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def gauge(self, name):
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def timer(self, name):
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def histogram(self, name, bounds=DEFAULT_BUCKETS):
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def to_dict(self):
+        """An empty payload."""
+        return {"counters": {}, "gauges": {}, "timers": {},
+                "histograms": {}}
+
+    def merge_dict(self, data):
+        """No-op; returns self."""
+        return self
+
+    def merge(self, other):
+        """No-op; returns self."""
+        return self
+
+
+NULL_REGISTRY = NullRegistry()

@@ -14,6 +14,8 @@ in-place binary patch must.
 
 from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.ildp_isa.sizes import instruction_size
+from repro.obs.events import EventKind
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.tcache.dispatch import build_dispatch_code
 from repro.tcache.fragment import ExitKind
 
@@ -24,8 +26,10 @@ DEFAULT_TCACHE_BASE = 0x100_0000
 class TranslationCache:
     """Holds translated fragments plus the shared dispatch code."""
 
-    def __init__(self, base=DEFAULT_TCACHE_BASE):
+    def __init__(self, base=DEFAULT_TCACHE_BASE, telemetry=None):
         self.base = base
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.fragments = []
         self._by_entry_vpc = {}
         self._entry_addresses = {}      # I-address -> fragment
@@ -41,6 +45,10 @@ class TranslationCache:
         self.patches_applied = 0
         self._next_fid = 0
         self.flush_count = 0
+        #: cumulative compiled-closure invalidations caused by in-place
+        #: chaining patches (never reset — like fragment ids, statistics
+        #: keyed on it must survive flushes)
+        self.invalidations = 0
 
     def _layout_dispatch(self):
         address = self.base
@@ -92,6 +100,13 @@ class TranslationCache:
         self.fragments.append(fragment)
         self._by_entry_vpc[fragment.entry_vpc] = fragment
         self._entry_addresses[fragment.base_address] = fragment
+        self.telemetry.events.emit(
+            EventKind.FRAGMENT_CREATED, fid=fragment.fid,
+            entry_vpc=fragment.entry_vpc, address=fragment.base_address,
+            instructions=len(fragment.body), bytes=fragment.byte_size,
+            source_instructions=fragment.source_instr_count)
+        self.telemetry.registry.histogram("tcache.fragment_sizes").observe(
+            len(fragment.body))
         self._register_pending(fragment)
         self._apply_patches(fragment)
         return fragment
@@ -110,6 +125,7 @@ class TranslationCache:
     def _apply_patches(self, new_fragment):
         vpc = new_fragment.entry_vpc
         target = new_fragment.entry_address()
+        events = self.telemetry.events
         for fragment, exit_record in self._pending_exits.pop(vpc, []):
             instr = fragment.body[exit_record.instr_index]
             if instr.iop is IOp.COND_CALL_TRANSLATOR:
@@ -121,12 +137,25 @@ class TranslationCache:
             instr.target = target
             exit_record.patched = True
             self.patches_applied += 1
+            events.emit(EventKind.FRAGMENT_CHAINED, fid=fragment.fid,
+                        to_fid=new_fragment.fid, vtarget=vpc,
+                        instr_index=exit_record.instr_index)
             # the in-place binary patch invalidates any compiled closures
-            fragment.invalidate_compiled()
+            self._invalidate(fragment)
         for fragment, index in self._pending_ras.pop(vpc, []):
             fragment.body[index].target = target
             self.patches_applied += 1
-            fragment.invalidate_compiled()
+            events.emit(EventKind.FRAGMENT_CHAINED, fid=fragment.fid,
+                        to_fid=new_fragment.fid, vtarget=vpc,
+                        instr_index=index, ras=True)
+            self._invalidate(fragment)
+
+    def _invalidate(self, fragment):
+        """Drop a fragment's compiled closures after an in-place patch."""
+        fragment.invalidate_compiled()
+        self.invalidations += 1
+        self.telemetry.events.emit(EventKind.FRAGMENT_INVALIDATED,
+                                   fid=fragment.fid)
 
     def flush(self):
         """Drop all fragments (translation cache flush, Section 4.1).
@@ -134,6 +163,9 @@ class TranslationCache:
         Fragment ids stay globally unique across flushes so statistics
         keyed by fid never collide.
         """
+        self.telemetry.events.emit(EventKind.TCACHE_FLUSH,
+                                   fragments=len(self.fragments),
+                                   code_bytes=self.total_code_bytes())
         self.fragments = []
         self._by_entry_vpc = {}
         self._entry_addresses = {}

@@ -6,16 +6,23 @@ cache-wide totals.
 """
 
 
+def cache_totals_line(tcache):
+    """Cache-wide totals as one line (shared by the fragment map header
+    and the ``repro profile`` report)."""
+    return (f"{len(tcache.fragments)} fragments, "
+            f"{tcache.total_code_bytes()} code bytes, "
+            f"{tcache.patches_applied} patches applied, "
+            f"{tcache.invalidations} invalidations, "
+            f"{tcache.flush_count} flushes")
+
+
 def fragment_map(tcache):
     """Render the cache's fragment map as text lines."""
     lines = [
         f"translation cache @ {tcache.base:#x}; dispatch "
         f"{tcache.dispatch_address:#x} "
         f"({len(tcache.dispatch_body)} instructions)",
-        f"{len(tcache.fragments)} fragments, "
-        f"{tcache.total_code_bytes()} code bytes, "
-        f"{tcache.patches_applied} patches applied, "
-        f"{tcache.flush_count} flushes",
+        cache_totals_line(tcache),
         "",
         f"{'fid':>4s} {'I-addr':>10s} {'V-entry':>10s} {'bytes':>6s} "
         f"{'insts':>6s} {'src':>4s} {'execs':>8s} {'exits':>18s}",

@@ -7,6 +7,7 @@ analyses for statistics collection.
 """
 
 from repro.ildp_isa.opcodes import IFormat
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.translator.chaining import ChainingPolicy
 from repro.translator.codegen import CodeGenerator
 from repro.translator.copyrules import build_copy_plan
@@ -34,7 +35,7 @@ class Translator:
 
     def __init__(self, tcache, fmt=IFormat.MODIFIED,
                  policy=ChainingPolicy.SW_PRED_RAS, n_accumulators=4,
-                 fuse_memory=False, cost_model=None):
+                 fuse_memory=False, cost_model=None, telemetry=None):
         self.tcache = tcache
         self.fmt = fmt
         self.policy = policy
@@ -42,6 +43,14 @@ class Translator:
         self.fuse_memory = fuse_memory
         self.cost = cost_model if cost_model is not None else \
             TranslationCostModel()
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+
+    def _phase(self, name):
+        """A wall-clock span for one pipeline stage (no-op when
+        telemetry is off; translation is off the execution hot path, so
+        even the disabled spans cost only a dead context manager)."""
+        return self.telemetry.registry.timer(f"phase.translate.{name}").time()
 
     def translate(self, superblock):
         """Translate one superblock and install the fragment."""
@@ -49,29 +58,36 @@ class Translator:
         cost.charge("fetch_decode", len(superblock.entries))
 
         if self.fmt is IFormat.ALPHA:
-            nodes = decompose(superblock, fuse_memory=True,
-                              split_cmov=False)
+            with self._phase("decompose"):
+                nodes = decompose(superblock, fuse_memory=True,
+                                  split_cmov=False)
             usage = strands = plan = None
         else:
-            nodes = decompose(superblock, fuse_memory=self.fuse_memory)
-            usage = analyze_usage(nodes)
-            strands = form_strands(nodes, usage, self.n_accumulators)
-            plan = build_copy_plan(nodes, usage, strands)
+            with self._phase("decompose"):
+                nodes = decompose(superblock, fuse_memory=self.fuse_memory)
+            with self._phase("usage"):
+                usage = analyze_usage(nodes)
+            with self._phase("strand"):
+                strands = form_strands(nodes, usage, self.n_accumulators)
+            with self._phase("allocate"):
+                plan = build_copy_plan(nodes, usage, strands)
             cost.charge("usage", sum(len(v.uses) + 1 for v in usage.values))
             cost.charge("classify", len(usage.values))
             cost.charge("strand", len(strands.strands) + len(nodes))
         cost.charge("decompose", len(nodes))
 
-        generator = CodeGenerator(
-            superblock, nodes, self.fmt, self.policy, self.tcache,
-            usage=usage, strands=strands, plan=plan,
-            n_accumulators=self.n_accumulators)
-        fragment = generator.generate()
+        with self._phase("codegen"):
+            generator = CodeGenerator(
+                superblock, nodes, self.fmt, self.policy, self.tcache,
+                usage=usage, strands=strands, plan=plan,
+                n_accumulators=self.n_accumulators)
+            fragment = generator.generate()
 
         cost.charge("codegen", len(fragment.body))
         cost.charge("tcache_copy", len(fragment.body))
         cost.charge("chaining", len(fragment.exits))
         cost.note_fragment(fragment.source_instr_count)
 
-        self.tcache.add(fragment)
+        with self._phase("chaining"):
+            self.tcache.add(fragment)
         return TranslationResult(fragment, nodes, usage, strands, plan)

@@ -29,7 +29,8 @@ class VMConfig:
                  flush_on_phase_change=False,
                  flush_window=5_000,
                  flush_rate_factor=4.0,
-                 exec_engine="specialized"):
+                 exec_engine="specialized",
+                 telemetry=False):
         if n_accumulators < 1:
             raise ValueError("need at least one accumulator")
         if threshold < 1:
@@ -68,6 +69,11 @@ class VMConfig:
         #: are observationally identical (the differential suite asserts
         #: it); the naive engine is kept as the readable reference.
         self.exec_engine = exec_engine
+        #: Enable the :mod:`repro.obs` telemetry subsystem: metrics
+        #: registry, structured event stream, phase timers and
+        #: hot-fragment profiling.  Off by default — the disabled path is
+        #: a shared no-op object, so the hot loops pay nothing.
+        self.telemetry = telemetry
 
     def copy(self, **overrides):
         """A copy of this config with keyword overrides applied."""
@@ -89,7 +95,8 @@ class VMConfig:
             flush_on_phase_change=self.flush_on_phase_change,
             flush_window=self.flush_window,
             flush_rate_factor=self.flush_rate_factor,
-            exec_engine=self.exec_engine)
+            exec_engine=self.exec_engine,
+            telemetry=self.telemetry)
 
     def key_fields(self):
         """The fields that identify a run for result caching.
@@ -98,10 +105,13 @@ class VMConfig:
         and cannot change the architected run or any derived metric.
         ``exec_engine`` is excluded for the same reason: both engines
         produce bit-identical results, so cached summaries are shared.
+        ``telemetry`` likewise: the no-op-parity tests assert that
+        telemetry on/off produces identical ``VMStats``.
         """
         fields = self.to_dict()
         del fields["collect_trace"]
         del fields["exec_engine"]
+        del fields["telemetry"]
         return fields
 
     @classmethod

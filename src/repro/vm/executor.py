@@ -20,6 +20,8 @@ import itertools
 from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.ildp_isa.semantics import IALU_OPS, icond_taken
 from repro.isa.semantics import CMOV_CONDITIONS, Trap, TrapKind
+from repro.obs.events import EventKind
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.utils.bitops import MASK64, sext
 from repro.vm.events import TraceRecord
 
@@ -75,7 +77,8 @@ class StalenessError(AssertionError):
 class FragmentExecutor:
     """Executes fragments against shared architected state."""
 
-    def __init__(self, config, tcache, memory, console, stats, trace=None):
+    def __init__(self, config, tcache, memory, console, stats, trace=None,
+                 telemetry=None):
         self.config = config
         self.tcache = tcache
         self.memory = memory
@@ -88,6 +91,23 @@ class FragmentExecutor:
         self._stale = set()
         #: identity under which fragments cache compiled closures for us
         self._compile_key = next(_EXECUTOR_SERIALS)
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        # Telemetry hooks are pre-resolved to None when disabled so the
+        # run loops pay a single ``is not None`` test per fragment visit
+        # (never per instruction) on the telemetry-off path.
+        if self.telemetry.enabled:
+            self._prof = self.telemetry.fragments
+            self._events = self.telemetry.events
+            registry = self.telemetry.registry
+            self._entries_counter = registry.counter("exec.fragment_entries")
+            self._transfer_counter = registry.counter(
+                "exec.fragment_transitions")
+        else:
+            self._prof = None
+            self._events = None
+            self._entries_counter = None
+            self._transfer_counter = None
 
     # -- register plumbing ---------------------------------------------------
 
@@ -143,6 +163,9 @@ class FragmentExecutor:
         index = 0
         executed_v = 0
         stats = self.stats
+        prof = self._prof
+        if prof is not None:
+            self._note_entry(frag, stats)
 
         while True:
             instr = frag.body[index]
@@ -158,6 +181,8 @@ class FragmentExecutor:
                                         state)
             except Trap as trap:
                 trap.vpc = instr.vpc
+                if prof is not None:
+                    prof.leave(ExitReason.TRAP.value, stats)
                 return ExecResult(ExitReason.TRAP, vpc=instr.vpc,
                                   fragment=frag, body_index=index,
                                   trap=trap)
@@ -179,11 +204,18 @@ class FragmentExecutor:
                 if max_instructions is not None and executed_v >= \
                         max_instructions:
                     state.pc = frag.entry_vpc
+                    if prof is not None:
+                        prof.leave(ExitReason.BUDGET.value, stats)
                     return ExecResult(ExitReason.BUDGET,
                                       vpc=frag.entry_vpc, fragment=frag)
                 frag.execution_count += 1
+                if prof is not None:
+                    self._transfer_counter.inc()
+                    prof.switch(frag, stats)
             elif kind == "exit":
                 state.pc = value.vpc if value.vpc is not None else state.pc
+                if prof is not None:
+                    prof.leave(value.reason.value, stats)
                 return value
             else:  # pragma: no cover
                 raise AssertionError(kind)
@@ -229,6 +261,9 @@ class FragmentExecutor:
         code = self._code_for(frag, traced)
         index = 0
         start_v = stats.source_instructions_executed
+        prof = self._prof
+        if prof is not None:
+            self._note_entry(frag, stats)
 
         while True:
             try:
@@ -236,6 +271,8 @@ class FragmentExecutor:
             except Trap as trap:
                 vpc = frag.body[index].vpc
                 trap.vpc = vpc
+                if prof is not None:
+                    prof.leave(ExitReason.TRAP.value, stats)
                 return ExecResult(ExitReason.TRAP, vpc=vpc, fragment=frag,
                                   body_index=index, trap=trap)
             if outcome is None:
@@ -251,15 +288,29 @@ class FragmentExecutor:
                         stats.source_instructions_executed - start_v >= \
                         max_instructions:
                     state.pc = frag.entry_vpc
+                    if prof is not None:
+                        prof.leave(ExitReason.BUDGET.value, stats)
                     return ExecResult(ExitReason.BUDGET,
                                       vpc=frag.entry_vpc, fragment=frag)
                 frag.execution_count += 1
+                if prof is not None:
+                    self._transfer_counter.inc()
+                    prof.switch(frag, stats)
                 code = self._code_for(frag, traced)
             elif kind == "exit":
                 state.pc = value.vpc if value.vpc is not None else state.pc
+                if prof is not None:
+                    prof.leave(value.reason.value, stats)
                 return value
             else:  # pragma: no cover
                 raise AssertionError(kind)
+
+    def _note_entry(self, frag, stats):
+        """Telemetry bookkeeping for a VM-level fragment entry."""
+        self._entries_counter.inc()
+        self._prof.enter(frag, stats)
+        self._events.emit(EventKind.FRAGMENT_ENTERED, fid=frag.fid,
+                          entry_vpc=frag.entry_vpc)
 
     # -- single-instruction semantics -------------------------------------------
 
@@ -435,6 +486,9 @@ class FragmentExecutor:
                             srcs=(instr.gpr,))
         frag = self.tcache.lookup(vtarget)
         self.stats.count_dispatch()
+        if self._events is not None:
+            self._events.emit(EventKind.DISPATCH_RUN, vtarget=vtarget,
+                              hit=frag is not None)
         self._emit_dispatch_trace(frag)
         if frag is None:
             return ("exit", ExecResult(ExitReason.UNTRANSLATED,

@@ -154,3 +154,11 @@ class VMStats:
             "ras_hit_rate": round(self.ras_hit_rate(), 3),
             "premature_terminations": self.premature_terminations,
         }
+
+    def render_lines(self):
+        """The :meth:`summary` dict as aligned ``name = value`` report
+        lines (used by the CLI ``run`` and ``profile`` reports)."""
+        summary = self.summary()
+        width = max(len(name) for name in summary)
+        return [f"{name:<{width}} = {value}"
+                for name, value in summary.items()]

@@ -11,10 +11,14 @@ simulation methodology describes (Section 4.1):
   ``call-translator`` exit or dispatch miss leads outside translated code.
 """
 
+from time import perf_counter
+
 from repro.interp.interpreter import Halted, Interpreter
 from repro.interp.profiler import CandidateKind, HotnessProfiler
 from repro.isa.opcodes import Kind
 from repro.isa.semantics import Trap
+from repro.obs.events import EventKind
+from repro.obs.telemetry import make_telemetry
 from repro.tcache.cache import TranslationCache
 from repro.translator.cost import TranslationCostModel
 from repro.translator.pipeline import Translator
@@ -36,22 +40,24 @@ class CoDesignedVM:
     def __init__(self, program, config=None):
         self.program = program
         self.config = config if config is not None else VMConfig()
+        self.telemetry = make_telemetry(self.config)
         self.interpreter = Interpreter(
             program, exec_engine=self.config.exec_engine)
         self.state = self.interpreter.state
         self.profiler = HotnessProfiler(self.config.threshold)
-        self.tcache = TranslationCache()
+        self.tcache = TranslationCache(telemetry=self.telemetry)
         self.cost_model = TranslationCostModel()
         self.translator = Translator(
             self.tcache, fmt=self.config.fmt, policy=self.config.policy,
             n_accumulators=self.config.n_accumulators,
             fuse_memory=self.config.fuse_memory,
-            cost_model=self.cost_model)
+            cost_model=self.cost_model, telemetry=self.telemetry)
         self.stats = VMStats()
         self.trace = [] if self.config.collect_trace else None
         self.executor = FragmentExecutor(
             self.config, self.tcache, program.memory,
-            self.interpreter.console, self.stats, trace=self.trace)
+            self.interpreter.console, self.stats, trace=self.trace,
+            telemetry=self.telemetry)
         self.halted = False
         self._flush_window_start = 0
         self._flush_window_fragments = 0
@@ -65,6 +71,8 @@ class CoDesignedVM:
         Returns the :class:`VMStats`.  Precise traps surface as
         :class:`VMTrap` with the reconstructed architected state attached.
         """
+        if self.telemetry.enabled:
+            return self._run_telemetry(max_v_instructions)
         stats = self.stats
         state = self.state
         while not self.halted:
@@ -79,6 +87,58 @@ class CoDesignedVM:
                 self._capture_and_translate(state.pc)
                 continue
             self._interpret_one()
+        return stats
+
+    def _run_telemetry(self, max_v_instructions):
+        """The ``run`` loop with wall-clock phase attribution.
+
+        A separate copy of the loop so the telemetry-off path above stays
+        untouched.  One ``perf_counter`` call per iteration: consecutive
+        timestamps are chained, charging each gap to the phase that just
+        ran.  The per-phase totals accumulate in locals and hit the
+        registry once, on exit.  ``finalize`` runs even when the program
+        traps, so partial runs still report consistent telemetry.
+        """
+        stats = self.stats
+        state = self.state
+        profiler = self.profiler
+        tcache = self.tcache
+        translated_s = capture_s = interp_s = 0.0
+        translated_n = capture_n = interp_n = 0
+        try:
+            last = perf_counter()
+            while not self.halted:
+                remaining = max_v_instructions - \
+                    stats.total_v_instructions()
+                if remaining <= 0:
+                    break
+                fragment = tcache.lookup(state.pc)
+                if fragment is not None:
+                    self._execute_translated(fragment, remaining)
+                    now = perf_counter()
+                    translated_s += now - last
+                    translated_n += 1
+                    last = now
+                    continue
+                if profiler.record_execution(state.pc):
+                    self._capture_and_translate(state.pc)
+                    now = perf_counter()
+                    capture_s += now - last
+                    capture_n += 1
+                    last = now
+                    continue
+                self._interpret_one()
+                now = perf_counter()
+                interp_s += now - last
+                interp_n += 1
+                last = now
+        finally:
+            registry = self.telemetry.registry
+            registry.timer("phase.vm.translated").add(translated_s,
+                                                      translated_n)
+            registry.timer("phase.vm.capture").add(capture_s, capture_n)
+            registry.timer("phase.vm.interpret").add(interp_s, interp_n)
+            self.telemetry.finalize(stats, tcache, self.interpreter)
         return stats
 
     def console_text(self):
@@ -99,6 +159,9 @@ class CoDesignedVM:
                                         self.state.regs,
                                         self.executor.accs)
             self.stats.traps_delivered += 1
+            self.telemetry.events.emit(
+                EventKind.TRAP_DELIVERED, trap_kind=result.trap.kind.value,
+                vpc=result.vpc, source="translated")
             raise VMTrap(result.trap, precise)
         elif result.reason is ExitReason.BUDGET:
             # state.pc points at a fragment entry with complete state; the
@@ -115,6 +178,9 @@ class CoDesignedVM:
             return
         except Trap as trap:
             self.stats.traps_delivered += 1
+            self.telemetry.events.emit(
+                EventKind.TRAP_DELIVERED, trap_kind=trap.kind.value,
+                vpc=trap.vpc, source="interpreter")
             raise VMTrap(trap, self.state.copy()) from trap
         self.stats.interpreted_instructions += 1
         if elided_by_translation(event.instr):
@@ -153,6 +219,9 @@ class CoDesignedVM:
                 break
             except Trap as trap:
                 self.stats.traps_delivered += 1
+                self.telemetry.events.emit(
+                    EventKind.TRAP_DELIVERED, trap_kind=trap.kind.value,
+                    vpc=trap.vpc, source="capture")
                 raise VMTrap(trap, self.state.copy()) from trap
             self.stats.interpreted_instructions += 1
             if elided_by_translation(event.instr):
@@ -189,6 +258,9 @@ class CoDesignedVM:
                 break
 
         superblock = Superblock(start_vpc, entries, end_reason, continuation)
+        self.telemetry.events.emit(
+            EventKind.SUPERBLOCK_CAPTURED, start_vpc=start_vpc,
+            entries=len(entries), end_reason=end_reason.value)
         result = self.translator.translate(superblock)
         self.stats.note_translation(result)
         self.profiler.reset(start_vpc)

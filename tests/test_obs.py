@@ -1,0 +1,419 @@
+"""Tests for the repro.obs telemetry subsystem.
+
+Unit coverage for the metrics registry (creation-on-use, serialisation,
+merge semantics), the bounded event stream (wraparound, JSONL round-trip)
+and the fragment profiler, plus VM integration: instrumented runs produce
+consistent telemetry, the no-op path leaves ``VMStats`` bit-identical,
+and the ``repro profile`` CLI renders the report.
+"""
+
+import io
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.harness.runner import run_vm
+from repro.obs.events import (
+    EventKind,
+    EventStream,
+    NULL_EVENTS,
+    parse_jsonl,
+)
+from repro.obs.profile import (
+    FragmentProfiler,
+    NULL_PROFILER,
+    hot_fragment_table,
+    phase_breakdown_lines,
+)
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    make_telemetry,
+    merge_summary,
+)
+from repro.vm.config import VMConfig
+
+
+class TestRegistryMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        assert registry.counter("c") is counter
+
+    def test_gauge_overwrites(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_timer_spans(self):
+        timer = MetricsRegistry().timer("t")
+        timer.add(0.5)
+        timer.add(0.25, count=3)
+        assert timer.seconds == pytest.approx(0.75)
+        assert timer.count == 4
+        with timer.time():
+            pass
+        assert timer.count == 5
+
+    def test_histogram_buckets(self):
+        histogram = MetricsRegistry().histogram("h", bounds=(10, 20))
+        histogram.observe(5)      # <= 10
+        histogram.observe(10)     # inclusive upper edge
+        histogram.observe(15)
+        histogram.observe(1000)   # overflow
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.total == 4
+        histogram.reset()
+        assert histogram.counts == [0, 0, 0] and histogram.total == 0
+
+    def test_histogram_bounds_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", bounds=(5, 3))
+        with pytest.raises(ValueError):
+            registry.histogram("dup", bounds=(3, 3))
+
+    def test_histogram_rebounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1, 2))
+        assert registry.histogram("h", bounds=(1, 2)) is not None
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(1, 3))
+
+
+class TestRegistryMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.timer("t").add(1.0, count=2)
+        registry.histogram("h", bounds=(10,)).observe(3)
+        return registry
+
+    def test_to_dict_json_able_and_sorted(self):
+        registry = self._populated()
+        registry.counter("a").inc()
+        data = registry.to_dict()
+        json.dumps(data)
+        assert list(data["counters"]) == ["a", "c"]
+
+    def test_merge_semantics(self):
+        a, b = self._populated(), self._populated()
+        b.gauge("g").set(3)         # lower: max keeps 7
+        b.counter("only_b").inc()
+        a.merge(b)
+        assert a.counters["c"].value == 4
+        assert a.counters["only_b"].value == 1
+        assert a.gauges["g"].value == 7
+        assert a.timers["t"].seconds == pytest.approx(2.0)
+        assert a.timers["t"].count == 4
+        assert a.histograms["h"].counts == [2, 0]
+        assert a.histograms["h"].total == 2
+
+    def test_merge_is_associative_on_counters(self):
+        payload = self._populated().to_dict()
+        once = MetricsRegistry().merge_dict(payload).merge_dict(payload)
+        twice = MetricsRegistry()
+        twice.merge(self._populated())
+        twice.merge(self._populated())
+        assert once.to_dict() == twice.to_dict()
+
+    def test_merge_bounds_mismatch_raises(self):
+        a = self._populated()
+        payload = self._populated().to_dict()
+        payload["histograms"]["h"]["bounds"] = [99]
+        with pytest.raises(ValueError):
+            a.merge_dict(payload)
+
+
+class TestEventStream:
+    def test_emit_sequences_and_counts(self):
+        stream = EventStream()
+        first = stream.emit(EventKind.FRAGMENT_CREATED, fid=0)
+        second = stream.emit(EventKind.FRAGMENT_ENTERED, fid=0)
+        assert (first.seq, second.seq) == (0, 1)
+        assert stream.emitted == 2 and stream.dropped == 0
+        assert stream.by_kind[EventKind.FRAGMENT_CREATED] == 1
+        assert stream.records(EventKind.FRAGMENT_ENTERED) == [second]
+
+    def test_ring_wraparound_drops_oldest(self):
+        stream = EventStream(capacity=4)
+        for index in range(10):
+            stream.emit(EventKind.DISPATCH_RUN, index=index)
+        assert len(stream) == 4
+        assert stream.emitted == 10
+        assert stream.dropped == 6
+        kept = [event.data["index"] for event in stream.records()]
+        assert kept == [6, 7, 8, 9]
+        # per-kind totals survive eviction
+        assert stream.by_kind[EventKind.DISPATCH_RUN] == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventStream(capacity=0)
+
+    def test_jsonl_round_trip(self):
+        stream = EventStream(capacity=8)
+        stream.emit(EventKind.TCACHE_FLUSH, fragments=3, code_bytes=96)
+        stream.emit(EventKind.TRAP_DELIVERED, trap_kind="gentrap",
+                    vpc=0x1000)
+        text = stream.to_jsonl()
+        assert len(text.splitlines()) == 2
+        for line in text.splitlines():
+            json.loads(line)
+        assert parse_jsonl(text) == stream.records()
+
+    def test_parse_jsonl_skips_blank_lines(self):
+        stream = EventStream()
+        stream.emit(EventKind.SUPERBLOCK_CAPTURED, start_vpc=16)
+        assert parse_jsonl("\n" + stream.to_jsonl() + "\n") == \
+            stream.records()
+
+    def test_summary(self):
+        stream = EventStream(capacity=1)
+        stream.emit(EventKind.FRAGMENT_CREATED, fid=0)
+        stream.emit(EventKind.FRAGMENT_CHAINED, fid=0, to_fid=1)
+        assert stream.summary() == {
+            "emitted": 2, "dropped": 1,
+            "by_kind": {EventKind.FRAGMENT_CHAINED: 1,
+                        EventKind.FRAGMENT_CREATED: 1},
+        }
+
+
+class TestFragmentProfiler:
+    def _stats(self, i=0, v=0):
+        return SimpleNamespace(iinstructions_executed=i,
+                               source_instructions_executed=v)
+
+    def _frag(self, fid, vpc=0x100):
+        return SimpleNamespace(fid=fid, entry_vpc=vpc)
+
+    def test_enter_leave_charges_deltas(self):
+        profiler = FragmentProfiler()
+        profiler.enter(self._frag(0), self._stats(i=10, v=5))
+        profiler.leave("halt", self._stats(i=25, v=12))
+        record = profiler.records[0]
+        assert record.entries == 1
+        assert record.i_instructions == 15
+        assert record.v_instructions == 7
+        assert record.exit_reasons == {"halt": 1}
+
+    def test_switch_closes_and_reopens(self):
+        profiler = FragmentProfiler()
+        profiler.enter(self._frag(0), self._stats(i=0, v=0))
+        profiler.switch(self._frag(1), self._stats(i=8, v=4))
+        profiler.leave("untranslated", self._stats(i=11, v=6))
+        assert profiler.records[0].i_instructions == 8
+        assert profiler.records[1].i_instructions == 3
+        # the transfer counts as an entry but not as an exit of frag 0
+        assert profiler.records[0].exit_reasons == {}
+        assert profiler.records[1].exit_reasons == {"untranslated": 1}
+
+    def test_top_orders_by_entries_then_iinstructions(self):
+        profiler = FragmentProfiler()
+        for fid, visits in ((0, 1), (1, 3), (2, 2)):
+            for _ in range(visits):
+                profiler.enter(self._frag(fid), self._stats())
+                profiler.leave("halt", self._stats())
+        assert [record.fid for record in profiler.top(2)] == [1, 2]
+        assert len(profiler) == 3
+
+
+class TestNullObjects:
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("c").inc(100)
+        NULL_REGISTRY.gauge("g").set(5)
+        with NULL_REGISTRY.timer("t").time():
+            pass
+        NULL_REGISTRY.histogram("h").observe(1)
+        assert NULL_REGISTRY.to_dict() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+
+    def test_null_events_and_profiler(self):
+        assert NULL_EVENTS.emit(EventKind.TCACHE_FLUSH) is None
+        assert NULL_EVENTS.summary() == \
+            {"emitted": 0, "dropped": 0, "by_kind": {}}
+        assert NULL_EVENTS.to_jsonl() == ""
+        NULL_PROFILER.enter(None, None)
+        NULL_PROFILER.leave("halt", None)
+        assert NULL_PROFILER.top() == [] and len(NULL_PROFILER) == 0
+
+    def test_make_telemetry_selects_by_config(self):
+        assert make_telemetry(VMConfig()) is NULL_TELEMETRY
+        live = make_telemetry(VMConfig(telemetry=True))
+        assert live.enabled and isinstance(live, Telemetry)
+        # each enabled VM gets a fresh object, never a shared one
+        assert make_telemetry(VMConfig(telemetry=True)) is not live
+
+    def test_null_summaries_are_empty(self):
+        summary = NULL_TELEMETRY.summary()
+        assert summary["counters"] == {} and summary["hot_fragments"] == []
+        assert NULL_TELEMETRY.host_summary() == \
+            {"timers": {}, "decode_misses": 0}
+
+
+class TestMergeSummary:
+    def test_folds_events_and_host(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("exec.fragment_entries").inc(4)
+        telemetry.events.emit(EventKind.FRAGMENT_CREATED, fid=0)
+        telemetry.events.emit(EventKind.FRAGMENT_CREATED, fid=1)
+        telemetry.registry.timer("phase.vm.interpret").add(0.5)
+        telemetry.decode_misses = 9
+        telemetry.fragments.enter(
+            SimpleNamespace(fid=0, entry_vpc=0), SimpleNamespace(
+                iinstructions_executed=0, source_instructions_executed=0))
+
+        aggregate = MetricsRegistry()
+        for _ in range(2):
+            merge_summary(aggregate, telemetry.summary(),
+                          host=telemetry.host_summary())
+        assert aggregate.counters["exec.fragment_entries"].value == 8
+        assert aggregate.counters["events.fragment_created"].value == 4
+        assert aggregate.counters["fragments.profiled"].value == 2
+        assert aggregate.counters["interp.decode_misses"].value == 18
+        assert aggregate.timers["phase.vm.interpret"].seconds == \
+            pytest.approx(1.0)
+
+    def test_host_optional(self):
+        aggregate = merge_summary(MetricsRegistry(),
+                                  NULL_TELEMETRY.summary())
+        assert aggregate.timers == {}
+
+
+@pytest.fixture(scope="module")
+def instrumented():
+    """One telemetry-on gzip run shared by the integration tests."""
+    return run_vm("gzip", VMConfig(telemetry=True), budget=40_000,
+                  collect_trace=False)
+
+
+class TestVMIntegration:
+    def test_events_cover_fragment_lifecycle(self, instrumented):
+        by_kind = instrumented.vm.telemetry.events.by_kind
+        assert by_kind[EventKind.SUPERBLOCK_CAPTURED] == \
+            instrumented.stats.superblocks_captured
+        assert by_kind[EventKind.FRAGMENT_CREATED] == \
+            instrumented.stats.fragments_created
+        assert by_kind[EventKind.FRAGMENT_ENTERED] > 0
+
+    def test_profiler_matches_execution_counts(self, instrumented):
+        profiler = instrumented.vm.telemetry.fragments
+        entries = sum(r.entries for r in profiler.records.values())
+        execs = sum(f.execution_count
+                    for f in instrumented.tcache.fragments)
+        assert entries == execs
+        counters = instrumented.vm.telemetry.registry.counters
+        assert counters["exec.fragment_entries"].value + \
+            counters["exec.fragment_transitions"].value == entries
+
+    def test_profiled_instructions_sum_to_stats(self, instrumented):
+        profiler = instrumented.vm.telemetry.fragments
+        stats = instrumented.stats
+        assert sum(r.i_instructions for r in profiler.records.values()) \
+            == stats.iinstructions_executed
+        assert sum(r.v_instructions for r in profiler.records.values()) \
+            == stats.source_instructions_executed
+
+    def test_phase_timers_recorded(self, instrumented):
+        timers = instrumented.vm.telemetry.registry.timers
+        assert timers["phase.vm.interpret"].count > 0
+        assert timers["phase.vm.translated"].count > 0
+        assert timers["phase.translate.codegen"].count == \
+            instrumented.stats.fragments_created
+
+    def test_finalize_mirrors_stats_gauges(self, instrumented):
+        gauges = instrumented.vm.telemetry.registry.gauges
+        for name, value in instrumented.stats.summary().items():
+            assert gauges[f"stats.{name}"].value == value
+        assert gauges["tcache.fragments_live"].value == \
+            len(instrumented.tcache.fragments)
+        assert gauges["tcache.invalidations"].value == \
+            instrumented.tcache.invalidations
+
+    def test_summary_views_json_able(self, instrumented):
+        telemetry = instrumented.vm.telemetry
+        json.dumps(telemetry.summary())
+        json.dumps(telemetry.host_summary())
+        histogram = telemetry.summary()["histograms"]
+        assert histogram["tcache.fragment_sizes"]["total"] == \
+            instrumented.stats.fragments_created
+
+    def test_report_renderers(self, instrumented):
+        telemetry = instrumented.vm.telemetry
+        table = hot_fragment_table(telemetry.fragments,
+                                   instrumented.tcache, top=3)
+        assert len(table) == 2 + min(3, len(telemetry.fragments))
+        assert "V-entry" in table[1]
+        breakdown = phase_breakdown_lines(telemetry.registry)
+        assert any("vm.interpret" in line for line in breakdown)
+
+    def test_hot_fragment_table_marks_flushed(self, instrumented):
+        telemetry = instrumented.vm.telemetry
+        empty = SimpleNamespace(fragments=[])
+        table = hot_fragment_table(telemetry.fragments, empty, top=1)
+        assert "(flushed)" in table[-1]
+
+
+class TestNoOpParity:
+    @pytest.mark.parametrize("workload", ("gzip", "mcf", "twolf"))
+    def test_stats_identical_telemetry_on_off(self, workload):
+        on = run_vm(workload, VMConfig(telemetry=True), budget=30_000,
+                    collect_trace=False)
+        off = run_vm(workload, VMConfig(), budget=30_000,
+                     collect_trace=False)
+        assert vars(on.stats) == vars(off.stats)
+        assert on.vm.state.regs == off.vm.state.regs
+        assert on.vm.state.pc == off.vm.state.pc
+        assert on.vm.console_text() == off.vm.console_text()
+
+    def test_disabled_vm_uses_shared_null(self):
+        result = run_vm("gzip", VMConfig(), budget=5_000,
+                        collect_trace=False)
+        assert result.vm.telemetry is NULL_TELEMETRY
+        assert result.vm.executor._prof is None
+
+
+class TestProfileCli:
+    def _run(self, *argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_profile_renders_report(self):
+        code, text = self._run("profile", "gzip", "--budget", "20000")
+        assert code == 0
+        assert "hot fragments" in text
+        assert "phase times" in text
+        assert "vm.interpret" in text
+        assert "fragment_created" in text
+
+    def test_profile_accepts_telemetry_flag(self):
+        code, text = self._run("profile", "gzip", "--telemetry",
+                               "--budget", "20000")
+        assert code == 0
+        assert "hot fragments" in text
+
+    def test_profile_exports_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        code, text = self._run("profile", "gzip", "--budget", "20000",
+                               "--events-jsonl", str(path))
+        assert code == 0
+        events = parse_jsonl(path.read_text())
+        assert events
+        assert {event.kind for event in events} >= \
+            {EventKind.FRAGMENT_CREATED, EventKind.FRAGMENT_ENTERED}
+
+    def test_run_with_telemetry_prints_block(self):
+        code, text = self._run("run", "gzip", "--telemetry",
+                               "--budget", "20000")
+        assert code == 0
+        assert "telemetry:" in text and "emitted" in text

@@ -53,10 +53,12 @@ class TestExecutionEquivalence:
         serial = [execute_point(p) for p in points]
         runner = PointRunner(workers=2)
         pooled = runner.run(points)
-        # elapsed is wall-clock measurement, everything else is determined
+        # elapsed and telemetry_host are wall-clock / process-local
+        # measurements, everything else is determined
         for a, b in zip(serial, pooled):
             a, b = dict(a), dict(b)
             a.pop("elapsed"), b.pop("elapsed")
+            a.pop("telemetry_host"), b.pop("telemetry_host")
             assert json.loads(json.dumps(a)) == json.loads(json.dumps(b))
 
     def test_warm_cache_answers_every_point(self, cache):
@@ -133,6 +135,30 @@ class TestCacheKey:
         assert point_key(RunPoint.vm("gzip", with_trace)) == \
             point_key(RunPoint.vm("gzip", without))
 
+    def test_telemetry_not_in_key(self):
+        on = VMConfig(telemetry=True)
+        off = VMConfig(telemetry=False)
+        assert "telemetry" not in on.key_fields()
+        assert point_key(RunPoint.vm("gzip", on)) == \
+            point_key(RunPoint.vm("gzip", off))
+
+    def test_stale_schema_entry_misses(self, cache, monkeypatch):
+        """An entry cached under an older SCHEMA_VERSION must miss
+        cleanly once the schema is bumped — never be returned."""
+        from repro.harness import runpoints
+
+        monkeypatch.setattr(runpoints, "SCHEMA_VERSION",
+                            runpoints.SCHEMA_VERSION - 1)
+        old = PointRunner(cache=cache)
+        old.run([_point()])
+        assert old.report.executed == 1
+        monkeypatch.undo()
+
+        fresh = PointRunner(cache=ResultCache(cache.root))
+        fresh.run([_point()])
+        assert fresh.report.cache_hits == 0
+        assert fresh.report.executed == 1
+
 
 class TestCacheRobustness:
     def test_corrupt_entry_reexecuted(self, cache):
@@ -185,6 +211,35 @@ class TestCacheRobustness:
         rerun = PointRunner(cache=ResultCache(cache.root))
         rerun.run([_point()])
         assert rerun.report.cache_hits == 0
+
+
+class TestTelemetryMerge:
+    def test_runner_aggregates_summaries(self):
+        runner = PointRunner()
+        runner.run([_point("gzip"), _point("mcf")])
+        merged = runner.telemetry
+        # both runs' event totals folded into events.* counters
+        assert merged.counters["events.fragment_created"].value > 0
+        assert merged.counters["fragments.profiled"].value > 0
+        assert merged.counters["exec.fragment_entries"].value > 0
+        # host blocks merged too: the VM phase timers carry spans
+        assert merged.timers["phase.vm.interpret"].count > 0
+
+    def test_pool_and_serial_merge_same_deterministic_counters(self):
+        points = [_point("gzip"), _point("mcf")]
+        serial, pooled = PointRunner(), PointRunner(workers=2)
+        serial.run(points)
+        pooled.run(points)
+        serial_counters = {
+            name: counter.value
+            for name, counter in serial.telemetry.counters.items()
+            if name != "interp.decode_misses"}
+        pooled_counters = {
+            name: counter.value
+            for name, counter in pooled.telemetry.counters.items()
+            if name != "interp.decode_misses"}
+        # everything except the process-local decode-miss count agrees
+        assert serial_counters == pooled_counters
 
 
 class TestRunReport:
