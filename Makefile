@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-quick report clean-cache
+.PHONY: check test smoke bench bench-quick bench-gate report clean-cache
 
 check: test smoke
 
@@ -12,6 +12,7 @@ smoke:
 	$(PYTHON) scripts/smoke_cache.py
 	$(PYTHON) scripts/smoke_exec_engine.py
 	$(PYTHON) scripts/smoke_telemetry.py
+	$(PYTHON) scripts/smoke_trace.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -19,6 +20,16 @@ bench:
 bench-quick:
 	REPRO_BENCH_BUDGET=10000 $(PYTHON) -m pytest \
 		benchmarks/bench_exec_engine.py -q -s
+
+# Re-run the exec benchmark at the full budget (bench-quick's reduced
+# budget is a different run context, which the sentinel would refuse to
+# gate), write the record to a scratch file, and gate it against the
+# committed baseline.  Exits non-zero on a perf regression.
+bench-gate:
+	REPRO_BENCH_OUTPUT=/tmp/BENCH_exec.fresh.json $(PYTHON) -m pytest \
+		benchmarks/bench_exec_engine.py -q -s
+	$(PYTHON) -m repro bench-compare BENCH_exec.json \
+		/tmp/BENCH_exec.fresh.json
 
 report:
 	$(PYTHON) -m repro report -o results.md

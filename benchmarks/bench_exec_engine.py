@@ -46,6 +46,18 @@ def _budget():
     return int(os.environ.get("REPRO_BENCH_BUDGET", BENCH_BUDGET))
 
 
+def _output_path():
+    """Where this run's record is written.
+
+    ``REPRO_BENCH_OUTPUT`` redirects the record (``make bench-gate``
+    writes a scratch file and diffs it against the committed baseline
+    with ``repro bench-compare``); the overhead gate's prior record
+    always comes from the committed :data:`OUTPUT`.
+    """
+    override = os.environ.get("REPRO_BENCH_OUTPUT")
+    return pathlib.Path(override) if override else OUTPUT
+
+
 def _time_once(workload, engine, budget, telemetry=False):
     config = VMConfig(exec_engine=engine, telemetry=telemetry)
     started = time.perf_counter()
@@ -119,14 +131,15 @@ def test_exec_engine_speedup():
         "telemetry_on_ratio": round(telemetry_ratio, 3),
         "machine": machine_metadata(),
     }
-    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    output = _output_path()
+    output.write_text(json.dumps(record, indent=2) + "\n")
 
     print()
     for row in rows:
         print(f"{row['workload']:8s} naive {row['naive_seconds']:.3f}s, "
               f"specialized {row['specialized_seconds']:.3f}s "
               f"({row['speedup']:.2f}x)")
-    print(f"aggregate speedup {aggregate:.2f}x -> {OUTPUT.name}")
+    print(f"aggregate speedup {aggregate:.2f}x -> {output.name}")
     print(f"telemetry on: {telemetry_total:.3f}s "
           f"({telemetry_ratio:.2f}x of telemetry-off)")
 

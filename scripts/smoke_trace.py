@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Smoke-test span tracing end to end.
+
+Runs one workload with ``VMConfig.trace`` on and checks the acceptance
+properties: the export passes the Chrome trace-event schema check and
+survives a JSON round-trip, the run-loop phases all produced spans, the
+nesting chain ``vm.run ⊃ vm.capture ⊃ translate ⊃ translate.codegen``
+holds positionally, the flame summary renders, and — against a second
+tracing-off run — ``VMStats`` and the architected state are
+bit-identical (the no-op parity contract).  Exits non-zero on any
+failure.
+
+Usage: PYTHONPATH=src python scripts/smoke_trace.py [workload] [budget]
+"""
+
+import json
+import sys
+
+from repro.harness.runner import run_vm
+from repro.obs.trace import span_contains, validate_chrome_trace
+from repro.vm.config import VMConfig
+
+
+def main(argv):
+    workload = argv[1] if len(argv) > 1 else "gzip"
+    budget = int(argv[2]) if len(argv) > 2 else 100_000
+
+    on = run_vm(workload, VMConfig(trace=True), budget=budget,
+                collect_trace=False)
+    off = run_vm(workload, VMConfig(), budget=budget, collect_trace=False)
+    tracer = on.vm.tracer
+
+    failures = []
+    if not tracer.enabled:
+        failures.append("tracer is the null object")
+
+    doc = json.loads(json.dumps(tracer.to_chrome()))
+    try:
+        completes = validate_chrome_trace(doc)
+    except ValueError as exc:
+        failures.append(f"export failed schema validation: {exc}")
+        completes = []
+
+    by_name = {}
+    for event in completes:
+        by_name.setdefault(event["name"], []).append(event)
+    for name in ("vm.run", "vm.interpret", "vm.capture", "vm.translated",
+                 "translate", "translate.codegen"):
+        if name not in by_name:
+            failures.append(f"no {name} spans recorded")
+
+    if not failures:
+        run = by_name["vm.run"][0]
+        capture = by_name["vm.capture"][0]
+        translate = by_name["translate"][0]
+        codegen = by_name["translate.codegen"][0]
+        if not span_contains(run, capture):
+            failures.append("vm.capture not nested inside vm.run")
+        if not span_contains(capture, translate):
+            failures.append("translate not nested inside vm.capture")
+        if not span_contains(translate, codegen):
+            failures.append("translate.codegen not nested inside "
+                            "translate")
+
+    flame = tracer.flame_lines()
+    if len(flame) < 2:
+        failures.append("flame summary is empty")
+
+    if vars(on.stats) != vars(off.stats):
+        failures.append("VMStats differ between tracing on and off")
+    if on.vm.state.regs != off.vm.state.regs or \
+            on.vm.state.pc != off.vm.state.pc:
+        failures.append("architected state differs between tracing "
+                        "on and off")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+
+    print(f"ok: traced {workload} — {len(completes)} spans "
+          f"({tracer.dropped} dropped), nesting "
+          f"vm.run > vm.capture > translate > translate.codegen holds, "
+          f"stats identical with tracing off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,7 +6,9 @@
     python -m repro run gzip --fmt modified   # run one workload in the VM
     python -m repro translate gzip            # dump the hottest fragment
     python -m repro profile gzip              # hot fragments + phase times
+    python -m repro trace gzip -o trace.json  # span timeline (Perfetto)
     python -m repro experiment fig8 -w gzip -w mcf   # one paper experiment
+    python -m repro bench-compare BENCH_exec.json fresh.json  # perf gate
 """
 
 import argparse
@@ -42,6 +44,9 @@ def build_parser():
 
     run_parser = sub.add_parser("run", help="run a workload under the VM")
     _add_vm_arguments(run_parser)
+    run_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="also span-trace the run and write a "
+                                 "Chrome trace-event JSON file")
 
     translate_parser = sub.add_parser(
         "translate", help="show a workload's hottest translated fragment")
@@ -58,6 +63,19 @@ def build_parser():
                                 help="also export the event stream as "
                                      "JSON lines")
 
+    trace_parser = sub.add_parser(
+        "trace", help="run one workload with span tracing and export a "
+                      "Chrome trace-event JSON timeline (load it in "
+                      "Perfetto or chrome://tracing)")
+    _add_vm_arguments(trace_parser)
+    trace_parser.add_argument("-o", "--output", default="trace.json",
+                              help="trace-event JSON path "
+                                   "(default trace.json)")
+    trace_parser.add_argument("--flame-top", type=_positive_int,
+                              default=15, metavar="N",
+                              help="span paths in the flame summary "
+                                   "(default 15)")
+
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures")
     experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -66,6 +84,23 @@ def build_parser():
                                    help="restrict to specific workloads")
     experiment_parser.add_argument("--budget", type=int, default=60_000)
     _add_runner_arguments(experiment_parser)
+
+    compare_parser = sub.add_parser(
+        "bench-compare",
+        help="gate a fresh benchmark record against a baseline "
+             "(exit 1 on regression)")
+    compare_parser.add_argument("baseline",
+                                help="baseline record, e.g. BENCH_exec.json")
+    compare_parser.add_argument("current",
+                                help="fresh record to gate")
+    compare_parser.add_argument("--tolerance", type=float, default=None,
+                                metavar="FRAC",
+                                help="relative tolerance for wall-clock "
+                                     "metrics (default 0.05)")
+    compare_parser.add_argument("--slack", type=float, default=None,
+                                metavar="SECONDS",
+                                help="absolute slack for *_seconds metrics "
+                                     "(default 0.005)")
 
     map_parser = sub.add_parser(
         "map", help="show a workload's translation-cache fragment map")
@@ -97,14 +132,42 @@ def _add_runner_arguments(parser):
                         help="result-cache directory "
                              "(default: $REPRO_CACHE_DIR or "
                              "~/.cache/repro/runpoints)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="print the aggregate telemetry the harness "
+                             "collected across all run points")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="span-trace the harness (each run point a "
+                             "span, workers on their own tracks) and "
+                             "write Chrome trace-event JSON")
 
 
 def _runner_from(args):
     from repro.harness.parallel import PointRunner
     from repro.harness.resultcache import ResultCache
+    from repro.obs.trace import Tracer
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return PointRunner(workers=args.workers, cache=cache)
+    tracer = Tracer(thread_name="runner") \
+        if getattr(args, "trace_out", None) else None
+    return PointRunner(workers=args.workers, cache=cache, tracer=tracer)
+
+
+def _finish_runner(args, runner, out):
+    """Shared experiment/report epilogue: telemetry + trace output."""
+    if getattr(args, "telemetry", False):
+        from repro.obs.profile import phase_breakdown_lines
+
+        print("", file=out)
+        print("aggregate telemetry (all run points):", file=out)
+        for line in phase_breakdown_lines(runner.telemetry):
+            print(f"  {line}", file=out)
+        counters = runner.telemetry.to_dict()["counters"]
+        for name in sorted(counters):
+            print(f"  {name:32s} {counters[name]}", file=out)
+    if getattr(args, "trace_out", None):
+        runner.tracer.write(args.trace_out)
+        print(f"wrote {args.trace_out} "
+              f"({len(runner.tracer.events)} trace events)", file=out)
 
 
 def _add_vm_arguments(parser):
@@ -142,7 +205,10 @@ def _command_workloads(_args, out):
 
 
 def _command_run(args, out):
-    result = run_vm(args.workload, _config_from(args), budget=args.budget,
+    config = _config_from(args)
+    if args.trace_out is not None:
+        config = config.copy(trace=True)
+    result = run_vm(args.workload, config, budget=args.budget,
                     collect_trace=False)
     stats = result.stats
     print(f"workload : {args.workload}", file=out)
@@ -165,7 +231,56 @@ def _command_run(args, out):
               f"{events['dropped']} dropped", file=out)
         for line in phase_breakdown_lines(telemetry.registry):
             print(f"  {line}", file=out)
+    if args.trace_out is not None:
+        result.vm.tracer.write(args.trace_out)
+        print(f"wrote {args.trace_out} "
+              f"({len(result.vm.tracer.events)} trace events)", file=out)
     return 0
+
+
+def _command_trace(args, out):
+    config = _config_from(args).copy(trace=True)
+    result = run_vm(args.workload, config, budget=args.budget,
+                    collect_trace=False)
+    tracer = result.vm.tracer
+    print(f"trace of {args.workload} "
+          f"({args.fmt} / {args.policy}, budget {args.budget})", file=out)
+    for line in tracer.flame_lines(top=args.flame_top):
+        print(line, file=out)
+    if tracer.dropped:
+        print(f"warning: {tracer.dropped} spans dropped (buffer holds "
+              f"{tracer.max_events}); the timeline is truncated", file=out)
+    tracer.write(args.output)
+    print(f"wrote {args.output} ({len(tracer.events)} trace events) — "
+          f"load it in https://ui.perfetto.dev or chrome://tracing",
+          file=out)
+    return 0
+
+
+def _command_bench_compare(args, out):
+    import json
+
+    from repro.obs import regress
+
+    docs = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path) as handle:
+                docs.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"bench-compare: cannot read {path}: {exc}", file=out)
+            return 2
+    kwargs = {}
+    if args.tolerance is not None:
+        kwargs["time_tolerance"] = args.tolerance
+    if args.slack is not None:
+        kwargs["slack"] = args.slack
+    comparison = regress.compare_benchmarks(docs[0], docs[1], **kwargs)
+    print(f"bench-compare: {args.baseline} (baseline) vs "
+          f"{args.current}", file=out)
+    for line in comparison.render_lines():
+        print(line, file=out)
+    return 0 if comparison.ok else 1
 
 
 def _command_profile(args, out):
@@ -195,6 +310,12 @@ def _command_profile(args, out):
     print(f"events: {events['emitted']} emitted, "
           f"{events['dropped']} dropped "
           f"(ring capacity {telemetry.events.capacity})", file=out)
+    if events["dropped"]:
+        print(f"warning: the event ring overflowed — the oldest "
+              f"{events['dropped']} records were dropped; per-kind "
+              f"totals below are still complete, but the JSONL export "
+              f"only holds the newest {telemetry.events.capacity} "
+              f"(set REPRO_EVENT_CAPACITY to raise it)", file=out)
     for kind in sorted(events["by_kind"]):
         print(f"  {kind:22s} {events['by_kind'][kind]}", file=out)
     if args.events_jsonl is not None:
@@ -227,10 +348,12 @@ def _command_translate(args, out):
 def _command_experiment(args, out):
     module = _EXPERIMENTS[args.name]
     runner = _runner_from(args)
-    result = module.run(workloads=args.workloads, budget=args.budget,
-                        runner=runner)
+    with runner.tracer.span(f"experiment.{args.name}", cat="report"):
+        result = module.run(workloads=args.workloads, budget=args.budget,
+                            runner=runner)
     print(result.render(), file=out)
     print(runner.report.render(), file=out)
+    _finish_runner(args, runner, out)
     return 0
 
 
@@ -260,6 +383,7 @@ def _command_report(args, out):
         handle.write(text)
     print(runner.report.render(), file=out)
     print(f"wrote {args.output}", file=out)
+    _finish_runner(args, runner, out)
     return 0
 
 
@@ -272,7 +396,9 @@ def main(argv=None, out=None):
         "run": _command_run,
         "translate": _command_translate,
         "profile": _command_profile,
+        "trace": _command_trace,
         "experiment": _command_experiment,
+        "bench-compare": _command_bench_compare,
         "map": _command_map,
         "report": _command_report,
     }[args.command]

@@ -22,11 +22,23 @@ import time
 from repro.harness.runpoints import execute_point
 from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import merge_summary
+from repro.obs.trace import NULL_TRACER
 
 
 def _execute_chunk(points):
-    """Run one worker's whole share of a batch as a single pool task."""
-    return [execute_point(point) for point in points]
+    """Run one worker's whole share of a batch as a single pool task.
+
+    Each summary is paired with the ``perf_counter`` readings around its
+    run: on the platforms we run on that clock is system-wide monotonic,
+    so the parent process can place worker runs on the shared span
+    timeline (one trace track per worker).
+    """
+    results = []
+    for point in points:
+        started = time.perf_counter()
+        summary = execute_point(point)
+        results.append((summary, started, time.perf_counter()))
+    return results
 
 
 class RunReport:
@@ -75,11 +87,15 @@ def _delta(before, after):
 class PointRunner:
     """Executes batches of run points with caching and optional workers."""
 
-    def __init__(self, workers=1, cache=None):
+    def __init__(self, workers=1, cache=None, tracer=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.cache = cache
+        #: span tracer for the harness timeline: every executed run point
+        #: becomes a span (parallel workers land on their own tracks) and
+        #: every cache hit an instant marker.  Defaults to the no-op twin.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.report = RunReport()
         #: report delta for the most recent :meth:`run` call
         self.last_report = None
@@ -115,6 +131,8 @@ class PointRunner:
             if cached is not None:
                 summaries[index] = cached
                 self.report.cache_hits += 1
+                self.tracer.instant(f"cache-hit {point.label()}",
+                                    cat="harness")
             else:
                 pending.append(index)
 
@@ -139,7 +157,13 @@ class PointRunner:
         if self.workers > 1 and len(pending) > 1:
             executed = self._run_pool([order[i] for i in pending])
         if executed is None:
-            executed = [execute_point(order[i]) for i in pending]
+            executed = []
+            for i in pending:
+                point = order[i]
+                with self.tracer.span(point.label(), cat="harness",
+                                      kind=point.kind,
+                                      budget=point.budget):
+                    executed.append(execute_point(point))
         for index, summary in zip(pending, executed):
             summaries[index] = summary
             self.report.executed += 1
@@ -175,6 +199,26 @@ class PointRunner:
             return None
         summaries = [None] * len(points)
         for start, chunk_result in enumerate(chunk_results):
-            for offset, summary in enumerate(chunk_result):
+            for offset, (summary, _t0, _t1) in enumerate(chunk_result):
                 summaries[start + offset * max_workers] = summary
+        self._note_pool_spans(chunks, chunk_results)
         return summaries
+
+    def _note_pool_spans(self, chunks, chunk_results):
+        """Place each worker's runs on its own trace track.
+
+        Workers report raw ``perf_counter`` readings (system-wide
+        monotonic), so their spans share the parent tracer's timeline;
+        track ``tid`` = worker index + 1 keeps them visually separate
+        from the runner's own (serial) track 0.
+        """
+        if not self.tracer.enabled:
+            return
+        for worker, (chunk, results) in enumerate(zip(chunks,
+                                                      chunk_results)):
+            tid = worker + 1
+            self.tracer.set_thread_name(tid, f"worker-{tid}")
+            for point, (summary, started, ended) in zip(chunk, results):
+                self.tracer.add_complete(
+                    point.label(), started, ended, tid=tid,
+                    args={"kind": point.kind, "budget": point.budget})

@@ -9,6 +9,7 @@ import time
 
 from repro.harness import experiments
 from repro.harness.parallel import PointRunner
+from repro.obs.trace import NULL_TRACER
 
 #: (experiment module name, paper anchor) in presentation order.
 REPORT_SECTIONS = (
@@ -39,14 +40,19 @@ def _markdown_table(result):
 
 
 def generate_report(workloads=None, budget=60_000, sections=None,
-                    progress=None, runner=None):
+                    progress=None, runner=None, tracer=None):
     """Run every experiment; returns the markdown text.
 
     All sections share one ``runner``, so identical run points requested
     by several experiments execute only once per report — and, with a
-    cache attached, at most once ever.
+    cache attached, at most once ever.  ``tracer`` (defaulting to the
+    runner's, else the no-op twin) wraps each section in a span, so a
+    traced report shows experiments as the top level of the timeline
+    with the runner's per-point spans nested inside.
     """
     runner = runner if runner is not None else PointRunner()
+    if tracer is None:
+        tracer = getattr(runner, "tracer", NULL_TRACER)
     chosen = sections if sections is not None else \
         [name for name, _title in REPORT_SECTIONS]
     titles = dict(REPORT_SECTIONS)
@@ -60,8 +66,9 @@ def generate_report(workloads=None, budget=60_000, sections=None,
     for name in chosen:
         module = getattr(experiments, name)
         started = time.time()
-        result = module.run(workloads=workloads, budget=budget,
-                            runner=runner)
+        with tracer.span(f"experiment.{name}", cat="report"):
+            result = module.run(workloads=workloads, budget=budget,
+                                runner=runner)
         elapsed = time.time() - started
         if progress is not None:
             progress(name, elapsed)

@@ -34,18 +34,21 @@ class RunResult:
 
 
 def run_vm(workload_name, config=None, scale=None, budget=DEFAULT_BUDGET,
-           collect_trace=True, telemetry=None):
+           collect_trace=True, telemetry=None, trace=None):
     """Run one workload under the co-designed VM.
 
     ``telemetry`` overrides ``config.telemetry`` when not None (the
     harness forces it on so run summaries carry telemetry blocks; the
-    CLI leaves the config's setting alone).
+    CLI leaves the config's setting alone).  ``trace`` does the same for
+    span tracing (``repro trace`` / ``--trace-out`` force it on).
     """
     workload = get_workload(workload_name)
     config = config if config is not None else VMConfig()
     overrides = {"collect_trace": collect_trace}
     if telemetry is not None:
         overrides["telemetry"] = telemetry
+    if trace is not None:
+        overrides["trace"] = trace
     config = config.copy(**overrides)
     vm = CoDesignedVM(workload.program(scale), config)
     vm.run(max_v_instructions=budget)

@@ -139,6 +139,14 @@ class RunPoint:
         return (self.kind, self.workload, self.scale, self.budget,
                 self.config, self.evals)
 
+    def label(self):
+        """Short human-readable identity (trace span names, logs)."""
+        if self.kind == "original":
+            return f"{self.workload} (original)"
+        fields = dict(self.config)
+        return (f"{self.workload} ({fields.get('fmt')}/"
+                f"{fields.get('policy')})")
+
     def __eq__(self, other):
         return isinstance(other, RunPoint) and \
             self.identity() == other.identity()

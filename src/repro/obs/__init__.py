@@ -10,10 +10,21 @@
 * :mod:`repro.obs.profile` — per-fragment execution profiling and the
   ``repro profile`` report renderers;
 * :mod:`repro.obs.telemetry` — the facade ``VMConfig.telemetry`` selects
-  (default: the no-op :data:`NULL_TELEMETRY`).
+  (default: the no-op :data:`NULL_TELEMETRY`);
+* :mod:`repro.obs.trace` — hierarchical span tracing with Chrome
+  trace-event export (``VMConfig.trace``; default the no-op
+  :data:`NULL_TRACER`);
+* :mod:`repro.obs.regress` — the benchmark-regression sentinel behind
+  ``repro bench-compare``.
 """
 
-from repro.obs.events import Event, EventKind, EventStream, parse_jsonl
+from repro.obs.events import (
+    Event,
+    EventKind,
+    EventStream,
+    parse_jsonl,
+    parse_jsonl_lenient,
+)
 from repro.obs.profile import (
     FragmentProfiler,
     hot_fragment_table,
@@ -27,11 +38,23 @@ from repro.obs.telemetry import (
     make_telemetry,
     merge_summary,
 )
+from repro.obs.trace import (
+    NULL_TRACER,
+    MultiSpan,
+    NullTracer,
+    Tracer,
+    make_tracer,
+    span_contains,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "Event", "EventKind", "EventStream", "parse_jsonl",
+    "parse_jsonl_lenient",
     "FragmentProfiler", "hot_fragment_table", "phase_breakdown_lines",
     "MetricsRegistry", "NULL_REGISTRY",
     "NULL_TELEMETRY", "NullTelemetry", "Telemetry", "make_telemetry",
     "merge_summary",
+    "NULL_TRACER", "MultiSpan", "NullTracer", "Tracer", "make_tracer",
+    "span_contains", "validate_chrome_trace",
 ]

@@ -34,6 +34,12 @@ class EventKind:
     DISPATCH_RUN = "dispatch_run"
 
 
+#: Every kind the VM emits — the strict parser rejects anything else.
+KNOWN_KINDS = frozenset(
+    value for name, value in vars(EventKind).items()
+    if not name.startswith("_"))
+
+
 class Event:
     """One typed record: a sequence number, a kind, and a payload dict."""
 
@@ -115,15 +121,63 @@ class EventStream:
                 f"buffered, {self.emitted} emitted)")
 
 
+def _parse_line(line, lineno):
+    """One JSONL line -> :class:`Event`; raises ValueError naming the
+    1-based line number on any malformation."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"line {lineno}: invalid JSON ({exc.msg})") \
+            from None
+    if not isinstance(obj, dict):
+        raise ValueError(f"line {lineno}: expected a JSON object, "
+                         f"got {type(obj).__name__}")
+    for field in ("seq", "kind", "data"):
+        if field not in obj:
+            raise ValueError(f"line {lineno}: missing {field!r} field")
+    if not isinstance(obj["seq"], int) or isinstance(obj["seq"], bool):
+        raise ValueError(f"line {lineno}: 'seq' must be an integer")
+    if obj["kind"] not in KNOWN_KINDS:
+        raise ValueError(f"line {lineno}: unknown event kind "
+                         f"{obj['kind']!r}")
+    if not isinstance(obj["data"], dict):
+        raise ValueError(f"line {lineno}: 'data' must be an object")
+    return Event(obj["seq"], obj["kind"], obj["data"])
+
+
 def parse_jsonl(text):
-    """Parse JSON Lines text back into a list of :class:`Event` records."""
+    """Parse JSON Lines text back into a list of :class:`Event` records.
+
+    Strict: any malformed line (invalid JSON, a non-object, missing
+    ``seq``/``kind``/``data``, or an unknown kind) raises
+    ``ValueError`` naming the 1-based line number.  Use
+    :func:`parse_jsonl_lenient` to skip bad lines instead.
+    """
     events = []
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
-        obj = json.loads(line)
-        events.append(Event(obj["seq"], obj["kind"], obj["data"]))
+        events.append(_parse_line(line, lineno))
     return events
+
+
+def parse_jsonl_lenient(text):
+    """Like :func:`parse_jsonl`, but skip malformed lines.
+
+    Returns ``(events, skipped)`` where ``skipped`` counts the lines
+    that failed to parse — tooling reading logs of unknown provenance
+    can report the count instead of dying on the first bad line.
+    """
+    events = []
+    skipped = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(_parse_line(line, lineno))
+        except ValueError:
+            skipped += 1
+    return events, skipped
 
 
 class NullEventStream:

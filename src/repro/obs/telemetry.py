@@ -128,9 +128,17 @@ def make_telemetry(config):
     """The telemetry object ``config`` asks for.
 
     ``VMConfig.telemetry`` truthy selects a fresh :class:`Telemetry`;
-    anything else the shared :data:`NULL_TELEMETRY`.
+    anything else the shared :data:`NULL_TELEMETRY`.  The
+    ``REPRO_EVENT_CAPACITY`` environment variable overrides the event
+    ring's capacity (chiefly so tests and overflow investigations can
+    shrink it without plumbing a knob through every constructor).
     """
     if getattr(config, "telemetry", False):
+        import os
+
+        capacity = os.environ.get("REPRO_EVENT_CAPACITY")
+        if capacity is not None:
+            return Telemetry(event_capacity=int(capacity))
         return Telemetry()
     return NULL_TELEMETRY
 

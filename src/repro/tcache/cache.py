@@ -16,6 +16,7 @@ from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.ildp_isa.sizes import instruction_size
 from repro.obs.events import EventKind
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.obs.trace import NULL_TRACER
 from repro.tcache.dispatch import build_dispatch_code
 from repro.tcache.fragment import ExitKind
 
@@ -26,10 +27,12 @@ DEFAULT_TCACHE_BASE = 0x100_0000
 class TranslationCache:
     """Holds translated fragments plus the shared dispatch code."""
 
-    def __init__(self, base=DEFAULT_TCACHE_BASE, telemetry=None):
+    def __init__(self, base=DEFAULT_TCACHE_BASE, telemetry=None,
+                 tracer=None):
         self.base = base
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fragments = []
         self._by_entry_vpc = {}
         self._entry_addresses = {}      # I-address -> fragment
@@ -107,6 +110,9 @@ class TranslationCache:
             source_instructions=fragment.source_instr_count)
         self.telemetry.registry.histogram("tcache.fragment_sizes").observe(
             len(fragment.body))
+        self.tracer.instant("tcache.fragment", cat="tcache",
+                            fid=fragment.fid, entry_vpc=fragment.entry_vpc,
+                            bytes=fragment.byte_size)
         self._register_pending(fragment)
         self._apply_patches(fragment)
         return fragment
@@ -166,6 +172,9 @@ class TranslationCache:
         self.telemetry.events.emit(EventKind.TCACHE_FLUSH,
                                    fragments=len(self.fragments),
                                    code_bytes=self.total_code_bytes())
+        self.tracer.instant("tcache.flush", cat="tcache",
+                            fragments=len(self.fragments),
+                            code_bytes=self.total_code_bytes())
         self.fragments = []
         self._by_entry_vpc = {}
         self._entry_addresses = {}

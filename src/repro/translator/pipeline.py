@@ -8,6 +8,7 @@ analyses for statistics collection.
 
 from repro.ildp_isa.opcodes import IFormat
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.obs.trace import NULL_TRACER, MultiSpan
 from repro.translator.chaining import ChainingPolicy
 from repro.translator.codegen import CodeGenerator
 from repro.translator.copyrules import build_copy_plan
@@ -35,7 +36,8 @@ class Translator:
 
     def __init__(self, tcache, fmt=IFormat.MODIFIED,
                  policy=ChainingPolicy.SW_PRED_RAS, n_accumulators=4,
-                 fuse_memory=False, cost_model=None, telemetry=None):
+                 fuse_memory=False, cost_model=None, telemetry=None,
+                 tracer=None):
         self.tcache = tcache
         self.fmt = fmt
         self.policy = policy
@@ -45,15 +47,28 @@ class Translator:
             TranslationCostModel()
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _phase(self, name):
         """A wall-clock span for one pipeline stage (no-op when
         telemetry is off; translation is off the execution hot path, so
-        even the disabled spans cost only a dead context manager)."""
-        return self.telemetry.registry.timer(f"phase.translate.{name}").time()
+        even the disabled spans cost only a dead context manager).  With
+        tracing on, the stage also lands on the span timeline."""
+        timer = self.telemetry.registry.timer(
+            f"phase.translate.{name}").time()
+        if self.tracer.enabled:
+            return MultiSpan(timer, self.tracer.span(
+                f"translate.{name}", cat="translate"))
+        return timer
 
     def translate(self, superblock):
         """Translate one superblock and install the fragment."""
+        with self.tracer.span("translate", cat="translate",
+                              entry_vpc=superblock.entry_vpc,
+                              entries=len(superblock.entries)):
+            return self._translate(superblock)
+
+    def _translate(self, superblock):
         cost = self.cost
         cost.charge("fetch_decode", len(superblock.entries))
 

@@ -30,7 +30,8 @@ class VMConfig:
                  flush_window=5_000,
                  flush_rate_factor=4.0,
                  exec_engine="specialized",
-                 telemetry=False):
+                 telemetry=False,
+                 trace=False):
         if n_accumulators < 1:
             raise ValueError("need at least one accumulator")
         if threshold < 1:
@@ -74,6 +75,11 @@ class VMConfig:
         #: hot-fragment profiling.  Off by default — the disabled path is
         #: a shared no-op object, so the hot loops pay nothing.
         self.telemetry = telemetry
+        #: Enable span tracing (:mod:`repro.obs.trace`): the VM run loop,
+        #: translator phases and tcache lifecycle record a hierarchical
+        #: timeline exportable as Chrome trace-event JSON.  Off by
+        #: default, with the same no-op-twin cost model as ``telemetry``.
+        self.trace = trace
 
     def copy(self, **overrides):
         """A copy of this config with keyword overrides applied."""
@@ -96,7 +102,8 @@ class VMConfig:
             flush_window=self.flush_window,
             flush_rate_factor=self.flush_rate_factor,
             exec_engine=self.exec_engine,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry,
+            trace=self.trace)
 
     def key_fields(self):
         """The fields that identify a run for result caching.
@@ -106,12 +113,15 @@ class VMConfig:
         ``exec_engine`` is excluded for the same reason: both engines
         produce bit-identical results, so cached summaries are shared.
         ``telemetry`` likewise: the no-op-parity tests assert that
-        telemetry on/off produces identical ``VMStats``.
+        telemetry on/off produces identical ``VMStats``.  ``trace`` (span
+        tracing) is observational wall-clock data and excluded for the
+        same reason.
         """
         fields = self.to_dict()
         del fields["collect_trace"]
         del fields["exec_engine"]
         del fields["telemetry"]
+        del fields["trace"]
         return fields
 
     @classmethod

@@ -19,6 +19,7 @@ from repro.isa.opcodes import Kind
 from repro.isa.semantics import Trap
 from repro.obs.events import EventKind
 from repro.obs.telemetry import make_telemetry
+from repro.obs.trace import make_tracer
 from repro.tcache.cache import TranslationCache
 from repro.translator.cost import TranslationCostModel
 from repro.translator.pipeline import Translator
@@ -41,17 +42,20 @@ class CoDesignedVM:
         self.program = program
         self.config = config if config is not None else VMConfig()
         self.telemetry = make_telemetry(self.config)
+        self.tracer = make_tracer(self.config)
         self.interpreter = Interpreter(
             program, exec_engine=self.config.exec_engine)
         self.state = self.interpreter.state
         self.profiler = HotnessProfiler(self.config.threshold)
-        self.tcache = TranslationCache(telemetry=self.telemetry)
+        self.tcache = TranslationCache(telemetry=self.telemetry,
+                                       tracer=self.tracer)
         self.cost_model = TranslationCostModel()
         self.translator = Translator(
             self.tcache, fmt=self.config.fmt, policy=self.config.policy,
             n_accumulators=self.config.n_accumulators,
             fuse_memory=self.config.fuse_memory,
-            cost_model=self.cost_model, telemetry=self.telemetry)
+            cost_model=self.cost_model, telemetry=self.telemetry,
+            tracer=self.tracer)
         self.stats = VMStats()
         self.trace = [] if self.config.collect_trace else None
         self.executor = FragmentExecutor(
@@ -71,8 +75,8 @@ class CoDesignedVM:
         Returns the :class:`VMStats`.  Precise traps surface as
         :class:`VMTrap` with the reconstructed architected state attached.
         """
-        if self.telemetry.enabled:
-            return self._run_telemetry(max_v_instructions)
+        if self.telemetry.enabled or self.tracer.enabled:
+            return self._run_observed(max_v_instructions)
         stats = self.stats
         state = self.state
         while not self.halted:
@@ -89,22 +93,34 @@ class CoDesignedVM:
             self._interpret_one()
         return stats
 
-    def _run_telemetry(self, max_v_instructions):
-        """The ``run`` loop with wall-clock phase attribution.
+    def _run_observed(self, max_v_instructions):
+        """The ``run`` loop with wall-clock phase attribution and spans.
 
-        A separate copy of the loop so the telemetry-off path above stays
-        untouched.  One ``perf_counter`` call per iteration: consecutive
-        timestamps are chained, charging each gap to the phase that just
-        ran.  The per-phase totals accumulate in locals and hit the
-        registry once, on exit.  ``finalize`` runs even when the program
-        traps, so partial runs still report consistent telemetry.
+        A separate copy of the loop so the observability-off path above
+        stays untouched.  One ``perf_counter`` call per iteration:
+        consecutive timestamps are chained, charging each gap to the
+        phase that just ran.  The per-phase totals accumulate in locals
+        and hit the registry once, on exit.  ``finalize`` runs even when
+        the program traps, so partial runs still report consistent
+        telemetry.
+
+        When tracing is on, the same loop opens spans: one ``vm.run``
+        root, a ``vm.translated`` span per translated-code stint, a
+        ``vm.capture`` span per superblock capture+translation (the
+        translator's phase spans nest inside it), and consecutive
+        interpreter steps coalesced into one ``vm.interpret`` span — a
+        per-V-instruction span would swamp the trace.  With tracing off
+        the tracer is the shared no-op twin, so the extra calls are dead.
         """
         stats = self.stats
         state = self.state
         profiler = self.profiler
         tcache = self.tcache
+        tracer = self.tracer
         translated_s = capture_s = interp_s = 0.0
         translated_n = capture_n = interp_n = 0
+        interp_open = 0     # V-instructions in the open vm.interpret span
+        tracer.begin("vm.run", budget=max_v_instructions)
         try:
             last = perf_counter()
             while not self.halted:
@@ -114,25 +130,43 @@ class CoDesignedVM:
                     break
                 fragment = tcache.lookup(state.pc)
                 if fragment is not None:
+                    if interp_open:
+                        tracer.end(instructions=interp_open)
+                        interp_open = 0
+                    tracer.begin("vm.translated", fid=fragment.fid,
+                                 entry_vpc=fragment.entry_vpc)
                     self._execute_translated(fragment, remaining)
+                    tracer.end()
                     now = perf_counter()
                     translated_s += now - last
                     translated_n += 1
                     last = now
                     continue
                 if profiler.record_execution(state.pc):
+                    if interp_open:
+                        tracer.end(instructions=interp_open)
+                        interp_open = 0
+                    tracer.begin("vm.capture", start_vpc=state.pc)
                     self._capture_and_translate(state.pc)
+                    tracer.end()
                     now = perf_counter()
                     capture_s += now - last
                     capture_n += 1
                     last = now
                     continue
+                if not interp_open:
+                    tracer.begin("vm.interpret")
                 self._interpret_one()
+                interp_open += 1
                 now = perf_counter()
                 interp_s += now - last
                 interp_n += 1
                 last = now
         finally:
+            if interp_open:
+                tracer.end(instructions=interp_open)
+            # a trap can leave a stint span open; close it and vm.run
+            tracer.unwind()
             registry = self.telemetry.registry
             registry.timer("phase.vm.translated").add(translated_s,
                                                       translated_n)

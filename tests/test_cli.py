@@ -68,6 +68,54 @@ class TestCli:
         assert "0 cache hits, 1 executed" in text
         assert not any(tmp_path.iterdir())
 
+    def test_trace_writes_valid_chrome_json(self, tmp_path):
+        import json
+
+        from repro.obs.trace import span_contains, validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        code, text = run_cli("trace", "gzip", "--budget", "20000",
+                             "-o", str(path))
+        assert code == 0
+        assert "flame summary" in text
+        assert "vm.run" in text
+        doc = json.loads(path.read_text())
+        completes = validate_chrome_trace(doc)
+        (run,) = [e for e in completes if e["name"] == "vm.run"]
+        captures = [e for e in completes if e["name"] == "vm.capture"]
+        assert captures and all(span_contains(run, c) for c in captures)
+
+    def test_run_trace_out(self, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        path = tmp_path / "run.json"
+        code, text = run_cli("run", "gzip", "--budget", "20000",
+                             "--trace-out", str(path))
+        assert code == 0
+        assert f"wrote {path}" in text
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_experiment_telemetry_and_trace_out(self, tmp_path,
+                                                monkeypatch):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "harness.json"
+        code, text = run_cli("experiment", "fig5", "-w", "gzip",
+                             "--budget", "20000", "--telemetry",
+                             "--trace-out", str(path))
+        assert code == 0
+        assert "aggregate telemetry" in text
+        assert "events.fragment_created" in text
+        completes = validate_chrome_trace(json.loads(path.read_text()))
+        names = {e["name"] for e in completes}
+        assert "experiment.fig5" in names
+        assert any(name.startswith("gzip (") for name in names)
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("run", "doom")

@@ -19,6 +19,7 @@ from repro.obs.events import (
     EventStream,
     NULL_EVENTS,
     parse_jsonl,
+    parse_jsonl_lenient,
 )
 from repro.obs.profile import (
     FragmentProfiler,
@@ -174,6 +175,48 @@ class TestEventStream:
         stream.emit(EventKind.SUPERBLOCK_CAPTURED, start_vpc=16)
         assert parse_jsonl("\n" + stream.to_jsonl() + "\n") == \
             stream.records()
+
+    def test_parse_jsonl_invalid_json_names_line(self):
+        stream = EventStream()
+        stream.emit(EventKind.FRAGMENT_CREATED, fid=0)
+        text = stream.to_jsonl() + "{not json\n"
+        with pytest.raises(ValueError, match="line 2: invalid JSON"):
+            parse_jsonl(text)
+
+    def test_parse_jsonl_rejects_non_objects(self):
+        with pytest.raises(ValueError, match="line 1: expected a JSON "
+                                             "object"):
+            parse_jsonl("[1, 2, 3]\n")
+
+    def test_parse_jsonl_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="line 1: missing 'data'"):
+            parse_jsonl('{"seq": 0, "kind": "tcache_flush"}\n')
+
+    def test_parse_jsonl_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="line 1: unknown event kind"):
+            parse_jsonl('{"seq": 0, "kind": "bogus", "data": {}}\n')
+
+    def test_parse_jsonl_rejects_non_integer_seq(self):
+        with pytest.raises(ValueError, match="'seq' must be an integer"):
+            parse_jsonl('{"seq": "x", "kind": "tcache_flush", '
+                        '"data": {}}\n')
+
+    def test_parse_jsonl_lenient_skips_and_counts(self):
+        stream = EventStream()
+        stream.emit(EventKind.FRAGMENT_CREATED, fid=0)
+        stream.emit(EventKind.TCACHE_FLUSH, fragments=1, code_bytes=8)
+        text = ("garbage\n" + stream.to_jsonl()
+                + '{"seq": 9, "kind": "bogus", "data": {}}\n')
+        events, skipped = parse_jsonl_lenient(text)
+        assert events == stream.records()
+        assert skipped == 2
+
+    def test_parse_jsonl_lenient_clean_input(self):
+        stream = EventStream()
+        stream.emit(EventKind.DISPATCH_RUN, vpc=4)
+        events, skipped = parse_jsonl_lenient(stream.to_jsonl())
+        assert events == stream.records()
+        assert skipped == 0
 
     def test_summary(self):
         stream = EventStream(capacity=1)
@@ -417,3 +460,25 @@ class TestProfileCli:
                                "--budget", "20000")
         assert code == 0
         assert "telemetry:" in text and "emitted" in text
+
+    def test_profile_warns_on_ring_overflow(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_CAPACITY", "4")
+        code, text = self._run("profile", "gzip", "--budget", "20000")
+        assert code == 0
+        assert "warning: the event ring overflowed" in text
+        assert "REPRO_EVENT_CAPACITY" in text
+
+    def test_profile_no_warning_without_overflow(self):
+        code, text = self._run("profile", "gzip", "--budget", "20000")
+        assert code == 0
+        assert "overflowed" not in text
+
+    def test_event_capacity_env_override(self, monkeypatch):
+        from repro.vm.config import VMConfig
+
+        monkeypatch.setenv("REPRO_EVENT_CAPACITY", "7")
+        telemetry = make_telemetry(VMConfig(telemetry=True))
+        assert telemetry.events.capacity == 7
+        monkeypatch.delenv("REPRO_EVENT_CAPACITY")
+        telemetry = make_telemetry(VMConfig(telemetry=True))
+        assert telemetry.events.capacity == 4096
