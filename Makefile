@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-quick bench-gate report clean-cache
+.PHONY: check test smoke chaos bench bench-quick bench-gate report \
+	clean-cache
 
 check: test smoke
 
@@ -13,6 +14,13 @@ smoke:
 	$(PYTHON) scripts/smoke_exec_engine.py
 	$(PYTHON) scripts/smoke_telemetry.py
 	$(PYTHON) scripts/smoke_trace.py
+	$(PYTHON) scripts/smoke_chaos.py
+
+# The full differential chaos suite: every workload under every seeded
+# fault schedule must converge to the fault-free interpreter.
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos_differential.py \
+		tests/test_faults.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

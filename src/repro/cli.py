@@ -102,6 +102,28 @@ def build_parser():
                                 help="absolute slack for *_seconds metrics "
                                      "(default 0.005)")
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="run a workload under a seeded fault schedule and "
+                      "check convergence against the fault-free "
+                      "interpreter (exit 1 on divergence)")
+    _add_vm_arguments(chaos_parser)
+    chaos_parser.add_argument("--fault-spec", action="append",
+                              dest="fault_specs", metavar="SPEC",
+                              help="fault spec (site[@key=value,...]); "
+                                   "repeatable; default: a schedule "
+                                   "covering translation failure, "
+                                   "corruption and tcache exhaustion")
+    chaos_parser.add_argument("--fault-seed", type=int, default=1234,
+                              help="seed for probabilistic fault "
+                                   "selectors (default 1234)")
+    chaos_parser.add_argument("--tcache-capacity", type=_positive_int,
+                              default=None, metavar="BYTES",
+                              help="also bound the translation cache")
+    chaos_parser.add_argument("--max-host-steps", type=_positive_int,
+                              default=None, metavar="N",
+                              help="fuel watchdog: abort cleanly after N "
+                                   "host dispatch steps")
+
     map_parser = sub.add_parser(
         "map", help="show a workload's translation-cache fragment map")
     _add_vm_arguments(map_parser)
@@ -357,6 +379,73 @@ def _command_experiment(args, out):
     return 0
 
 
+#: Default chaos schedule: every degradation path fires at least once on
+#: any workload hot enough to translate a handful of superblocks.
+DEFAULT_CHAOS_SPECS = (
+    "translate@every=2,times=4",
+    "corrupt@every=3,times=3",
+    "tcache_full@count=5,times=1",
+)
+
+
+def _command_chaos(args, out):
+    from repro.harness.runner import run_original
+    from repro.vm.system import BudgetExceeded
+
+    specs = args.fault_specs if args.fault_specs else \
+        list(DEFAULT_CHAOS_SPECS)
+    config = _config_from(args).copy(
+        faults=";".join(specs), fault_seed=args.fault_seed,
+        tcache_capacity_bytes=args.tcache_capacity,
+        max_host_steps=args.max_host_steps)
+    print(f"chaos run: {args.workload} under "
+          f"{config.faults!r} (seed {args.fault_seed})", file=out)
+
+    try:
+        result = run_vm(args.workload, config, budget=args.budget,
+                        collect_trace=False)
+    except BudgetExceeded as exc:
+        print(f"fuel watchdog tripped: {exc} "
+              f"({exc.stats.total_v_instructions()} V-instructions "
+              "committed before the abort)", file=out)
+        return 1
+    vm = result.vm
+
+    injected = vm.injector.summary()
+    print(f"faults injected: {injected['injected'] or 'none'} "
+          f"(site occurrences {injected['occurrences']})", file=out)
+    for name, value in vm.stats.resilience().items():
+        if value:
+            print(f"  {name:28s} {value}", file=out)
+
+    trace, interp = run_original(args.workload, budget=args.budget)
+    failures = []
+    if not vm.halted:
+        failures.append("VM did not reach halt")
+    if vm.state.pc != interp.state.pc:
+        failures.append(f"final PC {vm.state.pc:#x} != "
+                        f"{interp.state.pc:#x}")
+    if vm.state.regs != interp.state.regs:
+        failures.append("final register state diverged")
+    if vm.console_text() != interp.console_text():
+        failures.append("console output diverged")
+    expected = sum(record.v_weight for record in trace
+                   if record.btype != "uncond")
+    committed = vm.stats.committed_v_instructions()
+    if committed != expected:
+        failures.append(f"committed count {committed} != {expected}")
+
+    if failures:
+        print("DIVERGED from the fault-free interpreter:", file=out)
+        for failure in failures:
+            print(f"  - {failure}", file=out)
+        return 1
+    print(f"converged: architected state and committed count "
+          f"({committed}) bit-identical to the fault-free interpreter",
+          file=out)
+    return 0
+
+
 def _command_map(args, out):
     from repro.tcache.dump import print_fragment_map
 
@@ -399,6 +488,7 @@ def main(argv=None, out=None):
         "trace": _command_trace,
         "experiment": _command_experiment,
         "bench-compare": _command_bench_compare,
+        "chaos": _command_chaos,
         "map": _command_map,
         "report": _command_report,
     }[args.command]

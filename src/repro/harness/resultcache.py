@@ -50,6 +50,10 @@ class ResultCache:
         self.root = root if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: entries that existed but were unusable (truncated JSON,
+        #: identity mismatch) — distinct from plain misses so operators
+        #: can spot a cache being damaged rather than merely cold
+        self.corrupt = 0
         self.stores = 0
         self.store_failures = 0
 
@@ -58,18 +62,28 @@ class ResultCache:
         return os.path.join(self.root, key[:2], key + ".json")
 
     def get(self, point):
-        """The stored summary for ``point``, or None on miss/corruption."""
+        """The stored summary for ``point``, or None on miss/corruption.
+
+        A missing (or unreadable) file is a plain miss; a file that
+        exists but fails to parse, or whose stored identity does not
+        match the requested point, counts as ``corrupt`` instead — both
+        re-execute the point, but the report tells them apart.
+        """
         path = self._path(point_key(point))
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
+            return None
+        except ValueError:
+            self.corrupt += 1
             return None
         # guard against hash collisions and hand-edited files: the stored
         # identity must match the requested one exactly
-        if entry.get("point") != point.key_dict():
-            self.misses += 1
+        if not isinstance(entry, dict) or "summary" not in entry or \
+                entry.get("point") != point.key_dict():
+            self.corrupt += 1
             return None
         self.hits += 1
         return entry["summary"]
@@ -106,15 +120,23 @@ class ResultCache:
         return path
 
     def clear(self):
-        """Delete every cache entry under the root; returns the count."""
+        """Delete every cache entry under the root; returns the count.
+
+        Concurrent harness invocations may clear the same directory;
+        losing an unlink race to another process just means the entry is
+        already gone, so ``FileNotFoundError`` is not an error.
+        """
         removed = 0
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for name in filenames:
                 if name.endswith(".json"):
-                    os.unlink(os.path.join(dirpath, name))
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                    except FileNotFoundError:
+                        continue
                     removed += 1
         return removed
 
     def __repr__(self):
         return (f"ResultCache({self.root!r}, hits={self.hits}, "
-                f"misses={self.misses})")
+                f"misses={self.misses}, corrupt={self.corrupt})")

@@ -32,7 +32,10 @@ from repro.vm.config import VMConfig
 #: Bump when the summary layout or any run semantics change; part of every
 #: cache key, so stale on-disk entries can never be returned.
 #: 2: VM summaries grew the ``telemetry`` / ``telemetry_host`` blocks.
-SCHEMA_VERSION = 2
+#: 3: VM summaries grew the ``resilience`` block (graceful-degradation
+#: counters), and fault-injection fields joined ``VMConfig`` (excluded
+#: from the key, but the bump guarantees no pre-faults entry survives).
+SCHEMA_VERSION = 3
 
 
 class EvalSpec:
@@ -317,6 +320,10 @@ def _execute_vm(point):
             "avg_superblock": (source_instrs / len(fragments)
                                if fragments else 0.0),
         },
+        # graceful-degradation counters; all zero here (run points are
+        # reconstructed fault-free by design — see VMConfig.key_fields)
+        # but the block keeps harness summaries uniform with chaos runs
+        "resilience": stats.resilience(),
         "cost": {
             "per_translated_instruction": cost.per_translated_instruction(),
             "phase_fractions": {phase: cost.phase_fraction(phase)

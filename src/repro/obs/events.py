@@ -32,6 +32,12 @@ class EventKind:
     TRAP_DELIVERED = "trap_delivered"
     SUPERBLOCK_CAPTURED = "superblock_captured"
     DISPATCH_RUN = "dispatch_run"
+    # fault injection and graceful degradation (docs/robustness.md)
+    FAULT_INJECTED = "fault_injected"
+    TRANSLATION_FAILED = "translation_failed"
+    PC_BLACKLISTED = "pc_blacklisted"
+    TCACHE_FULL = "tcache_full"
+    FRAGMENT_CORRUPTED = "fragment_corrupted"
 
 
 #: Every kind the VM emits — the strict parser rejects anything else.

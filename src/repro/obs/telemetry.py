@@ -67,6 +67,11 @@ class Telemetry:
         histogram.reset()
         for fragment in tcache.fragments:
             histogram.observe(fragment.execution_count)
+        # degradation gauges appear only when something fired, keeping
+        # fault-free summaries bit-identical to pre-fault-injection runs
+        for name, value in stats.resilience().items():
+            if value:
+                registry.gauge(f"faults.{name}").set(value)
         if interpreter is not None:
             self.decode_misses = interpreter.decode_misses
 

@@ -12,6 +12,8 @@ branch.  The rewritten instruction keeps its original encoding slot, as an
 in-place binary patch must.
 """
 
+from repro.faults.inject import NULL_INJECTOR as _NULL_INJECTOR
+from repro.faults.plan import FaultSite
 from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.ildp_isa.sizes import instruction_size
 from repro.obs.events import EventKind
@@ -24,15 +26,42 @@ from repro.tcache.fragment import ExitKind
 DEFAULT_TCACHE_BASE = 0x100_0000
 
 
+class TCacheFull(Exception):
+    """Installing a fragment would exceed the cache's capacity bound.
+
+    Raised before any cache state is mutated, so the caller can flush
+    and retry the installation cleanly (``docs/robustness.md``).
+    """
+
+    def __init__(self, entry_vpc, needed, used, capacity):
+        super().__init__(
+            f"translation cache full installing V:{entry_vpc:#x}: "
+            f"{needed} bytes needed, {used}/{capacity} used")
+        self.entry_vpc = entry_vpc
+        self.needed = needed
+        self.used = used
+        self.capacity = capacity
+
+
 class TranslationCache:
     """Holds translated fragments plus the shared dispatch code."""
 
     def __init__(self, base=DEFAULT_TCACHE_BASE, telemetry=None,
-                 tracer=None):
+                 tracer=None, capacity_bytes=None, injector=None,
+                 verify=False):
         self.base = base
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Bound on total fragment code bytes (dispatch excluded);
+        #: ``None`` leaves the cache unbounded.
+        self.capacity_bytes = capacity_bytes
+        #: Fault injector consulted at the ``tcache_full`` and
+        #: ``corrupt`` sites (the shared no-op twin by default).
+        self.injector = injector if injector is not None else _NULL_INJECTOR
+        #: Stamp body checksums at install so the executor can verify
+        #: fragment integrity at entry.
+        self.verify = verify
         self.fragments = []
         self._by_entry_vpc = {}
         self._entry_addresses = {}      # I-address -> fragment
@@ -52,6 +81,13 @@ class TranslationCache:
         #: chaining patches (never reset — like fragment ids, statistics
         #: keyed on it must survive flushes)
         self.invalidations = 0
+        #: target fid -> set of source fids whose *direct-branch* patches
+        #: jump straight to the target's entry.  Used by
+        #: :meth:`invalidate_fragment` to decide whether a single
+        #: fragment can be removed safely or the whole cache must flush.
+        #: RAS links are not tracked: the dual-address return path
+        #: re-validates its target via :meth:`fragment_at` at run time.
+        self._incoming = {}
 
     def _layout_dispatch(self):
         address = self.base
@@ -81,10 +117,30 @@ class TranslationCache:
     # -- installation ----------------------------------------------------------
 
     def add(self, fragment):
-        """Lay out a fragment, register it, and apply pending patches."""
+        """Lay out a fragment, register it, and apply pending patches.
+
+        Raises :class:`TCacheFull` — before mutating any cache state —
+        when the fragment would push total code bytes past
+        ``capacity_bytes`` (or when the ``tcache_full`` fault site
+        strikes); the VM reacts by flushing and retranslating.
+        """
         if fragment.entry_vpc in self._by_entry_vpc:
             raise ValueError(
                 f"fragment for V:{fragment.entry_vpc:#x} already exists")
+        needed = sum(instruction_size(instr, fragment.fmt)
+                     for instr in fragment.body)
+        used = self.total_code_bytes()
+        over_capacity = self.capacity_bytes is not None and \
+            used + needed > self.capacity_bytes
+        if over_capacity or self.injector.fire(
+                FaultSite.TCACHE_FULL, vpc=fragment.entry_vpc):
+            capacity = self.capacity_bytes if self.capacity_bytes \
+                is not None else used + needed - 1
+            self.telemetry.events.emit(
+                EventKind.TCACHE_FULL, entry_vpc=fragment.entry_vpc,
+                needed=needed, used=used, capacity=capacity,
+                injected=not over_capacity)
+            raise TCacheFull(fragment.entry_vpc, needed, used, capacity)
         fragment.fid = self._next_fid
         self._next_fid += 1
         address = self._next_free
@@ -115,11 +171,39 @@ class TranslationCache:
                             bytes=fragment.byte_size)
         self._register_pending(fragment)
         self._apply_patches(fragment)
+        if self.verify:
+            # stamp after patching: a self-loop patch may have rewritten
+            # this fragment's own body during _apply_patches
+            fragment.checksum = fragment.compute_checksum()
+            fragment.verified = False
+        if self.injector.fire(FaultSite.CORRUPT, vpc=fragment.entry_vpc,
+                              fid=fragment.fid):
+            self._corrupt(fragment)
         return fragment
+
+    def _corrupt(self, fragment):
+        """Silently flip a bit in one body instruction (fault injection).
+
+        The stamped checksum predates the corruption, so entry
+        verification detects the damage; with verification off the
+        fragment would execute wrong code — which is exactly what the
+        chaos suite proves the checksums prevent.
+        """
+        victim = fragment.body[fragment.fid % len(fragment.body)]
+        victim.imm = (victim.imm if victim.imm is not None else 0) ^ 0x2A
+        fragment.invalidate_compiled()
 
     def _register_pending(self, fragment):
         for exit_record in fragment.exits:
-            if exit_record.patched or exit_record.vtarget is None:
+            if exit_record.vtarget is None:
+                continue
+            if exit_record.patched:
+                # born chained (codegen saw the target already installed):
+                # record the direct-branch edge for invalidate_fragment
+                target = self._by_entry_vpc.get(exit_record.vtarget)
+                if target is not None:
+                    self._incoming.setdefault(target.fid, set()).add(
+                        fragment.fid)
                 continue
             self._pending_exits.setdefault(exit_record.vtarget, []).append(
                 (fragment, exit_record))
@@ -133,6 +217,7 @@ class TranslationCache:
         target = new_fragment.entry_address()
         events = self.telemetry.events
         for fragment, exit_record in self._pending_exits.pop(vpc, []):
+            clean = self._is_clean(fragment)
             instr = fragment.body[exit_record.instr_index]
             if instr.iop is IOp.COND_CALL_TRANSLATOR:
                 instr.iop = IOp.BRANCH
@@ -143,25 +228,83 @@ class TranslationCache:
             instr.target = target
             exit_record.patched = True
             self.patches_applied += 1
+            self._incoming.setdefault(new_fragment.fid, set()).add(
+                fragment.fid)
             events.emit(EventKind.FRAGMENT_CHAINED, fid=fragment.fid,
                         to_fid=new_fragment.fid, vtarget=vpc,
                         instr_index=exit_record.instr_index)
             # the in-place binary patch invalidates any compiled closures
-            self._invalidate(fragment)
+            self._invalidate(fragment, clean)
         for fragment, index in self._pending_ras.pop(vpc, []):
+            clean = self._is_clean(fragment)
             fragment.body[index].target = target
             self.patches_applied += 1
             events.emit(EventKind.FRAGMENT_CHAINED, fid=fragment.fid,
                         to_fid=new_fragment.fid, vtarget=vpc,
                         instr_index=index, ras=True)
-            self._invalidate(fragment)
+            self._invalidate(fragment, clean)
 
-    def _invalidate(self, fragment):
+    def _is_clean(self, fragment):
+        """Whether a fragment's body still matches its stamped checksum.
+
+        Consulted *before* an in-place patch mutates the body: a patch
+        must not restamp (and thereby legitimise) a fragment that was
+        already corrupted while sitting unexecuted in the cache.
+        """
+        if not self.verify or fragment.verified or \
+                fragment.checksum is None:
+            return True
+        return fragment.compute_checksum() == fragment.checksum
+
+    def _invalidate(self, fragment, clean=True):
         """Drop a fragment's compiled closures after an in-place patch."""
         fragment.invalidate_compiled()
+        if self.verify:
+            if clean:
+                # the patch changed semantic fields; restamp so
+                # verification keeps matching the (legitimate) new body
+                fragment.checksum = fragment.compute_checksum()
+            else:
+                # the body failed verification before this patch: poison
+                # the checksum so entry verification still trips and the
+                # executor invalidates/retranslates the fragment
+                fragment.checksum = -1
+            fragment.verified = False
         self.invalidations += 1
         self.telemetry.events.emit(EventKind.FRAGMENT_INVALIDATED,
                                    fid=fragment.fid)
+
+    def invalidate_fragment(self, fragment):
+        """Remove one fragment (corruption recovery); may flush instead.
+
+        Removing just the fragment is safe only when no *other* fragment
+        holds a patched direct branch to its entry — such a branch would
+        dangle into freed cache space.  When external incoming links
+        exist the whole cache is flushed (the always-safe fallback).
+        Returns ``"removed"`` or ``"flushed"``.
+        """
+        incoming = self._incoming.get(fragment.fid, set())
+        if incoming - {fragment.fid}:
+            self.flush()
+            return "flushed"
+        self.fragments.remove(fragment)
+        del self._by_entry_vpc[fragment.entry_vpc]
+        del self._entry_addresses[fragment.base_address]
+        self._incoming.pop(fragment.fid, None)
+        for sources in self._incoming.values():
+            sources.discard(fragment.fid)
+        # purge the removed fragment's own unresolved patch requests so a
+        # later translation can never patch into freed space
+        for waiters in self._pending_exits.values():
+            waiters[:] = [(frag, exit_record)
+                          for frag, exit_record in waiters
+                          if frag is not fragment]
+        for waiters in self._pending_ras.values():
+            waiters[:] = [(frag, index) for frag, index in waiters
+                          if frag is not fragment]
+        self.telemetry.events.emit(EventKind.FRAGMENT_INVALIDATED,
+                                   fid=fragment.fid, removed=True)
+        return "removed"
 
     def flush(self):
         """Drop all fragments (translation cache flush, Section 4.1).
@@ -180,6 +323,7 @@ class TranslationCache:
         self._entry_addresses = {}
         self._pending_exits = {}
         self._pending_ras = {}
+        self._incoming = {}
         self._next_free = self.dispatch_address + sum(
             instr.size for instr in self.dispatch_body)
         self.patches_applied = 0

@@ -1,6 +1,15 @@
 """Fragment records: translated superblocks living in the translation cache."""
 
 import enum
+import zlib
+
+#: IInstruction fields with semantic meaning — the checksum input.  Layout
+#: fields (address, size) and compilation caches are deliberately excluded
+#: so relocation never invalidates a checksum.
+_CHECKSUM_FIELDS = (
+    "iop", "op", "acc", "gpr", "gpr2", "imm", "islit", "src_a", "src_b",
+    "addr_src", "data_src", "cond_src", "dest_gpr", "operational",
+    "mem_size", "mem_signed", "target", "vtarget", "vpc")
 
 
 class ExitKind(enum.Enum):
@@ -53,6 +62,15 @@ class Fragment:
         self.base_address = None         # assigned at layout time
         self.byte_size = None
         self.execution_count = 0
+        #: body_index -> pei_table row, built once at install time so trap
+        #: recovery is a dict probe instead of a linear table scan.
+        self.pei_index = {row[0]: row for row in pei_table}
+        #: CRC32 of the semantic body fields, stamped by the cache at
+        #: install time (None while unstamped / verification is off).
+        self.checksum = None
+        #: Entry verification is amortised: checked once, then trusted
+        #: until an in-place patch resets this flag.
+        self.verified = False
         #: step closures compiled by :mod:`repro.vm.specialize`, managed by
         #: ``FragmentExecutor._code_for``: the key identifies the executor
         #: the code was compiled for, the two slots hold the trace-off and
@@ -63,6 +81,22 @@ class Fragment:
     def invalidate_compiled(self):
         """Drop compiled step closures after an in-place body patch."""
         self._compiled = [None, None]
+
+    def compute_checksum(self):
+        """CRC32 over the body's semantic instruction fields.
+
+        Covers every field that changes what the fragment computes —
+        including the branch targets that chaining patches rewrite — but
+        not layout addresses, so relocation is checksum-neutral.
+        """
+        crc = 0
+        for instr in self.body:
+            for field in _CHECKSUM_FIELDS:
+                value = getattr(instr, field)
+                crc = zlib.crc32(repr(value).encode("ascii", "replace"),
+                                 crc)
+            crc = zlib.crc32(b"|", crc)
+        return crc
 
     def entry_address(self):
         """Translation-cache address of the fragment's first instruction."""

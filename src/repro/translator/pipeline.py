@@ -6,6 +6,8 @@ translation cache (applying chaining patches), and returns the intermediate
 analyses for statistics collection.
 """
 
+from repro.faults.inject import NULL_INJECTOR
+from repro.faults.plan import FaultSite
 from repro.ildp_isa.opcodes import IFormat
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.obs.trace import NULL_TRACER, MultiSpan
@@ -16,6 +18,22 @@ from repro.translator.cost import TranslationCostModel
 from repro.translator.decompose import decompose
 from repro.translator.strand import form_strands
 from repro.translator.usage import analyze_usage
+
+
+class TranslationError(Exception):
+    """The translator failed to produce a fragment for a superblock.
+
+    Raised before any translation-cache state is mutated.  The VM
+    degrades gracefully: the superblock's entry PC falls back to
+    interpretation, with retry/backoff and eventual blacklisting
+    (``docs/robustness.md``).
+    """
+
+    def __init__(self, entry_vpc, reason):
+        super().__init__(
+            f"translation failed for V:{entry_vpc:#x}: {reason}")
+        self.entry_vpc = entry_vpc
+        self.reason = reason
 
 
 class TranslationResult:
@@ -37,8 +55,9 @@ class Translator:
     def __init__(self, tcache, fmt=IFormat.MODIFIED,
                  policy=ChainingPolicy.SW_PRED_RAS, n_accumulators=4,
                  fuse_memory=False, cost_model=None, telemetry=None,
-                 tracer=None):
+                 tracer=None, injector=None):
         self.tcache = tcache
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self.fmt = fmt
         self.policy = policy
         self.n_accumulators = n_accumulators
@@ -69,6 +88,11 @@ class Translator:
             return self._translate(superblock)
 
     def _translate(self, superblock):
+        if self.injector.fire(FaultSite.TRANSLATE,
+                              vpc=superblock.entry_vpc):
+            # before any cache mutation or cost charge: an injected
+            # failure must leave the stack exactly as it found it
+            raise TranslationError(superblock.entry_vpc, "injected fault")
         cost = self.cost
         cost.charge("fetch_decode", len(superblock.entries))
 

@@ -31,7 +31,14 @@ class VMConfig:
                  flush_rate_factor=4.0,
                  exec_engine="specialized",
                  telemetry=False,
-                 trace=False):
+                 trace=False,
+                 faults=None,
+                 fault_seed=0,
+                 tcache_capacity_bytes=None,
+                 max_host_steps=None,
+                 translation_retry_limit=3,
+                 flush_storm_window=1_000,
+                 verify_fragments=None):
         if n_accumulators < 1:
             raise ValueError("need at least one accumulator")
         if threshold < 1:
@@ -42,6 +49,25 @@ class VMConfig:
             raise ValueError(
                 f"unknown exec engine {exec_engine!r} "
                 "(expected 'specialized' or 'naive')")
+        if tcache_capacity_bytes is not None and tcache_capacity_bytes < 1:
+            raise ValueError("tcache capacity must be positive")
+        if max_host_steps is not None and max_host_steps < 1:
+            raise ValueError("host step budget must be positive")
+        if translation_retry_limit < 1:
+            raise ValueError("translation retry limit must be positive")
+        if flush_storm_window < 0:
+            raise ValueError("flush storm window must be non-negative")
+        if faults is not None and not isinstance(faults, str):
+            # accept a list of spec strings for convenience, normalised
+            # to the canonical ";"-joined form so configs stay JSON-able
+            faults = ";".join(faults)
+        if faults:
+            # fail at configuration time, not mid-run: parse eagerly and
+            # throw the plan away (the VM builds its own injector)
+            from repro.faults.plan import FaultPlan
+            FaultPlan.parse(faults, seed=fault_seed)
+        else:
+            faults = None
         self.fmt = fmt
         self.policy = policy
         self.n_accumulators = n_accumulators
@@ -80,6 +106,47 @@ class VMConfig:
         #: timeline exportable as Chrome trace-event JSON.  Off by
         #: default, with the same no-op-twin cost model as ``telemetry``.
         self.trace = trace
+        #: Fault-injection plan (``site@key=value;...`` spec string, see
+        #: :mod:`repro.faults`).  ``None`` selects the shared
+        #: ``NULL_INJECTOR`` no-op twin, keeping the fault-free paths
+        #: bit-identical to a build without fault injection.
+        self.faults = faults
+        #: Seed for the plan's deterministic probabilistic selectors.
+        self.fault_seed = fault_seed
+        #: Bound on the translation cache's estimated code size; ``add``
+        #: raises ``TCacheFull`` past it, driving flush + retranslate.
+        #: ``None`` leaves the cache unbounded (the paper's model).
+        self.tcache_capacity_bytes = tcache_capacity_bytes
+        #: Fuel watchdog: a hard ceiling on host dispatch steps per run;
+        #: crossing it raises ``BudgetExceeded`` carrying partial stats
+        #: instead of hanging.  ``None`` disables the watchdog.
+        self.max_host_steps = max_host_steps
+        #: How many times a failing superblock entry PC is retried before
+        #: being blacklisted to interpretation for the rest of the run.
+        self.translation_retry_limit = translation_retry_limit
+        #: Flush-storm guard: a capacity flush within this many committed
+        #: V-ISA instructions of the previous one is suppressed and the
+        #: translation treated as a plain failure (backoff) instead.
+        self.flush_storm_window = flush_storm_window
+        #: Verify fragment body checksums at entry.  ``None`` means
+        #: "only when a corruption fault site is planned" — see
+        #: :meth:`resolve_verify_fragments`.
+        self.verify_fragments = verify_fragments
+
+    def resolve_verify_fragments(self):
+        """Whether the executor should checksum-verify fragments.
+
+        Explicit ``True``/``False`` wins; the ``None`` default enables
+        verification exactly when the fault plan can corrupt fragments,
+        so fault-free runs never pay for checksums.
+        """
+        if self.verify_fragments is not None:
+            return self.verify_fragments
+        if not self.faults:
+            return False
+        from repro.faults.plan import FaultPlan, FaultSite
+        plan = FaultPlan.parse(self.faults, seed=self.fault_seed)
+        return FaultSite.CORRUPT in plan.sites()
 
     def copy(self, **overrides):
         """A copy of this config with keyword overrides applied."""
@@ -103,7 +170,14 @@ class VMConfig:
             flush_rate_factor=self.flush_rate_factor,
             exec_engine=self.exec_engine,
             telemetry=self.telemetry,
-            trace=self.trace)
+            trace=self.trace,
+            faults=self.faults,
+            fault_seed=self.fault_seed,
+            tcache_capacity_bytes=self.tcache_capacity_bytes,
+            max_host_steps=self.max_host_steps,
+            translation_retry_limit=self.translation_retry_limit,
+            flush_storm_window=self.flush_storm_window,
+            verify_fragments=self.verify_fragments)
 
     def key_fields(self):
         """The fields that identify a run for result caching.
@@ -116,12 +190,23 @@ class VMConfig:
         telemetry on/off produces identical ``VMStats``.  ``trace`` (span
         tracing) is observational wall-clock data and excluded for the
         same reason.
+
+        ``faults``, ``fault_seed`` and ``verify_fragments`` are excluded
+        by design: fault-injected runs must never pollute (or be served
+        from) the result cache, so harness run points are always
+        reconstructed fault-free and the chaos suites drive the VM
+        directly.  The degradation *knobs* (``tcache_capacity_bytes``,
+        ``max_host_steps``, retry/storm limits) stay in the key — they
+        change flush counts and other cached metrics.
         """
         fields = self.to_dict()
         del fields["collect_trace"]
         del fields["exec_engine"]
         del fields["telemetry"]
         del fields["trace"]
+        del fields["faults"]
+        del fields["fault_seed"]
+        del fields["verify_fragments"]
         return fields
 
     @classmethod

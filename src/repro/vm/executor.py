@@ -51,6 +51,7 @@ class ExitReason(enum.Enum):
     UNTRANSLATED = "untranslated"   # call-translator or dispatch miss
     TRAP = "trap"
     BUDGET = "budget"               # instruction budget exhausted
+    CORRUPT = "corrupt"             # fragment failed entry verification
 
 
 class ExecResult:
@@ -78,13 +79,18 @@ class FragmentExecutor:
     """Executes fragments against shared architected state."""
 
     def __init__(self, config, tcache, memory, console, stats, trace=None,
-                 telemetry=None):
+                 telemetry=None, verify=False):
         self.config = config
         self.tcache = tcache
         self.memory = memory
         self.console = console
         self.stats = stats
         self.trace = trace
+        #: Checksum-verify fragments at entry and at fragment transitions
+        #: (both are synchronisation points with complete architected
+        #: state, so bailing out there is always safe).  Off by default;
+        #: the fault-free path pays nothing.
+        self.verify = verify
         self.accs = [0] * max(config.n_accumulators, 1)
         self.ras = []
         #: modified-format staleness tracking (strict mode)
@@ -156,6 +162,9 @@ class FragmentExecutor:
         """
         if self.config.exec_engine == "specialized":
             return self._run_specialized(fragment, state, max_instructions)
+        if self.verify and not self._integrity_ok(fragment):
+            return ExecResult(ExitReason.CORRUPT, vpc=fragment.entry_vpc,
+                              fragment=fragment)
         regs = state.regs
         self._stale.clear()
         frag = fragment
@@ -199,6 +208,12 @@ class FragmentExecutor:
                 # reads of non-operational values, which would be genuine
                 # usage-analysis bugs.
                 self._stale.clear()
+                if self.verify and not self._integrity_ok(frag):
+                    state.pc = frag.entry_vpc
+                    if prof is not None:
+                        prof.leave(ExitReason.CORRUPT.value, stats)
+                    return ExecResult(ExitReason.CORRUPT,
+                                      vpc=frag.entry_vpc, fragment=frag)
                 # Budget checks happen only at fragment boundaries, where
                 # the architected state is complete (all live-outs copied).
                 if max_instructions is not None and executed_v >= \
@@ -252,6 +267,9 @@ class FragmentExecutor:
         which the closures advance exactly as the naive loop's local
         counter would.
         """
+        if self.verify and not self._integrity_ok(fragment):
+            return ExecResult(ExitReason.CORRUPT, vpc=fragment.entry_vpc,
+                              fragment=fragment)
         regs = state.regs
         stats = self.stats
         traced = self.trace is not None
@@ -284,6 +302,12 @@ class FragmentExecutor:
                 # Fragment transitions restart staleness tracking and are
                 # the only budget checkpoints — see ``run`` for why.
                 self._stale.clear()
+                if self.verify and not self._integrity_ok(frag):
+                    state.pc = frag.entry_vpc
+                    if prof is not None:
+                        prof.leave(ExitReason.CORRUPT.value, stats)
+                    return ExecResult(ExitReason.CORRUPT,
+                                      vpc=frag.entry_vpc, fragment=frag)
                 if max_instructions is not None and \
                         stats.source_instructions_executed - start_v >= \
                         max_instructions:
@@ -304,6 +328,24 @@ class FragmentExecutor:
                 return value
             else:  # pragma: no cover
                 raise AssertionError(kind)
+
+    def _integrity_ok(self, frag):
+        """Checksum-verify a fragment, amortised via ``frag.verified``.
+
+        Unstamped fragments (``checksum is None``) pass trivially; a
+        verified fragment is trusted until an in-place patch resets the
+        flag.  Returns False exactly when the body no longer matches its
+        install-time checksum — i.e. it was corrupted.
+        """
+        if frag.verified:
+            return True
+        if frag.checksum is None:
+            frag.verified = True
+            return True
+        if frag.compute_checksum() == frag.checksum:
+            frag.verified = True
+            return True
+        return False
 
     def _note_entry(self, frag, stats):
         """Telemetry bookkeeping for a VM-level fragment entry."""

@@ -41,6 +41,13 @@ class VMStats:
         self.premature_terminations = 0
         self.traps_delivered = 0
         self.tcache_flushes = 0
+        # -- graceful degradation (docs/robustness.md); all stay zero on
+        # -- the fault-free path, so summary() is deliberately unchanged
+        self.translation_failures = 0
+        self.translation_pcs_blacklisted = 0
+        self.tcache_capacity_flushes = 0
+        self.flush_storms_suppressed = 0
+        self.corrupt_fragments_detected = 0
 
     # -- hooks ---------------------------------------------------------------
 
@@ -155,10 +162,31 @@ class VMStats:
             "premature_terminations": self.premature_terminations,
         }
 
+    def resilience(self):
+        """Degradation counters as a dict (all zero on fault-free runs).
+
+        Kept separate from :meth:`summary` so existing cached summaries
+        and the telemetry gauge set stay bit-identical when no fault
+        machinery fires.
+        """
+        return {
+            "translation_failures": self.translation_failures,
+            "pcs_blacklisted": self.translation_pcs_blacklisted,
+            "capacity_flushes": self.tcache_capacity_flushes,
+            "flush_storms_suppressed": self.flush_storms_suppressed,
+            "corrupt_fragments_detected": self.corrupt_fragments_detected,
+        }
+
     def render_lines(self):
         """The :meth:`summary` dict as aligned ``name = value`` report
-        lines (used by the CLI ``run`` and ``profile`` reports)."""
+        lines (used by the CLI ``run`` and ``profile`` reports).
+
+        Degradation counters are appended only when any fired, keeping
+        fault-free reports byte-identical to earlier versions."""
         summary = self.summary()
+        resilience = self.resilience()
+        if any(resilience.values()):
+            summary.update(resilience)
         width = max(len(name) for name in summary)
         return [f"{name:<{width}} = {value}"
                 for name, value in summary.items()]

@@ -13,6 +13,7 @@ simulation methodology describes (Section 4.1):
 
 from time import perf_counter
 
+from repro.faults.inject import make_injector
 from repro.interp.interpreter import Halted, Interpreter
 from repro.interp.profiler import CandidateKind, HotnessProfiler
 from repro.isa.opcodes import Kind
@@ -20,9 +21,9 @@ from repro.isa.semantics import Trap
 from repro.obs.events import EventKind
 from repro.obs.telemetry import make_telemetry
 from repro.obs.trace import make_tracer
-from repro.tcache.cache import TranslationCache
+from repro.tcache.cache import TCacheFull, TranslationCache
 from repro.translator.cost import TranslationCostModel
-from repro.translator.pipeline import Translator
+from repro.translator.pipeline import TranslationError, Translator
 from repro.translator.superblock import (
     EndReason,
     Superblock,
@@ -35,6 +36,21 @@ from repro.vm.stats import VMStats
 from repro.vm.traps import VMTrap, reconstruct_state
 
 
+class BudgetExceeded(Exception):
+    """The host-step fuel watchdog tripped (``VMConfig.max_host_steps``).
+
+    A clean bound on runaway executions: raised from the run loop at a
+    dispatch boundary (complete architected state), carrying the partial
+    :class:`VMStats` so callers can report how far the run got.
+    """
+
+    def __init__(self, host_steps, stats):
+        super().__init__(
+            f"host step budget of {host_steps} exhausted")
+        self.host_steps = host_steps
+        self.stats = stats
+
+
 class CoDesignedVM:
     """A complete DBT virtual machine for one loaded program."""
 
@@ -43,29 +59,39 @@ class CoDesignedVM:
         self.config = config if config is not None else VMConfig()
         self.telemetry = make_telemetry(self.config)
         self.tracer = make_tracer(self.config)
+        self.injector = make_injector(self.config, telemetry=self.telemetry,
+                                      tracer=self.tracer)
+        verify = self.config.resolve_verify_fragments()
         self.interpreter = Interpreter(
             program, exec_engine=self.config.exec_engine)
         self.state = self.interpreter.state
         self.profiler = HotnessProfiler(self.config.threshold)
-        self.tcache = TranslationCache(telemetry=self.telemetry,
-                                       tracer=self.tracer)
+        self.tcache = TranslationCache(
+            telemetry=self.telemetry, tracer=self.tracer,
+            capacity_bytes=self.config.tcache_capacity_bytes,
+            injector=self.injector, verify=verify)
         self.cost_model = TranslationCostModel()
         self.translator = Translator(
             self.tcache, fmt=self.config.fmt, policy=self.config.policy,
             n_accumulators=self.config.n_accumulators,
             fuse_memory=self.config.fuse_memory,
             cost_model=self.cost_model, telemetry=self.telemetry,
-            tracer=self.tracer)
+            tracer=self.tracer, injector=self.injector)
         self.stats = VMStats()
         self.trace = [] if self.config.collect_trace else None
         self.executor = FragmentExecutor(
             self.config, self.tcache, program.memory,
             self.interpreter.console, self.stats, trace=self.trace,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry, verify=verify)
         self.halted = False
         self._flush_window_start = 0
         self._flush_window_fragments = 0
         self._previous_flush_rate = None
+        #: V-PC -> consecutive translation failures (retry accounting)
+        self._translation_failures = {}
+        #: committed-instruction clock of the last capacity flush, for
+        #: the flush-storm guard
+        self._last_capacity_flush = None
 
     # -- public API -----------------------------------------------------------
 
@@ -74,12 +100,21 @@ class CoDesignedVM:
 
         Returns the :class:`VMStats`.  Precise traps surface as
         :class:`VMTrap` with the reconstructed architected state attached.
+        When ``VMConfig.max_host_steps`` is set, the fuel watchdog raises
+        :class:`BudgetExceeded` (with partial stats) once the loop has
+        taken that many dispatch steps.
         """
         if self.telemetry.enabled or self.tracer.enabled:
             return self._run_observed(max_v_instructions)
         stats = self.stats
         state = self.state
+        max_host_steps = self.config.max_host_steps
+        host_steps = 0
         while not self.halted:
+            if max_host_steps is not None:
+                host_steps += 1
+                if host_steps > max_host_steps:
+                    raise BudgetExceeded(max_host_steps, stats)
             remaining = max_v_instructions - stats.total_v_instructions()
             if remaining <= 0:
                 break
@@ -120,10 +155,16 @@ class CoDesignedVM:
         translated_s = capture_s = interp_s = 0.0
         translated_n = capture_n = interp_n = 0
         interp_open = 0     # V-instructions in the open vm.interpret span
+        max_host_steps = self.config.max_host_steps
+        host_steps = 0
         tracer.begin("vm.run", budget=max_v_instructions)
         try:
             last = perf_counter()
             while not self.halted:
+                if max_host_steps is not None:
+                    host_steps += 1
+                    if host_steps > max_host_steps:
+                        raise BudgetExceeded(max_host_steps, stats)
                 remaining = max_v_instructions - \
                     stats.total_v_instructions()
                 if remaining <= 0:
@@ -201,6 +242,27 @@ class CoDesignedVM:
             # state.pc points at a fragment entry with complete state; the
             # outer loop's budget check terminates the run
             pass
+        elif result.reason is ExitReason.CORRUPT:
+            self._recover_corrupt(result.fragment)
+
+    def _recover_corrupt(self, fragment):
+        """Graceful recovery from a failed fragment integrity check.
+
+        The corrupt fragment is removed (or the cache flushed when other
+        fragments branch into it); control is already at its entry V-PC
+        with complete architected state, so the outer loop falls back to
+        interpretation and the hotness machinery retranslates the path
+        on its own schedule.
+        """
+        self.stats.corrupt_fragments_detected += 1
+        self.telemetry.events.emit(
+            EventKind.FRAGMENT_CORRUPTED, fid=fragment.fid,
+            entry_vpc=fragment.entry_vpc)
+        self.tracer.instant("vm.fragment_corrupted", cat="vm",
+                            fid=fragment.fid,
+                            entry_vpc=fragment.entry_vpc)
+        if self.tcache.invalidate_fragment(fragment) == "flushed":
+            self.stats.tcache_flushes += 1
 
     # -- interpretation -------------------------------------------------------------
 
@@ -295,11 +357,89 @@ class CoDesignedVM:
         self.telemetry.events.emit(
             EventKind.SUPERBLOCK_CAPTURED, start_vpc=start_vpc,
             entries=len(entries), end_reason=end_reason.value)
-        result = self.translator.translate(superblock)
+        self._translate_superblock(superblock, start_vpc)
+
+    def _translate_superblock(self, superblock, start_vpc):
+        """Translate a captured superblock, degrading gracefully.
+
+        A :class:`TranslationError` discards the superblock — the
+        interpreted path already executed, so architected state is
+        untouched — and backs off (eventually blacklisting) the entry
+        PC.  A :class:`TCacheFull` flushes the cache and retries once,
+        unless the flush-storm guard vetoes the flush, in which case the
+        translation is treated as a plain failure.
+        """
+        try:
+            result = self.translator.translate(superblock)
+        except TranslationError as exc:
+            self._note_translation_failure(start_vpc, exc.reason)
+            return
+        except TCacheFull:
+            if not self._flush_for_capacity():
+                self._note_translation_failure(
+                    start_vpc, "tcache full, flush suppressed (storm)")
+                return
+            try:
+                result = self.translator.translate(superblock)
+            except TranslationError as exc:
+                self._note_translation_failure(start_vpc, exc.reason)
+                return
+            except TCacheFull:
+                # still full after flushing: the fragment alone exceeds
+                # capacity (or injection struck again) — interpret
+                self._note_translation_failure(
+                    start_vpc, "tcache full after flush")
+                return
         self.stats.note_translation(result)
         self.profiler.reset(start_vpc)
         if self.config.flush_on_phase_change:
             self._maybe_flush()
+
+    def _flush_for_capacity(self):
+        """Flush for a capacity miss unless the storm guard vetoes it.
+
+        Two capacity flushes within ``flush_storm_window`` committed
+        V-ISA instructions indicate thrashing (e.g. a working set larger
+        than the cache); the second flush is suppressed so the VM backs
+        off to interpretation instead of flushing in a tight loop.
+        """
+        now = self.stats.total_v_instructions()
+        last = self._last_capacity_flush
+        if last is not None and \
+                now - last < self.config.flush_storm_window:
+            self.stats.flush_storms_suppressed += 1
+            return False
+        self.tcache.flush()
+        self.stats.tcache_flushes += 1
+        self.stats.tcache_capacity_flushes += 1
+        self._last_capacity_flush = now
+        return True
+
+    def _note_translation_failure(self, vpc, reason):
+        """Retry accounting for a failed translation of ``vpc``.
+
+        Below ``translation_retry_limit`` failures the PC's hotness
+        counter is reset with a doubled threshold (visit-count backoff);
+        at the limit the PC is blacklisted and interpreted for the rest
+        of the run.  Either way the run continues correctly — the
+        superblock's instructions were interpreted during capture.
+        """
+        self.stats.translation_failures += 1
+        failures = self._translation_failures.get(vpc, 0) + 1
+        self._translation_failures[vpc] = failures
+        self.telemetry.events.emit(
+            EventKind.TRANSLATION_FAILED, vpc=vpc, failures=failures,
+            reason=reason)
+        self.tracer.instant("vm.translation_failed", cat="vm", vpc=vpc,
+                            failures=failures)
+        if failures >= self.config.translation_retry_limit:
+            self.profiler.blacklist(vpc)
+            self.stats.translation_pcs_blacklisted += 1
+            self.telemetry.events.emit(EventKind.PC_BLACKLISTED, vpc=vpc,
+                                       failures=failures)
+            self.tracer.instant("vm.pc_blacklisted", cat="vm", vpc=vpc)
+        else:
+            self.profiler.backoff(vpc)
 
     def _maybe_flush(self):
         """Dynamo-style phase-change detection (paper Section 4.1): an

@@ -27,6 +27,24 @@ class VMTrap(Exception):
         self.state = state        # precise ArchState at the trap
 
 
+class PEIRecoveryError(Exception):
+    """A trapping instruction has no PEI table entry (a translator bug).
+
+    Carries the fragment id, the offending body index and the table size
+    so the failure is diagnosable from the exception alone.
+    """
+
+    def __init__(self, fragment, body_index):
+        super().__init__(
+            f"no PEI table entry at body index {body_index} of fragment "
+            f"f{fragment.fid} (V:{fragment.entry_vpc:#x}, "
+            f"{len(fragment.pei_table)} PEI entries)")
+        self.fid = fragment.fid
+        self.entry_vpc = fragment.entry_vpc
+        self.body_index = body_index
+        self.table_size = len(fragment.pei_table)
+
+
 def reconstruct_state(fragment, body_index, regs, accs):
     """Materialise the precise architected state for a trap.
 
@@ -46,9 +64,8 @@ def reconstruct_state(fragment, body_index, regs, accs):
 
 
 def _find_pei(fragment, body_index):
-    for entry in fragment.pei_table:
-        if entry[0] == body_index:
-            return entry
-    raise LookupError(
-        f"no PEI table entry at body index {body_index} of fragment "
-        f"f{fragment.fid} (V:{fragment.entry_vpc:#x})")
+    """O(1) probe of the fragment's install-time PEI index."""
+    try:
+        return fragment.pei_index[body_index]
+    except KeyError:
+        raise PEIRecoveryError(fragment, body_index) from None

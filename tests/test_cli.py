@@ -123,3 +123,33 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("experiment", "fig99")
+
+
+class TestChaosCli:
+    def test_default_schedule_converges(self):
+        code, text = run_cli("chaos", "gzip")
+        assert code == 0
+        assert "converged" in text
+        assert "injected" in text
+
+    def test_explicit_spec_and_seed(self):
+        code, text = run_cli("chaos", "mcf", "--fault-spec",
+                             "translate@every=2,times=2",
+                             "--fault-seed", "99")
+        assert code == 0
+        assert "seed 99" in text
+        assert "translate" in text
+
+    def test_capacity_bound(self):
+        code, text = run_cli("chaos", "gzip", "--tcache-capacity", "100")
+        assert code == 0
+        assert "capacity_flushes" in text
+
+    def test_watchdog_exits_nonzero(self):
+        code, text = run_cli("chaos", "gzip", "--max-host-steps", "50")
+        assert code == 1
+        assert "watchdog" in text
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            run_cli("chaos", "gzip", "--fault-spec", "bogus")

@@ -254,3 +254,124 @@ class TestRunReport:
     def test_workers_validated(self):
         with pytest.raises(ValueError):
             PointRunner(workers=0)
+
+
+@pytest.fixture
+def four_cores(monkeypatch):
+    """Un-clamp the pool on single-core CI: pretend we have 4 cores."""
+    from repro.harness import parallel
+
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+
+
+class TestWorkerFaults:
+    def test_crashed_chunk_retried(self, four_cores):
+        runner = PointRunner(workers=2,
+                             faults="worker_crash@worker=0,times=1")
+        out = runner.run([_point("gzip"), _point("mcf")])
+        assert [s["workload"] for s in out] == ["gzip", "mcf"]
+        assert runner.report.worker_retries == 1
+        assert runner.report.worker_requeued == 0
+        assert runner.report.pool_failures == 0
+
+    def test_timed_out_chunk_retried(self, four_cores):
+        runner = PointRunner(workers=2,
+                             faults="worker_timeout@worker=1,times=1")
+        out = runner.run([_point("gzip"), _point("mcf")])
+        assert [s["workload"] for s in out] == ["gzip", "mcf"]
+        assert runner.report.worker_retries == 1
+
+    def test_exhausted_retries_requeue_serially(self, four_cores):
+        # worker 0 crashes on every dispatch: one retry, then its chunk
+        # is requeued and completed on the serial path — never lost
+        runner = PointRunner(workers=2, faults="worker_crash@worker=0",
+                             max_worker_retries=1)
+        out = runner.run([_point("gzip"), _point("mcf")])
+        assert [s["workload"] for s in out] == ["gzip", "mcf"]
+        assert runner.report.worker_retries == 1
+        assert runner.report.worker_requeued == 1
+        assert runner.report.executed == 2
+
+    def test_faulted_pool_matches_serial(self, four_cores):
+        points = [_point("gzip"), _point("mcf")]
+        serial = [execute_point(p) for p in points]
+        runner = PointRunner(workers=2, faults="worker_crash@worker=0",
+                             max_worker_retries=0)
+        pooled = runner.run(points)
+        for a, b in zip(serial, pooled):
+            a, b = dict(a), dict(b)
+            a.pop("elapsed"), b.pop("elapsed")
+            a.pop("telemetry_host"), b.pop("telemetry_host")
+            assert json.loads(json.dumps(a)) == json.loads(json.dumps(b))
+
+    def test_execute_chunk_fault_modes(self):
+        from repro.harness.parallel import (
+            WorkerCrash,
+            WorkerTimeout,
+            _execute_chunk,
+        )
+
+        with pytest.raises(WorkerCrash):
+            _execute_chunk([], fail="crash")
+        with pytest.raises(WorkerTimeout):
+            _execute_chunk([], fail="timeout")
+
+    def test_retry_knob_validated(self):
+        with pytest.raises(ValueError):
+            PointRunner(max_worker_retries=-1)
+
+    def test_report_renders_worker_counts(self, four_cores):
+        runner = PointRunner(workers=2,
+                             faults="worker_crash@worker=0,times=1")
+        runner.run([_point("gzip"), _point("mcf")])
+        line = runner.report.render()
+        assert "worker retries 1" in line
+        assert "requeued 0" in line
+
+
+class TestCacheCorruptionCounter:
+    def test_unparsable_entry_counts_corrupt(self, cache):
+        point = _point()
+        PointRunner(cache=cache).run([point])
+        path = pathlib.Path(cache._path(point_key(point)))
+        path.write_text("{not json")
+
+        fresh = ResultCache(cache.root)
+        assert fresh.get(point) is None
+        assert fresh.corrupt == 1
+        assert fresh.misses == 0
+        assert "corrupt=1" in repr(fresh)
+
+    def test_identity_mismatch_counts_corrupt(self, cache):
+        a, b = _point(), _point("mcf")
+        PointRunner(cache=cache).run([a])
+        path = pathlib.Path(cache._path(point_key(a)))
+        entry = json.loads(path.read_text())
+        entry["point"] = b.key_dict()
+        path.write_text(json.dumps(entry))
+
+        fresh = ResultCache(cache.root)
+        assert fresh.get(a) is None
+        assert fresh.corrupt == 1
+
+    def test_runner_report_carries_corrupt_delta(self, cache):
+        point = _point()
+        PointRunner(cache=cache).run([point])
+        path = pathlib.Path(cache._path(point_key(point)))
+        path.write_text("truncated...")
+
+        rerun = PointRunner(cache=ResultCache(cache.root))
+        rerun.run([point])
+        assert rerun.report.cache_corrupt == 1
+        assert "1 corrupt cache entries" in rerun.report.render()
+
+    def test_clear_tolerates_unlink_race(self, cache, monkeypatch):
+        PointRunner(cache=cache).run([_point()])
+
+        def racing_unlink(path):
+            raise FileNotFoundError(path)
+
+        from repro.harness import resultcache
+
+        monkeypatch.setattr(resultcache.os, "unlink", racing_unlink)
+        assert cache.clear() == 0       # lost every race, raised nothing

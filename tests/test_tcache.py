@@ -4,7 +4,7 @@ import pytest
 
 from repro.asm import assemble
 from repro.ildp_isa.opcodes import IFormat, IOp
-from repro.tcache.cache import TranslationCache
+from repro.tcache.cache import TCacheFull, TranslationCache
 from repro.tcache.dispatch import DISPATCH_LENGTH, build_dispatch_code
 from repro.vm import CoDesignedVM, VMConfig
 from tests.conftest import FIG2_KERNEL
@@ -136,3 +136,109 @@ class TestStaticSizes:
         for fragment in vm.tcache.fragments:
             for instr in fragment.body:
                 assert instr.size in (4, 8)
+
+
+class TestCapacity:
+    def _donor(self):
+        """A real translated fragment to (re-)install in a fresh cache."""
+        return run_vm(FIG2_KERNEL).tcache.fragments[0]
+
+    @staticmethod
+    def _needed(fragment):
+        # the install-time size estimate; may differ from byte_size when
+        # in-place patches changed instruction kinds after first install
+        from repro.ildp_isa.sizes import instruction_size
+        return sum(instruction_size(instr, fragment.fmt)
+                   for instr in fragment.body)
+
+    def test_full_cache_raises_before_mutation(self):
+        donor = self._donor()
+        needed = self._needed(donor)
+        cache = TranslationCache(capacity_bytes=needed - 1)
+        with pytest.raises(TCacheFull) as excinfo:
+            cache.add(donor)
+        err = excinfo.value
+        assert err.entry_vpc == donor.entry_vpc
+        assert err.needed == needed
+        assert err.used == 0
+        assert err.capacity == needed - 1
+        # nothing was mutated: the add can be retried after a flush
+        assert cache.fragment_count() == 0
+        assert cache.lookup(donor.entry_vpc) is None
+        assert cache.total_code_bytes() == 0
+
+    def test_exact_fit_installs(self):
+        donor = self._donor()
+        cache = TranslationCache(capacity_bytes=self._needed(donor))
+        cache.add(donor)
+        assert cache.fragment_count() == 1
+
+    def test_injected_capacity_miss_is_transient(self):
+        from repro.faults.inject import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        donor = self._donor()
+        injector = FaultInjector(FaultPlan.parse("tcache_full@count=1"))
+        cache = TranslationCache(injector=injector)
+        with pytest.raises(TCacheFull):
+            cache.add(donor)
+        cache.add(donor)        # the spec only strikes the 1st occurrence
+        assert cache.fragment_count() == 1
+
+
+class TestFlushState:
+    def test_flush_clears_pending_patch_state(self):
+        cache = run_vm(TWO_LOOP).tcache
+        assert cache._pending_exits       # exits to untranslated code
+        assert cache._incoming            # chained fragments
+        cache.flush()
+        assert cache._pending_exits == {}
+        assert cache._pending_ras == {}
+        assert cache._incoming == {}
+
+
+class TestInvalidation:
+    def test_standalone_fragment_removed(self):
+        cache = run_vm(FIG2_KERNEL).tcache
+        fragment = cache.fragments[0]
+        # the only incoming direct branch is the fragment's own self-loop
+        assert cache.invalidate_fragment(fragment) == "removed"
+        assert cache.lookup(fragment.entry_vpc) is None
+        assert cache.fragment_at(fragment.base_address) is None
+        assert fragment not in cache.fragments
+        # no pending registration may reference the freed fragment
+        for waiters in cache._pending_exits.values():
+            assert all(frag is not fragment for frag, _exit in waiters)
+
+    def test_externally_chained_fragment_flushes(self):
+        cache = run_vm(TWO_LOOP).tcache
+        target = next(
+            cache.fragments[i] for i in range(len(cache.fragments))
+            if cache._incoming.get(cache.fragments[i].fid, set()) -
+            {cache.fragments[i].fid})
+        assert cache.invalidate_fragment(target) == "flushed"
+        assert cache.fragment_count() == 0
+
+
+class TestChecksums:
+    def test_stamped_only_when_verifying(self):
+        verified = run_vm(FIG2_KERNEL, verify_fragments=True)
+        for fragment in verified.tcache.fragments:
+            assert fragment.checksum is not None
+            assert fragment.compute_checksum() == fragment.checksum
+        plain = run_vm(FIG2_KERNEL)
+        assert all(f.checksum is None for f in plain.tcache.fragments)
+
+    def test_corruption_changes_checksum(self):
+        vm = run_vm(FIG2_KERNEL, verify_fragments=True)
+        fragment = vm.tcache.fragments[0]
+        victim = fragment.body[0]
+        victim.imm = (victim.imm if victim.imm is not None else 0) ^ 0x2A
+        assert fragment.compute_checksum() != fragment.checksum
+
+    def test_relocation_is_checksum_neutral(self):
+        vm = run_vm(FIG2_KERNEL, verify_fragments=True)
+        fragment = vm.tcache.fragments[0]
+        for instr in fragment.body:
+            instr.address += 0x1000
+        assert fragment.compute_checksum() == fragment.checksum

@@ -144,3 +144,32 @@ class TestPreciseTraps:
             if location[0] == "acc"
         ]
         assert acc_entries
+
+
+class TestPEIRecoveryError:
+    def _fragment(self):
+        from tests.conftest import FIG2_KERNEL
+
+        vm = CoDesignedVM(assemble(FIG2_KERNEL), VMConfig())
+        vm.run(max_v_instructions=500_000)
+        return vm.tcache.fragments[0]
+
+    def test_pei_index_mirrors_table(self):
+        fragment = self._fragment()
+        assert fragment.pei_index == \
+            {row[0]: row for row in fragment.pei_table}
+
+    def test_missing_entry_is_structured(self):
+        from repro.vm.traps import PEIRecoveryError, reconstruct_state
+
+        fragment = self._fragment()
+        bogus = max(fragment.pei_index) + 1
+        assert bogus not in fragment.pei_index
+        with pytest.raises(PEIRecoveryError) as excinfo:
+            reconstruct_state(fragment, bogus, [0] * 32, [0] * 4)
+        err = excinfo.value
+        assert err.fid == fragment.fid
+        assert err.entry_vpc == fragment.entry_vpc
+        assert err.body_index == bogus
+        assert err.table_size == len(fragment.pei_table)
+        assert f"f{fragment.fid}" in str(err)
