@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke chaos bench bench-quick bench-gate report \
+.PHONY: check test smoke chaos fuzz bench bench-quick bench-gate report \
 	clean-cache
 
 check: test smoke
@@ -15,6 +15,12 @@ smoke:
 	$(PYTHON) scripts/smoke_telemetry.py
 	$(PYTHON) scripts/smoke_trace.py
 	$(PYTHON) scripts/smoke_chaos.py
+	$(PYTHON) scripts/smoke_fuzz.py
+
+# A longer differential-fuzzing pass than the smoke run: 200 seeded
+# programs through every oracle stage, with shrinking on any finding.
+fuzz:
+	$(PYTHON) -m repro fuzz --count 200 --seed 1 --shrink
 
 # The full differential chaos suite: every workload under every seeded
 # fault schedule must converge to the fault-free interpreter.

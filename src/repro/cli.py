@@ -124,6 +124,39 @@ def build_parser():
                               help="fuel watchdog: abort cleanly after N "
                                    "host dispatch steps")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="run seeded random programs through the "
+                     "differential oracle stack (exit 1 on divergence)")
+    fuzz_parser.add_argument("--count", type=_positive_int, default=100,
+                             help="programs to generate (default 100)")
+    fuzz_parser.add_argument("--seed", type=int, default=1,
+                             help="campaign seed (default 1)")
+    fuzz_parser.add_argument("--max-insns", type=_positive_int,
+                             default=60, metavar="N",
+                             help="loop-body size bound per program "
+                                  "(default 60)")
+    fuzz_parser.add_argument("--budget", type=_positive_int,
+                             default=200_000,
+                             help="V-instruction budget per oracle run "
+                                  "(default 200000)")
+    fuzz_parser.add_argument("--chaos", action="store_true",
+                             help="also run each program under a seeded "
+                                  "fault schedule")
+    fuzz_parser.add_argument("--shrink", action="store_true",
+                             help="shrink each finding to a minimal "
+                                  "reproducer")
+    fuzz_parser.add_argument("--corpus-dir", default=None, metavar="DIR",
+                             help="write the reproducible corpus "
+                                  "(one JSON record per program)")
+    fuzz_parser.add_argument("--workers", type=_positive_int, default=1,
+                             help="worker processes (default 1)")
+    fuzz_parser.add_argument("--telemetry", action="store_true",
+                             help="print aggregate VM telemetry across "
+                                  "all oracle runs")
+    fuzz_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                             help="span-trace the campaign and write "
+                                  "Chrome trace-event JSON")
+
     map_parser = sub.add_parser(
         "map", help="show a workload's translation-cache fragment map")
     _add_vm_arguments(map_parser)
@@ -379,16 +412,8 @@ def _command_experiment(args, out):
     return 0
 
 
-#: Default chaos schedule: every degradation path fires at least once on
-#: any workload hot enough to translate a handful of superblocks.
-DEFAULT_CHAOS_SPECS = (
-    "translate@every=2,times=4",
-    "corrupt@every=3,times=3",
-    "tcache_full@count=5,times=1",
-)
-
-
 def _command_chaos(args, out):
+    from repro.faults.plan import DEFAULT_CHAOS_SPECS
     from repro.harness.runner import run_original
     from repro.vm.system import BudgetExceeded
 
@@ -446,6 +471,28 @@ def _command_chaos(args, out):
     return 0
 
 
+def _command_fuzz(args, out):
+    from repro.fuzz.campaign import run_campaign
+    from repro.harness.parallel import PointRunner
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(thread_name="fuzz") if args.trace_out else None
+    runner = PointRunner(workers=args.workers, cache=None, tracer=tracer)
+    result = run_campaign(args.count, args.seed,
+                          max_insns=args.max_insns, chaos=args.chaos,
+                          shrink=args.shrink, workers=args.workers,
+                          budget=args.budget, corpus_dir=args.corpus_dir,
+                          telemetry=args.telemetry, runner=runner)
+    for line in result.render_lines():
+        print(line, file=out)
+    if args.corpus_dir:
+        print(f"wrote {len(result.corpus_files)} corpus records to "
+              f"{args.corpus_dir}", file=out)
+    print(runner.report.render(), file=out)
+    _finish_runner(args, runner, out)
+    return 0 if result.ok else 1
+
+
 def _command_map(args, out):
     from repro.tcache.dump import print_fragment_map
 
@@ -489,6 +536,7 @@ def main(argv=None, out=None):
         "experiment": _command_experiment,
         "bench-compare": _command_bench_compare,
         "chaos": _command_chaos,
+        "fuzz": _command_fuzz,
         "map": _command_map,
         "report": _command_report,
     }[args.command]

@@ -53,6 +53,15 @@ KNOWN_SITES = frozenset(
     value for name, value in vars(FaultSite).items()
     if not name.startswith("_"))
 
+#: Default chaos schedule (``repro chaos`` and the fuzz oracle's chaos
+#: stage): every degradation path fires at least once on any workload
+#: hot enough to translate a handful of superblocks.
+DEFAULT_CHAOS_SPECS = (
+    "translate@every=2,times=4",
+    "corrupt@every=3,times=3",
+    "tcache_full@count=5,times=1",
+)
+
 _INT_KEYS = ("vpc", "count", "every", "after", "times", "worker")
 
 

@@ -1,0 +1,132 @@
+"""Reproducible corpus format for fuzz programs.
+
+One JSON file per program, byte-deterministic (sorted keys, fixed
+separators, trailing newline) so identical seeds produce identical
+corpora in any process — the seed-stability tests diff the files
+directly.  Records are self-contained: they carry the encoded program
+bytes, the initial data buffer and the memory layout, so a corpus entry
+replays *without* regenerating — checked-in regression corpora survive
+generator evolution (``generator_version`` records provenance, it is
+not needed for replay).
+"""
+
+import hashlib
+import json
+import os
+
+from repro.fuzz.gen import FuzzProgram
+
+#: Bump only on incompatible record-layout changes.
+CORPUS_FORMAT = "repro-fuzz-corpus-v1"
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def entry_dict(fprog, failures=None, shrunk_words=None):
+    """The JSON-able corpus record for one program."""
+    text = fprog.to_bytes()
+    entry = {
+        "format": CORPUS_FORMAT,
+        "generator_version": fprog.version,
+        "seed": fprog.seed,
+        "index": fprog.index,
+        "max_insns": fprog.max_insns,
+        "entry": fprog.entry,
+        "text_base": fprog.text_base,
+        "data_base": fprog.data_base,
+        "text": text.hex(),
+        "text_sha256": hashlib.sha256(text).hexdigest(),
+        "data": fprog.data.hex(),
+        "shapes": dict(fprog.shapes),
+    }
+    if failures:
+        entry["failures"] = list(failures)
+    if shrunk_words is not None:
+        shrunk = b"".join(word.to_bytes(4, "little")
+                          for word in shrunk_words)
+        entry["shrunk_text"] = shrunk.hex()
+    return entry
+
+
+def _render(entry):
+    return json.dumps(entry, sort_keys=True,
+                      separators=(",", ": "), indent=1) + "\n"
+
+
+def entry_filename(entry):
+    """Deterministic per-record file name: ``<seed-hex>-<index>.json``."""
+    return f"{entry['seed']:08x}-{entry['index']:05d}.json"
+
+
+def write_corpus(directory, entries):
+    """Write corpus records plus a manifest; returns the file names."""
+    os.makedirs(directory, exist_ok=True)
+    names = []
+    for entry in entries:
+        name = entry_filename(entry)
+        with open(os.path.join(directory, name), "w",
+                  encoding="utf-8") as handle:
+            handle.write(_render(entry))
+        names.append(name)
+    manifest = {
+        "format": CORPUS_FORMAT,
+        "entries": [{"file": name,
+                     "seed": entry["seed"],
+                     "index": entry["index"],
+                     "text_sha256": entry["text_sha256"]}
+                    for name, entry in zip(names, entries)],
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w",
+              encoding="utf-8") as handle:
+        handle.write(_render(manifest))
+    return names
+
+
+def load_entry(path):
+    """Read and validate one corpus record (format + text hash)."""
+    with open(path, encoding="utf-8") as handle:
+        entry = json.load(handle)
+    if entry.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"{path}: unknown corpus format "
+                         f"{entry.get('format')!r}")
+    text = bytes.fromhex(entry["text"])
+    digest = hashlib.sha256(text).hexdigest()
+    if digest != entry["text_sha256"]:
+        raise ValueError(f"{path}: text hash mismatch "
+                         f"({digest} != {entry['text_sha256']})")
+    return entry
+
+
+def load_corpus(directory):
+    """All corpus entries in a directory, in deterministic name order."""
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if name == MANIFEST_NAME or not name.endswith(".json"):
+            continue
+        entries.append(load_entry(os.path.join(directory, name)))
+    return entries
+
+
+def _words_from_hex(text_hex):
+    text = bytes.fromhex(text_hex)
+    return [int.from_bytes(text[offset:offset + 4], "little")
+            for offset in range(0, len(text), 4)]
+
+
+def program_from_entry(entry, shrunk=False):
+    """Rebuild a :class:`FuzzProgram` from a corpus record.
+
+    With ``shrunk=True`` the shrunk text is used when present (falling
+    back to the full text otherwise).
+    """
+    text_hex = entry.get("shrunk_text") if shrunk else None
+    if text_hex is None:
+        text_hex = entry["text"]
+    return FuzzProgram(entry["seed"], entry["index"],
+                       entry["generator_version"], entry["max_insns"],
+                       _words_from_hex(text_hex),
+                       bytes.fromhex(entry["data"]),
+                       entry=entry["entry"],
+                       text_base=entry["text_base"],
+                       data_base=entry["data_base"],
+                       shapes=entry.get("shapes"))

@@ -1,0 +1,174 @@
+"""Automatic test-case shrinking for fuzz findings.
+
+``shrink_words`` reduces a failing program's text to a (locally)
+minimal word list that still satisfies the caller's divergence
+predicate.  Three passes, all budget-bounded:
+
+1. **chunk deletion** (ddmin-style): delete runs of instructions with
+   chunk sizes halving from ``n // 2`` down to 1, repairing branch
+   displacements across each deleted range so survivors keep their
+   targets;
+2. **simplification**: replace single instructions with an
+   architectural NOP, zero operate literals, neutralise ``rb`` to R31,
+   zero memory displacements;
+3. a final single-deletion sweep, so the result is 1-minimal under
+   deletion.
+
+The predicate sees candidate word lists and must return True only for
+genuine reproductions — oracle comparisons treat budget exhaustion as
+inconclusive, so a shrink step that manufactures an infinite loop is
+rejected rather than chased.
+"""
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Kind
+from repro.utils.bitops import fits_signed
+
+#: ``bis r31, r31, r31`` — the canonical architectural NOP word.
+NOP_WORD = encode(Instruction("bis", ra=31, rb=31, rc=31))
+
+#: Default cap on predicate evaluations per ``shrink_words`` call.
+DEFAULT_MAX_CHECKS = 400
+
+
+def _decoded(word):
+    try:
+        return decode(word)
+    except EncodingError:
+        return None
+
+
+def _retarget(words, start, count):
+    """Delete ``words[start:start+count]``, repairing branch targets.
+
+    Branch-format displacements are PC-relative in instructions, so any
+    branch that jumps across (or into) the deleted range must be
+    re-encoded.  Targets inside the range land on the first surviving
+    instruction.  Returns the new word list, or ``None`` when a repaired
+    displacement no longer fits its 21-bit field (the candidate is then
+    simply skipped).
+    """
+    n = len(words)
+    end = start + count
+
+    def new_index(old):
+        if old < start:
+            return old
+        if old < end:
+            return start          # first survivor after the range
+        return old - count
+
+    out = []
+    for index, word in enumerate(words):
+        if start <= index < end:
+            continue
+        instr = _decoded(word)
+        if instr is not None and instr.kind in (Kind.COND_BRANCH,
+                                                Kind.UNCOND_BRANCH):
+            target = index + 1 + instr.imm
+            if not 0 <= target <= n:
+                return None       # branch already escapes the text
+            displacement = new_index(target) - (new_index(index) + 1)
+            if displacement != instr.imm:
+                if not fits_signed(displacement, 21):
+                    return None
+                word = encode(Instruction(instr.mnemonic, ra=instr.ra,
+                                          imm=displacement))
+        out.append(word)
+    return out
+
+
+def _simplify_candidates(instr):
+    """Strictly-simpler replacements for one instruction, best first."""
+    candidates = [None]           # None means: replace with NOP_WORD
+    if instr is None:
+        return candidates
+    if instr.kind is Kind.ALU:
+        if instr.islit and instr.imm != 0:
+            candidates.append(Instruction(instr.mnemonic, ra=instr.ra,
+                                          rc=instr.rc, imm=0, islit=True))
+        elif not instr.islit and instr.rb != 31:
+            candidates.append(Instruction(instr.mnemonic, ra=instr.ra,
+                                          rb=31, rc=instr.rc))
+    elif instr.kind in (Kind.LOAD, Kind.STORE, Kind.LDA) and \
+            instr.imm != 0:
+        candidates.append(Instruction(instr.mnemonic, ra=instr.ra,
+                                      rb=instr.rb, imm=0))
+    return candidates
+
+
+class _Budget:
+    __slots__ = ("used", "limit")
+
+    def __init__(self, limit):
+        self.used = 0
+        self.limit = limit
+
+    def spent(self):
+        return self.used >= self.limit
+
+    def check(self, predicate, words):
+        if self.spent():
+            return False
+        self.used += 1
+        return bool(predicate(words))
+
+
+def shrink_words(words, predicate, max_checks=DEFAULT_MAX_CHECKS):
+    """Shrink ``words`` while ``predicate(candidate_words)`` holds.
+
+    ``predicate(words)`` must be True for the input.  Returns
+    ``(shrunk_words, checks_used)``.
+    """
+    budget = _Budget(max_checks)
+    current = list(words)
+
+    # pass 1: ddmin-style chunk deletion
+    chunk = max(len(current) // 2, 1)
+    while chunk >= 1 and not budget.spent():
+        start = 0
+        progressed = False
+        while start < len(current) and not budget.spent():
+            count = min(chunk, len(current) - start)
+            candidate = _retarget(current, start, count)
+            if candidate is not None and candidate and \
+                    budget.check(predicate, candidate):
+                current = candidate
+                progressed = True
+            else:
+                start += count
+        if chunk == 1 and not progressed:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progressed else 0)
+
+    # pass 2: per-instruction simplification
+    index = 0
+    while index < len(current) and not budget.spent():
+        word = current[index]
+        if word == NOP_WORD:
+            index += 1
+            continue
+        for replacement in _simplify_candidates(_decoded(word)):
+            new_word = NOP_WORD if replacement is None \
+                else encode(replacement)
+            if new_word == word:
+                continue
+            candidate = list(current)
+            candidate[index] = new_word
+            if budget.check(predicate, candidate):
+                current = candidate
+                break
+        index += 1
+
+    # pass 3: final single-deletion sweep (1-minimality under deletion)
+    index = 0
+    while index < len(current) and not budget.spent():
+        candidate = _retarget(current, index, 1)
+        if candidate is not None and candidate and \
+                budget.check(predicate, candidate):
+            current = candidate
+        else:
+            index += 1
+
+    return current, budget.used

@@ -125,6 +125,27 @@ class RunPoint:
         """A pure-interpretation ("original binary") run point."""
         return cls("original", workload, scale, budget, None, evals)
 
+    @classmethod
+    def fuzz(cls, seed, index, max_insns=60, chaos=False,
+             budget=200_000, telemetry=False):
+        """One generated-program oracle run (see :mod:`repro.fuzz`).
+
+        ``config`` reuses the sorted-pair convention but carries the
+        generator parameters instead of ``VMConfig`` fields; the
+        generator version keys the cache so corpus-affecting generator
+        changes can never replay stale summaries.  The kind's key space
+        is disjoint from ``"vm"``/``"original"``, so no schema bump is
+        needed.
+        """
+        from repro.fuzz.gen import GENERATOR_VERSION
+
+        fields = (("chaos", bool(chaos)), ("index", index),
+                  ("max_insns", max_insns), ("seed", seed),
+                  ("telemetry", bool(telemetry)),
+                  ("version", GENERATOR_VERSION))
+        return cls("fuzz", f"fuzz[{seed}/{index}]", None, budget, fields,
+                   ())
+
     def key_dict(self):
         """Canonical JSON-able identity (the cache key's preimage)."""
         return {
@@ -147,6 +168,9 @@ class RunPoint:
         if self.kind == "original":
             return f"{self.workload} (original)"
         fields = dict(self.config)
+        if self.kind == "fuzz":
+            return self.workload + (" +chaos" if fields.get("chaos")
+                                    else "")
         return (f"{self.workload} ({fields.get('fmt')}/"
                 f"{fields.get('policy')})")
 
@@ -240,6 +264,11 @@ def execute_point(point):
         summary = _execute_original(point)
     elif point.kind == "vm":
         summary = _execute_vm(point)
+    elif point.kind == "fuzz":
+        # lazy import: the fuzz subsystem is optional for ordinary
+        # experiment runs and must not widen their import footprint
+        from repro.fuzz.oracle import execute_fuzz_point
+        summary = execute_fuzz_point(point)
     else:
         raise ValueError(f"unknown run-point kind {point.kind!r}")
     summary["elapsed"] = time.perf_counter() - started

@@ -315,10 +315,13 @@ class CodeGenerator:
                              vpc=self.superblock.entries[-1].vpc)
         elif reason is EndReason.TRAP_INSTRUCTION:
             # halt emits nothing further; putc already chained; gentrap
-            # always traps, but fall through must still be safe
+            # always traps, but fall through must still be safe; unknown
+            # PAL functions are architectural no-ops that emit no code at
+            # all, so the block must chain to the next instruction or the
+            # executor falls off the end of the fragment
             last = self.nodes[-1]
-            if last.kind is NodeKind.PAL and last.pal_function == \
-                    _PAL_GENTRAP:
+            if last.kind is NodeKind.PAL and last.pal_function not in \
+                    (_PAL_HALT, _PAL_PUTC):
                 emit_direct_exit(self.emitter, self._lookup, last.vpc + 4,
                                  vpc=last.vpc)
 

@@ -32,3 +32,27 @@ class Workload:
 
     def __repr__(self):
         return f"Workload({self.name!r})"
+
+
+class BinaryWorkload(Workload):
+    """A workload backed by a pre-encoded binary image, not assembly.
+
+    Used by the fuzzer: generated programs exist as encoded words, so
+    ``build_program`` constructs the image directly and there is no
+    source text.  ``scale`` is accepted for interface compatibility but
+    ignored.
+    """
+
+    def __init__(self, name, description, build_program):
+        super().__init__(name, description, builder=None)
+        self._build_program = build_program
+
+    def source(self, scale=None):
+        raise WorkloadError(f"{self.name} is a binary workload; "
+                            "it has no assembly source")
+
+    def program(self, scale=None):
+        return self._build_program()
+
+    def __repr__(self):
+        return f"BinaryWorkload({self.name!r})"

@@ -153,3 +153,27 @@ class TestChaosCli:
     def test_bad_fault_spec_rejected(self):
         with pytest.raises(ValueError, match="unknown fault site"):
             run_cli("chaos", "gzip", "--fault-spec", "bogus")
+
+
+class TestFuzzCli:
+    def test_clean_campaign_exits_zero(self):
+        code, text = run_cli("fuzz", "--count", "4", "--seed", "21")
+        assert code == 0
+        assert "0 finding(s)" in text
+        assert "shape mix" in text
+
+    def test_corpus_dir_written(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        code, text = run_cli("fuzz", "--count", "3", "--seed", "21",
+                             "--corpus-dir", str(corpus))
+        assert code == 0
+        assert "wrote 3 corpus records" in text
+        assert (corpus / "MANIFEST.json").exists()
+        assert len(list(corpus.glob("*.json"))) == 4  # 3 + manifest
+
+    def test_trace_out(self, tmp_path):
+        trace = tmp_path / "fuzz.trace.json"
+        code, _text = run_cli("fuzz", "--count", "2", "--seed", "21",
+                              "--trace-out", str(trace))
+        assert code == 0
+        assert trace.exists()

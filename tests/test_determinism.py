@@ -53,3 +53,59 @@ class TestDeterminism:
         assert a.vm.cost_model.total == b.vm.cost_model.total
         assert dict(a.vm.cost_model.by_phase) == \
             dict(b.vm.cost_model.by_phase)
+
+
+def _corpus_digest(directory):
+    import hashlib
+    import os
+
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(directory)):
+        with open(os.path.join(directory, name), "rb") as handle:
+            digest.update(name.encode())
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+class TestFuzzSeedStability:
+    """Identical seed + generator version → byte-identical fuzz corpus,
+    across calls, across processes, and regardless of worker count."""
+
+    def test_generate_identical_across_calls(self):
+        from repro.fuzz.gen import generate
+
+        a = generate(5, 3)
+        b = generate(5, 3)
+        assert a.words == b.words
+        assert a.data == b.data
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_corpus_identical_across_processes(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        from repro.fuzz.campaign import run_campaign
+
+        local = tmp_path / "local"
+        result = run_campaign(3, 11, corpus_dir=str(local))
+        assert result.ok
+
+        remote = tmp_path / "remote"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "src")
+        script = ("from repro.fuzz.campaign import run_campaign; "
+                  f"run_campaign(3, 11, corpus_dir={str(remote)!r})")
+        subprocess.run([sys.executable, "-c", script], check=True,
+                       env=env, timeout=300)
+        assert _corpus_digest(local) == _corpus_digest(remote)
+
+    def test_corpus_identical_across_worker_counts(self, tmp_path):
+        from repro.fuzz.campaign import run_campaign
+
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        run_campaign(4, 13, corpus_dir=str(serial), workers=1)
+        run_campaign(4, 13, corpus_dir=str(parallel), workers=4)
+        assert _corpus_digest(serial) == _corpus_digest(parallel)
