@@ -12,6 +12,7 @@ test:
 smoke:
 	$(PYTHON) scripts/smoke_cache.py
 	$(PYTHON) scripts/smoke_exec_engine.py
+	$(PYTHON) scripts/smoke_jit.py
 	$(PYTHON) scripts/smoke_telemetry.py
 	$(PYTHON) scripts/smoke_trace.py
 	$(PYTHON) scripts/smoke_chaos.py

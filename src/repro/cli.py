@@ -142,6 +142,11 @@ def build_parser():
     fuzz_parser.add_argument("--chaos", action="store_true",
                              help="also run each program under a seeded "
                                   "fault schedule")
+    fuzz_parser.add_argument("--engines", default=None, metavar="LIST",
+                             help="comma-separated engine axis for the "
+                                  "oracle engine stage (default: "
+                                  "naive,jit; each is compared against "
+                                  "the specialized reference)")
     fuzz_parser.add_argument("--shrink", action="store_true",
                              help="shrink each finding to a minimal "
                                   "reproducer")
@@ -235,22 +240,32 @@ def _add_vm_arguments(parser):
     parser.add_argument("--budget", type=int, default=200_000)
     parser.add_argument("--fuse-memory", action="store_true")
     parser.add_argument("--exec-engine",
-                        choices=("specialized", "naive"),
-                        default="specialized",
-                        help="run pre-compiled step closures (specialized) "
-                             "or the reference dispatch (naive)")
+                        choices=("jit", "specialized", "naive"),
+                        default="jit",
+                        help="compile hot fragments to generated Python "
+                             "(jit, the default), run pre-compiled step "
+                             "closures (specialized), or the reference "
+                             "dispatch (naive)")
+    parser.add_argument("--jit-threshold", type=_positive_int,
+                        default=None, metavar="N",
+                        help="fragment visits before the jit engine "
+                             "promotes a body to tier-2 generated code")
     parser.add_argument("--telemetry", action="store_true",
                         help="enable the repro.obs telemetry subsystem "
                              "(metrics, events, fragment profiling)")
 
 
 def _config_from(args):
+    overrides = {}
+    if getattr(args, "jit_threshold", None) is not None:
+        overrides["jit_threshold"] = args.jit_threshold
     return VMConfig(fmt=_FORMATS[args.fmt],
                     policy=_POLICIES[args.policy],
                     n_accumulators=args.accumulators,
                     fuse_memory=args.fuse_memory,
                     exec_engine=args.exec_engine,
-                    telemetry=getattr(args, "telemetry", False))
+                    telemetry=getattr(args, "telemetry", False),
+                    **overrides)
 
 
 def _command_workloads(_args, out):
@@ -476,13 +491,22 @@ def _command_fuzz(args, out):
     from repro.harness.parallel import PointRunner
     from repro.obs.trace import Tracer
 
+    engines = None
+    if args.engines:
+        engines = tuple(name.strip() for name in args.engines.split(",")
+                        if name.strip())
+        for name in engines:
+            if name not in ("jit", "specialized", "naive"):
+                print(f"unknown engine {name!r} in --engines", file=out)
+                return 2
     tracer = Tracer(thread_name="fuzz") if args.trace_out else None
     runner = PointRunner(workers=args.workers, cache=None, tracer=tracer)
     result = run_campaign(args.count, args.seed,
                           max_insns=args.max_insns, chaos=args.chaos,
                           shrink=args.shrink, workers=args.workers,
                           budget=args.budget, corpus_dir=args.corpus_dir,
-                          telemetry=args.telemetry, runner=runner)
+                          telemetry=args.telemetry, runner=runner,
+                          engines=engines)
     for line in result.render_lines():
         print(line, file=out)
     if args.corpus_dir:

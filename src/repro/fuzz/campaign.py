@@ -110,13 +110,17 @@ def _shrink_finding(finding, budget):
 
 def run_campaign(count, seed, max_insns=60, chaos=False, shrink=False,
                  workers=1, budget=ORACLE_BUDGET, corpus_dir=None,
-                 telemetry=False, runner=None):
-    """Run ``count`` seeded programs through the oracle stack."""
+                 telemetry=False, runner=None, engines=None):
+    """Run ``count`` seeded programs through the oracle stack.
+
+    ``engines`` selects the oracle engine stage's comparison axis
+    (``None`` uses the oracle default, currently naive + jit).
+    """
     if count < 1:
         raise ValueError("count must be >= 1")
     points = [RunPoint.fuzz(seed, index, max_insns=max_insns,
                             chaos=chaos, budget=budget,
-                            telemetry=telemetry)
+                            telemetry=telemetry, engines=engines)
               for index in range(count)]
     if runner is None:
         runner = PointRunner(workers=workers, cache=None)

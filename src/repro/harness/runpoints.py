@@ -35,7 +35,12 @@ from repro.vm.config import VMConfig
 #: 3: VM summaries grew the ``resilience`` block (graceful-degradation
 #: counters), and fault-injection fields joined ``VMConfig`` (excluded
 #: from the key, but the bump guarantees no pre-faults entry survives).
-SCHEMA_VERSION = 3
+#: 4: the default execution engine became the tier-2 jit.  Architected
+#: results and ``VMStats`` are engine-identical (so ``exec_engine`` stays
+#: out of the key), but the deterministic ``telemetry`` block now carries
+#: ``jit.*`` counters and ``jit_promoted`` events that pre-jit cache
+#: entries lack.
+SCHEMA_VERSION = 4
 
 
 class EvalSpec:
@@ -127,7 +132,7 @@ class RunPoint:
 
     @classmethod
     def fuzz(cls, seed, index, max_insns=60, chaos=False,
-             budget=200_000, telemetry=False):
+             budget=200_000, telemetry=False, engines=None):
         """One generated-program oracle run (see :mod:`repro.fuzz`).
 
         ``config`` reuses the sorted-pair convention but carries the
@@ -135,11 +140,15 @@ class RunPoint:
         generator version keys the cache so corpus-affecting generator
         changes can never replay stale summaries.  The kind's key space
         is disjoint from ``"vm"``/``"original"``, so no schema bump is
-        needed.
+        needed.  ``engines`` is the oracle engine stage's comparison
+        axis (``None`` selects the oracle's default).
         """
         from repro.fuzz.gen import GENERATOR_VERSION
+        from repro.fuzz.oracle import ENGINE_AXIS
 
-        fields = (("chaos", bool(chaos)), ("index", index),
+        engines = tuple(engines) if engines is not None else ENGINE_AXIS
+        fields = (("chaos", bool(chaos)), ("engines", engines),
+                  ("index", index),
                   ("max_insns", max_insns), ("seed", seed),
                   ("telemetry", bool(telemetry)),
                   ("version", GENERATOR_VERSION))

@@ -83,7 +83,7 @@ class Interpreter:
     """Executes a loaded V-ISA program instruction by instruction."""
 
     def __init__(self, program, console=None, exec_engine="specialized"):
-        if exec_engine not in ("specialized", "naive"):
+        if exec_engine not in ("jit", "specialized", "naive"):
             raise ValueError(f"unknown exec engine {exec_engine!r}")
         self.program = program
         self.memory = program.memory
@@ -98,9 +98,11 @@ class Interpreter:
         #: harness reports it in the host (non-reproducible) block only.
         self.decode_misses = 0
         #: the engine is chosen once; ``step`` is re-bound per instance so
-        #: the hot loop pays no per-step engine check
-        self.step = self._step_specialized if exec_engine == "specialized" \
-            else self._step_naive
+        #: the hot loop pays no per-step engine check.  The jit engine
+        #: only tiers *fragments* — single-step interpretation has no hot
+        #: bodies to compile, so it shares the specialized step path.
+        self.step = self._step_naive if exec_engine == "naive" \
+            else self._step_specialized
 
     def fetch(self, pc):
         """Decode (with caching) the instruction at ``pc``.

@@ -38,6 +38,8 @@ class EventKind:
     PC_BLACKLISTED = "pc_blacklisted"
     TCACHE_FULL = "tcache_full"
     FRAGMENT_CORRUPTED = "fragment_corrupted"
+    # tier-2 jit promotion (docs/performance.md)
+    JIT_PROMOTED = "jit_promoted"
 
 
 #: Every kind the VM emits — the strict parser rejects anything else.

@@ -77,10 +77,24 @@ class Fragment:
         #: trace-on variants.
         self._compiled_key = None
         self._compiled = [None, None]
+        #: tier-2 code compiled by :mod:`repro.vm.jit`, keyed the same
+        #: way; ``_jit_failed`` pins fragments whose compile raised so a
+        #: hot loop doesn't retry every visit.
+        self._jit_key = None
+        self._jit_code = None
+        self._jit_failed = False
 
     def invalidate_compiled(self):
-        """Drop compiled step closures after an in-place body patch."""
+        """Drop compiled code (all tiers) after an in-place body patch.
+
+        Chaining patches and corruption recovery rewrite body
+        instructions; both the tier-1 step closures and the tier-2
+        generated function bake the old semantics in, so both must go.
+        The next hot visit recompiles against the patched body.
+        """
         self._compiled = [None, None]
+        self._jit_code = None
+        self._jit_failed = False
 
     def compute_checksum(self):
         """CRC32 over the body's semantic instruction fields.

@@ -45,6 +45,12 @@ _EXECUTOR_SERIALS = itertools.count()
 #: imports this one, so it cannot be imported at the top).
 _compile_fragment = None
 
+#: Lazily bound ``repro.vm.jit.compile_fragment_jit`` (same import cycle).
+_compile_fragment_jit = None
+
+#: jit code-size histogram buckets (generated source lines per fragment).
+_JIT_SIZE_BUCKETS = (8, 16, 32, 64, 128, 256, 512)
+
 
 class ExitReason(enum.Enum):
     HALT = "halt"
@@ -97,6 +103,10 @@ class FragmentExecutor:
         self._stale = set()
         #: identity under which fragments cache compiled closures for us
         self._compile_key = next(_EXECUTOR_SERIALS)
+        #: body index of the instruction whose tier-2 guard last raised a
+        #: trap (set by generated code, read by ``_run_jit`` to build the
+        #: precise ``ExecResult``)
+        self._jit_pei = None
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
         # Telemetry hooks are pre-resolved to None when disabled so the
@@ -109,11 +119,23 @@ class FragmentExecutor:
             self._entries_counter = registry.counter("exec.fragment_entries")
             self._transfer_counter = registry.counter(
                 "exec.fragment_transitions")
+            self._jit_promotions = registry.counter("jit.promotions")
+            self._jit_deopts = registry.counter("jit.deopts")
+            self._jit_compile_failures = registry.counter(
+                "jit.compile_failures")
+            self._jit_compile_timer = registry.timer("jit.compile")
+            self._jit_size_hist = registry.histogram("jit.code_lines",
+                                                     _JIT_SIZE_BUCKETS)
         else:
             self._prof = None
             self._events = None
             self._entries_counter = None
             self._transfer_counter = None
+            self._jit_promotions = None
+            self._jit_deopts = None
+            self._jit_compile_failures = None
+            self._jit_compile_timer = None
+            self._jit_size_hist = None
 
     # -- register plumbing ---------------------------------------------------
 
@@ -154,13 +176,17 @@ class FragmentExecutor:
         register list is the GPR file (operational + architected in one,
         with staleness assertions for the modified format).
 
-        ``VMConfig.exec_engine`` selects how fragment bodies run: the
-        specialized engine executes pre-compiled step closures (see
-        :mod:`repro.vm.specialize`), the naive engine is the readable
-        per-instruction dispatch below.  Both are observationally
-        identical.
+        ``VMConfig.exec_engine`` selects how fragment bodies run: the jit
+        engine (default) promotes hot fragments to tier-2 generated
+        source (see :mod:`repro.vm.jit`) over the specialized engine's
+        pre-compiled step closures (:mod:`repro.vm.specialize`); the
+        naive engine is the readable per-instruction dispatch below.
+        All are observationally identical.
         """
-        if self.config.exec_engine == "specialized":
+        engine = self.config.exec_engine
+        if engine == "jit":
+            return self._run_jit(fragment, state, max_instructions)
+        if engine == "specialized":
             return self._run_specialized(fragment, state, max_instructions)
         if self.verify and not self._integrity_ok(fragment):
             return ExecResult(ExitReason.CORRUPT, vpc=fragment.entry_vpc,
@@ -321,6 +347,146 @@ class FragmentExecutor:
                     self._transfer_counter.inc()
                     prof.switch(frag, stats)
                 code = self._code_for(frag, traced)
+            elif kind == "exit":
+                state.pc = value.vpc if value.vpc is not None else state.pc
+                if prof is not None:
+                    prof.leave(value.reason.value, stats)
+                return value
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+
+    # -- jit engine --------------------------------------------------------------
+
+    def _jit_for(self, frag):
+        """The fragment's tier-2 function for this executor, or ``None``.
+
+        Mirrors ``_code_for``'s per-executor keying.  A compile failure
+        pins the fragment to tier 1 (``_jit_failed``) instead of retrying
+        every hot visit; ``Fragment.invalidate_compiled`` clears both the
+        code and the pin, so patched bodies get a fresh chance.
+        """
+        global _compile_fragment_jit
+        if frag._jit_key != self._compile_key:
+            frag._jit_key = self._compile_key
+            frag._jit_code = None
+            frag._jit_failed = False
+        if frag._jit_failed:
+            return None
+        if _compile_fragment_jit is None:
+            from repro.vm.jit import compile_fragment_jit
+            _compile_fragment_jit = compile_fragment_jit
+        timer = self._jit_compile_timer
+        try:
+            if timer is not None:
+                with timer.time():
+                    fn = _compile_fragment_jit(self, frag)
+            else:
+                fn = _compile_fragment_jit(self, frag)
+        except Exception:
+            # degrade, never die: the fragment keeps running on tier-1
+            # closures, which are semantically complete
+            frag._jit_failed = True
+            if self._jit_compile_failures is not None:
+                self._jit_compile_failures.inc()
+            return None
+        frag._jit_code = fn
+        if self._jit_promotions is not None:
+            self._jit_promotions.inc()
+            self._jit_size_hist.observe(fn._jit_lines)
+            self._events.emit(EventKind.JIT_PROMOTED, fid=frag.fid,
+                              entry_vpc=frag.entry_vpc,
+                              lines=fn._jit_lines)
+        return fn
+
+    def _run_jit(self, fragment, state, max_instructions=None):
+        """The three-tier ``run`` loop: tier-2 code when a fragment is
+        hot, tier-1 step closures otherwise.
+
+        Guards deopt cleanly to tier 1: trace-collecting visits never use
+        generated code (the trace-on closures stay byte-identical to the
+        naive engine), traps surface with the precise body index recorded
+        by the generated guard, and entry/transition CRC verification is
+        identical to ``_run_specialized``.  Statistics are batched inside
+        tier-2 code but exact at every boundary, so the budget check
+        below sees the same ``source_instructions_executed`` deltas.
+        """
+        verify = self.verify
+        if verify and not self._integrity_ok(fragment):
+            return ExecResult(ExitReason.CORRUPT, vpc=fragment.entry_vpc,
+                              fragment=fragment)
+        regs = state.regs
+        stats = self.stats
+        traced = self.trace is not None
+        self._stale.clear()
+        frag = fragment
+        frag.execution_count += 1
+        key = self._compile_key
+        threshold = self.config.jit_threshold
+        start_v = stats.source_instructions_executed
+        prof = self._prof
+        if prof is not None:
+            self._note_entry(frag, stats)
+
+        while True:
+            jfn = None
+            if not traced:
+                if frag._jit_key == key:
+                    jfn = frag._jit_code
+                if jfn is None and frag.execution_count >= threshold:
+                    jfn = self._jit_for(frag)
+            if jfn is not None:
+                try:
+                    outcome = jfn(self, regs, state)
+                except Trap as trap:
+                    if self._jit_deopts is not None:
+                        self._jit_deopts.inc()
+                    if prof is not None:
+                        prof.leave(ExitReason.TRAP.value, stats)
+                    return ExecResult(ExitReason.TRAP, vpc=trap.vpc,
+                                      fragment=frag,
+                                      body_index=self._jit_pei, trap=trap)
+            else:
+                code = self._code_for(frag, traced)
+                index = 0
+                while True:
+                    try:
+                        outcome = code[index](self, regs, state)
+                    except Trap as trap:
+                        vpc = frag.body[index].vpc
+                        trap.vpc = vpc
+                        if prof is not None:
+                            prof.leave(ExitReason.TRAP.value, stats)
+                        return ExecResult(ExitReason.TRAP, vpc=vpc,
+                                          fragment=frag, body_index=index,
+                                          trap=trap)
+                    if outcome is None:
+                        index += 1
+                        continue
+                    break
+            kind, value = outcome
+            if kind == "goto":
+                frag = value[0]
+                # Fragment transitions restart staleness tracking and are
+                # the only budget checkpoints — see ``run`` for why.
+                self._stale.clear()
+                if verify and not self._integrity_ok(frag):
+                    state.pc = frag.entry_vpc
+                    if prof is not None:
+                        prof.leave(ExitReason.CORRUPT.value, stats)
+                    return ExecResult(ExitReason.CORRUPT,
+                                      vpc=frag.entry_vpc, fragment=frag)
+                if max_instructions is not None and \
+                        stats.source_instructions_executed - start_v >= \
+                        max_instructions:
+                    state.pc = frag.entry_vpc
+                    if prof is not None:
+                        prof.leave(ExitReason.BUDGET.value, stats)
+                    return ExecResult(ExitReason.BUDGET,
+                                      vpc=frag.entry_vpc, fragment=frag)
+                frag.execution_count += 1
+                if prof is not None:
+                    self._transfer_counter.inc()
+                    prof.switch(frag, stats)
             elif kind == "exit":
                 state.pc = value.vpc if value.vpc is not None else state.pc
                 if prof is not None:

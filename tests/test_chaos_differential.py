@@ -72,6 +72,30 @@ def test_faulted_vm_matches_interpreter(name, schedule):
     assert result.vm.injector.total_injected() > 0
 
 
+@pytest.mark.parametrize("name", ("gzip", "vortex", "gcc"))
+@pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+def test_jit_chaos_matches_specialized(name, schedule):
+    """Under identical seeded fault schedules the tier-2 jit engine must
+    be ``VMStats``-bit-identical to the specialized engine: injections
+    strike the same sites in the same order, corruption detection and
+    chaining patches discard generated code without observable skew."""
+    spec, seed = SCHEDULES[schedule]
+    results = {}
+    for engine in ("specialized", "jit"):
+        config = VMConfig(faults=spec, fault_seed=seed,
+                          exec_engine=engine, jit_threshold=2)
+        results[engine] = run_vm(name, config, budget=HALT_BUDGET,
+                                 collect_trace=False)
+    jit, specialized = results["jit"], results["specialized"]
+    assert jit.vm.halted and specialized.vm.halted
+    assert jit.vm.injector.total_injected() > 0
+    assert jit.vm.state.pc == specialized.vm.state.pc
+    assert jit.vm.state.regs == specialized.vm.state.regs, \
+        jit.vm.state.diff(specialized.vm.state)
+    assert jit.vm.console_text() == specialized.vm.console_text()
+    assert vars(jit.stats) == vars(specialized.stats)
+
+
 @pytest.mark.parametrize("name", ("gzip", "crafty", "vortex"))
 def test_capacity_bound_converges(name):
     """A genuinely bounded cache flushes and retranslates its way to the

@@ -66,21 +66,28 @@ def test_other_chaining_policies_match_interpreter(name, policy):
 
 @pytest.mark.parametrize("name", WORKLOAD_NAMES)
 def test_execution_engines_agree(name):
-    """The specialized engine must be bit-identical to the naive one:
-    same architected state, console, committed counts, and every
-    ``VMStats`` counter, on every workload."""
+    """All three execution engines must be bit-identical: same
+    architected state, console, committed counts, and every ``VMStats``
+    counter, on every workload.  The jit engine runs at a low promotion
+    threshold so tier-2 generated code actually executes here."""
     results = {}
-    for engine in ("naive", "specialized"):
-        config = VMConfig(fmt=IFormat.MODIFIED, exec_engine=engine)
+    for engine in ("naive", "specialized", "jit"):
+        config = VMConfig(fmt=IFormat.MODIFIED, exec_engine=engine,
+                          jit_threshold=2)
         results[engine] = run_vm(name, config, budget=HALT_BUDGET,
                                  collect_trace=False)
-    naive, specialized = results["naive"], results["specialized"]
+    naive = results["naive"]
 
-    assert specialized.vm.halted and naive.vm.halted
-    assert specialized.vm.state.pc == naive.vm.state.pc
-    assert specialized.vm.state.regs == naive.vm.state.regs, \
-        specialized.vm.state.diff(naive.vm.state)
-    assert specialized.vm.console_text() == naive.vm.console_text()
-    assert specialized.stats.committed_v_instructions() == \
-        naive.stats.committed_v_instructions()
-    assert vars(specialized.stats) == vars(naive.stats)
+    assert any(f._jit_code is not None
+               for f in results["jit"].vm.tcache.fragments), \
+        "jit engine never promoted a fragment"
+    for engine in ("specialized", "jit"):
+        other = results[engine]
+        assert other.vm.halted and naive.vm.halted
+        assert other.vm.state.pc == naive.vm.state.pc
+        assert other.vm.state.regs == naive.vm.state.regs, \
+            other.vm.state.diff(naive.vm.state)
+        assert other.vm.console_text() == naive.vm.console_text()
+        assert other.stats.committed_v_instructions() == \
+            naive.stats.committed_v_instructions()
+        assert vars(other.stats) == vars(naive.stats)

@@ -190,6 +190,10 @@ class TestCampaign:
                               shrink=True)
         assert not result.ok
         finding = result.findings[0]
-        assert finding.stages == ["cosim"]
+        # tier-1 closures bind the corrupted table entry, so cosim
+        # diverges from the pure interpreter; the jit inlines ``xor``
+        # as a source template, so the engine stage flags the same
+        # mutation as a jit-vs-specialized split
+        assert "cosim" in finding.stages
         assert finding.shrunk_words is not None
         assert any("shrunk" in line for line in result.render_lines())

@@ -1,0 +1,271 @@
+"""Tier-2 JIT engine: promotion, parity, guarded deopt, invalidation.
+
+The heavyweight engine-differential guarantees live in
+``test_cosim_differential.py`` (all workloads, all three engines) and in
+the fuzz corpus replay; these are the unit-level checks for the tier-2
+machinery itself: promotion policy, generated-source introspection,
+trap deoptimisation with precise state, compile-failure degradation,
+and the invalidation paths (chaining patches, corruption recovery) that
+must discard generated code.
+"""
+
+import pytest
+
+import repro.vm.executor as executor_mod
+from repro.asm import assemble
+from repro.ildp_isa.opcodes import IFormat
+from repro.isa.semantics import TrapKind
+from repro.vm import CoDesignedVM, VMConfig, VMTrap
+from tests.conftest import ALL_FORMATS, CALL_KERNEL, FIG2_KERNEL
+from tests.test_traps import FAULTING_LOAD, GENTRAP_KERNEL
+
+
+def _config(engine="jit", fmt=IFormat.MODIFIED, threshold=2, **overrides):
+    return VMConfig(fmt=fmt, exec_engine=engine, jit_threshold=threshold,
+                    collect_trace=overrides.pop("collect_trace", False),
+                    **overrides)
+
+
+def _run(source, config, budget=1_000_000):
+    vm = CoDesignedVM(assemble(source), config)
+    vm.run(max_v_instructions=budget)
+    return vm
+
+
+def _run_trap(source, config, budget=1_000_000):
+    vm = CoDesignedVM(assemble(source), config)
+    with pytest.raises(VMTrap) as excinfo:
+        vm.run(max_v_instructions=budget)
+    return excinfo.value, vm
+
+
+def _promoted(vm):
+    return [f for f in vm.tcache.fragments if f._jit_code is not None]
+
+
+class TestPromotion:
+    def test_hot_fragments_promote(self):
+        vm = _run(FIG2_KERNEL, _config(threshold=2))
+        assert vm.halted
+        promoted = _promoted(vm)
+        assert promoted, "no fragment reached tier 2"
+        for fragment in promoted:
+            assert fragment._jit_key is not None
+            assert fragment._jit_code._jit_lines > 0
+
+    def test_cold_fragments_stay_tier1(self):
+        vm = _run(FIG2_KERNEL, _config(threshold=10**9))
+        assert vm.halted
+        assert not _promoted(vm)
+
+    @pytest.mark.parametrize("engine", ("naive", "specialized"))
+    def test_other_engines_never_promote(self, engine):
+        vm = _run(FIG2_KERNEL, _config(engine=engine, threshold=1))
+        assert vm.halted
+        assert not _promoted(vm)
+
+    def test_generated_source_is_introspectable(self):
+        vm = _run(FIG2_KERNEL, _config(threshold=2))
+        source = _promoted(vm)[0]._jit_code._jit_source
+        assert source.startswith("def _jit_f")
+        # batched statistics: one compile-time-constant flush, not
+        # per-instruction increments
+        assert "_stats.iinstructions_executed +=" in source
+        # every fragment ends in an explicit outcome
+        assert "return" in source
+
+    def test_compile_failure_degrades_to_tier1(self, monkeypatch):
+        def broken(_ex, fragment):
+            raise RuntimeError(f"no codegen for f{fragment.fid}")
+
+        monkeypatch.setattr(executor_mod, "_compile_fragment_jit", broken)
+        vm = _run(FIG2_KERNEL, _config(threshold=2))
+        reference = _run(FIG2_KERNEL, _config(engine="specialized"))
+        assert vm.halted
+        assert not _promoted(vm)
+        assert any(f._jit_failed for f in vm.tcache.fragments), \
+            "compile failure did not pin any fragment"
+        assert vm.state.regs == reference.state.regs
+        assert vars(vm.stats) == vars(reference.stats)
+
+
+class TestParity:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @pytest.mark.parametrize("source", (FIG2_KERNEL, CALL_KERNEL),
+                             ids=("fig2", "call"))
+    def test_kernels_match_naive(self, source, fmt):
+        jit = _run(source, _config(fmt=fmt, threshold=1))
+        naive = _run(source, _config(engine="naive", fmt=fmt))
+        assert jit.halted and naive.halted
+        assert _promoted(jit), "tier-2 code never ran"
+        assert jit.state.pc == naive.state.pc
+        assert jit.state.regs == naive.state.regs, \
+            jit.state.diff(naive.state)
+        assert jit.console_text() == naive.console_text()
+        assert vars(jit.stats) == vars(naive.stats)
+
+    def test_budget_behaviour_is_identical(self):
+        jit = _run(FIG2_KERNEL, _config(threshold=1), budget=800)
+        naive = _run(FIG2_KERNEL, _config(engine="naive"), budget=800)
+        assert not jit.halted and not naive.halted
+        assert jit.state.pc == naive.state.pc
+        assert jit.state.regs == naive.state.regs
+        assert vars(jit.stats) == vars(naive.stats)
+
+    def test_traced_visits_bypass_tier2(self):
+        """Trace-collecting runs must take the tier-1 trace-on closures:
+        the committed trace stays byte-identical to the naive engine and
+        no generated code is ever consulted."""
+        jit = _run(CALL_KERNEL, _config(threshold=1, collect_trace=True))
+        naive = _run(CALL_KERNEL, _config(engine="naive",
+                                          collect_trace=True))
+        assert not _promoted(jit)
+        assert len(jit.trace) == len(naive.trace)
+        for ours, reference in zip(jit.trace, naive.trace):
+            assert {s: getattr(ours, s) for s in ours.__slots__} == \
+                {s: getattr(reference, s) for s in reference.__slots__}
+
+
+class TestTrapDeopt:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_faulting_load_matches_naive(self, fmt):
+        jit_trap, jit_vm = _run_trap(FAULTING_LOAD,
+                                     _config(fmt=fmt, threshold=1))
+        ref_trap, ref_vm = _run_trap(FAULTING_LOAD,
+                                     _config(engine="naive", fmt=fmt))
+        assert _promoted(jit_vm), "trap never reached tier-2 code"
+        assert jit_trap.trap.kind is TrapKind.ACCESS_VIOLATION
+        assert jit_trap.trap.kind is ref_trap.trap.kind
+        assert jit_trap.trap.vpc == ref_trap.trap.vpc
+        assert jit_trap.state.pc == ref_trap.state.pc
+        assert jit_trap.state.regs == ref_trap.state.regs, \
+            jit_trap.state.diff(ref_trap.state)
+        assert vars(jit_vm.stats) == vars(ref_vm.stats)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_gentrap_matches_naive(self, fmt):
+        jit_trap, jit_vm = _run_trap(GENTRAP_KERNEL,
+                                     _config(fmt=fmt, threshold=1))
+        ref_trap, ref_vm = _run_trap(GENTRAP_KERNEL,
+                                     _config(engine="naive", fmt=fmt))
+        assert jit_trap.trap.kind is TrapKind.GENTRAP
+        assert jit_trap.trap.vpc == ref_trap.trap.vpc
+        assert jit_trap.state.pc == ref_trap.state.pc
+        assert jit_trap.state.regs == ref_trap.state.regs
+        assert vars(jit_vm.stats) == vars(ref_vm.stats)
+
+    def test_deopts_are_counted(self):
+        _trap, vm = _run_trap(FAULTING_LOAD,
+                              _config(threshold=1, telemetry=True))
+        counters = vm.telemetry.summary()["counters"]
+        assert counters["jit.promotions"] >= 1
+        assert counters["jit.deopts"] >= 1
+
+
+#: Two alternating hot loops under one outer loop.  The ``warm`` loop
+#: promotes to tier 2 while its fall-through exit still points at the
+#: untranslated ``cold`` region; when ``cold`` finally translates, the
+#: chaining patch rewrites the *promoted* fragment — and the outer loop
+#: then drives it hot again.
+LATE_CHAIN_KERNEL = """
+        .text
+_start: clr  r14
+        clr  r13
+        li   r12, 3
+outer:  li   r15, 40
+warm:   addq r14, 1, r14
+        subq r15, 1, r15
+        bne  r15, warm
+        li   r15, 40
+cold:   addq r13, 2, r13
+        subq r15, 1, r15
+        bne  r15, cold
+        subq r12, 1, r12
+        bne  r12, outer
+        and  r14, 0x7f, r16
+        call_pal putc
+        call_pal halt
+"""
+
+
+class TestInvalidation:
+    """Chaining patches and corruption recovery must discard tier-2 code
+    exactly like the tier-1 closures (the satellite regression)."""
+
+    def test_chaining_patch_discards_then_recompiles(self):
+        """A fragment promoted before its exit is patched must be
+        recompiled against the patched body: the event stream shows
+        promote -> chain -> promote again for the same fragment."""
+        config = VMConfig(threshold=2, exec_engine="jit", jit_threshold=1,
+                          telemetry=True)
+        vm = _run(LATE_CHAIN_KERNEL, config)
+        assert vm.halted
+        assert vm.tcache.patches_applied > 0
+        promoted = set()
+        patched_after_promotion = set()
+        repromoted = set()
+        for event in vm.telemetry.events:
+            if event.kind == "jit_promoted":
+                fid = event.data["fid"]
+                if fid in patched_after_promotion:
+                    repromoted.add(fid)
+                promoted.add(fid)
+            elif event.kind == "fragment_chained":
+                fid = event.data["fid"]
+                if fid in promoted:
+                    patched_after_promotion.add(fid)
+        assert patched_after_promotion, \
+            "no promoted fragment was ever patched"
+        assert repromoted, \
+            "patched fragments were never recompiled to tier 2"
+        # and the generated code still computes the right answer
+        reference = _run(LATE_CHAIN_KERNEL, _config(engine="naive"))
+        assert vm.state.regs == reference.state.regs
+        assert vm.console_text() == reference.console_text()
+
+    def test_patch_drops_generated_code_immediately(self):
+        vm = _run(CALL_KERNEL, _config(threshold=1))
+        fragment = _promoted(vm)[0]
+        old_code = fragment._jit_code
+        vm.tcache._invalidate(fragment)
+        assert fragment._jit_code is None
+        assert fragment._jit_failed is False
+        assert fragment._compiled == [None, None]
+        # the next hot visit recompiles against the (patched) body
+        new_code = vm.executor._jit_for(fragment)
+        assert new_code is not None
+        assert new_code is not old_code
+        assert fragment._jit_code is new_code
+
+    def test_corrupt_path_drops_generated_code(self):
+        vm = _run(FIG2_KERNEL, _config(threshold=2))
+        fragment = _promoted(vm)[0]
+        vm.tcache._corrupt(fragment)
+        assert fragment._jit_code is None
+
+    def test_compile_failure_pin_cleared_by_invalidate(self):
+        vm = _run(FIG2_KERNEL, _config(threshold=2))
+        fragment = _promoted(vm)[0]
+        fragment._jit_failed = True
+        fragment.invalidate_compiled()
+        assert fragment._jit_failed is False
+        assert fragment._jit_code is None
+
+
+class TestTelemetry:
+    def test_jit_metrics_recorded(self):
+        vm = _run(FIG2_KERNEL, _config(threshold=2, telemetry=True))
+        summary = vm.telemetry.summary()
+        promotions = summary["counters"]["jit.promotions"]
+        assert promotions >= 1
+        assert summary["counters"]["jit.compile_failures"] == 0
+        histogram = summary["histograms"]["jit.code_lines"]
+        assert histogram["total"] == promotions
+        assert summary["events"]["by_kind"]["jit_promoted"] == promotions
+        host = vm.telemetry.host_summary()
+        assert host["timers"]["jit.compile"]["count"] == promotions
+
+    def test_telemetry_is_noop_on_stats(self):
+        plain = _run(FIG2_KERNEL, _config(threshold=2))
+        observed = _run(FIG2_KERNEL, _config(threshold=2, telemetry=True))
+        assert vars(plain.stats) == vars(observed.stats)
