@@ -1,0 +1,149 @@
+"""Warm-start benchmark — cold vs store-restored translation time.
+
+For every workload in the full twelve-workload suite, measures the
+wall-clock seconds the translator spends **producing** fragment bodies
+— the pipeline stages the fragment store replaces: strand decompose,
+usage analysis, accumulator allocation and code generation
+(``phase.translate.*`` except ``chaining``) — on a cold boot, against a
+warm boot answering every translation from a persisted store
+(``persist.load`` + ``persist.restore``, plus any residual cold-phase
+time for records the store fails to answer; zero when the store is
+complete).  The ``chaining`` phase (``TranslationCache.add``: layout,
+patch application) is deliberately *excluded from both sides*: a
+restored fragment is installed through the identical add path — that is
+what makes warm ``VMStats`` bit-identical to cold — so install time is
+a constant both modes pay, not a cost the store can touch.
+
+Each measurement is the best of ``REPS`` boots after a warm-up pass;
+the store is seeded once per workload in a throwaway directory.  The
+record lands in ``BENCH_warmstart.json`` (``REPRO_BENCH_OUTPUT``
+redirects it, as in ``make bench-gate``), with a ``store`` context
+block describing what was persisted — record counts and store bytes
+guard comparability, they are not gated metrics (see
+``CONTEXT_BLOCKS`` in :mod:`repro.obs.regress`).  The aggregate-speedup
+floor only asserts at the full default budget.
+"""
+
+import json
+import os
+import pathlib
+
+from benchmarks.conftest import BENCH_BUDGET, machine_metadata
+from repro.harness.runner import run_vm
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+REPS = 3
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_warmstart.json"
+#: In-run floor on the aggregate cold/warm translation-time ratio.  The
+#: committed record runs well above this (the issue's acceptance bar is
+#: 5x aggregate); the looser in-run floor keeps CI jitter from flaking
+#: the suite while ``repro bench-compare`` against the committed record
+#: still gates the recorded speedup within its 5% tolerance.
+MIN_AGGREGATE_SPEEDUP = 3.0
+
+
+def _budget():
+    return int(os.environ.get("REPRO_BENCH_BUDGET", BENCH_BUDGET))
+
+
+def _output_path():
+    override = os.environ.get("REPRO_BENCH_OUTPUT")
+    return pathlib.Path(override) if override else OUTPUT
+
+
+def _translate_seconds(result):
+    """Fragment-production wall seconds (see the module docstring):
+    every translation phase except the shared install (``chaining``),
+    plus the persistence-side load/restore time on warm boots."""
+    timers = result.vm.telemetry.host_summary()["timers"]
+    return sum(entry["seconds"] for name, entry in timers.items()
+               if (name.startswith("phase.translate.")
+                   and name != "phase.translate.chaining")
+               or name.startswith("persist."))
+
+
+def _boot(workload, budget, store=None, mode="load"):
+    config = VMConfig(telemetry=True) if store is None else VMConfig(
+        telemetry=True, persist_path=str(store), persist_mode=mode)
+    return run_vm(workload, config, budget=budget, collect_trace=False)
+
+
+def _best(workload, budget, store=None):
+    best = None
+    stats = None
+    for _ in range(REPS):
+        result = _boot(workload, budget, store)
+        seconds = _translate_seconds(result)
+        if best is None or seconds < best:
+            best = seconds
+            stats = result.vm.telemetry.host_summary().get("persist")
+    return best, stats
+
+
+def test_warm_start_translation_speedup(tmp_path_factory, monkeypatch):
+    # ambient persist settings must not leak into the cold boots
+    monkeypatch.delenv("REPRO_PERSIST_DIR", raising=False)
+    monkeypatch.delenv("REPRO_PERSIST_MODE", raising=False)
+    budget = _budget()
+    store = tmp_path_factory.mktemp("warmstart-store")
+
+    rows = []
+    cold_total = warm_total = 0.0
+    store_records = 0
+    for workload in WORKLOAD_NAMES:
+        seeded = _boot(workload, budget, store, mode="save")
+        persisted = seeded.vm.telemetry.host_summary()["persist"]
+        store_records += persisted["records_saved"]
+        _boot(workload, budget)                 # warm-up (decode caches)
+        cold, _ = _best(workload, budget)
+        warm, stats = _best(workload, budget, store)
+        assert stats["warm_misses"] == 0, (
+            f"{workload}: {stats['warm_misses']} translations missed the "
+            f"store the seeding run just wrote")
+        cold_total += cold
+        warm_total += warm
+        rows.append({
+            "workload": workload,
+            "cold_translate_seconds": round(cold, 5),
+            "warm_translate_seconds": round(warm, 5),
+            "speedup": round(cold / warm, 2),
+            "warm_hits": stats["warm_hits"],
+            "fragments": seeded.stats.fragments_created,
+        })
+
+    store_bytes = sum(
+        os.path.getsize(os.path.join(dirpath, name))
+        for dirpath, _dirnames, filenames in os.walk(store)
+        for name in filenames)
+    aggregate = cold_total / warm_total
+    record = {
+        "benchmark": "warm_start",
+        "workloads": list(WORKLOAD_NAMES),
+        "budget": budget,
+        "reps": REPS,
+        "rows": rows,
+        "cold_total_seconds": round(cold_total, 5),
+        "warm_total_seconds": round(warm_total, 5),
+        "aggregate_speedup": round(aggregate, 2),
+        "store": {"records": store_records, "bytes": store_bytes},
+        "machine": machine_metadata(),
+    }
+    output = _output_path()
+    output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    for row in rows:
+        print(f"{row['workload']:8s} cold "
+              f"{row['cold_translate_seconds'] * 1000:7.2f}ms, warm "
+              f"{row['warm_translate_seconds'] * 1000:7.2f}ms "
+              f"({row['speedup']:.2f}x, {row['warm_hits']} hits)")
+    print(f"aggregate warm-start speedup: {aggregate:.2f}x "
+          f"({store_records} records, {store_bytes} store bytes) "
+          f"-> {output.name}")
+
+    if budget >= BENCH_BUDGET:
+        assert aggregate >= MIN_AGGREGATE_SPEEDUP, (
+            f"warm start only {aggregate:.2f}x faster than cold "
+            f"translation (need >= {MIN_AGGREGATE_SPEEDUP}x)")

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Smoke-test `repro serve` end to end: batching, dedup, warm restart.
+
+Starts a real `repro serve` subprocess against a throwaway fragment
+store, drives three workloads through the client (one duplicated, so
+the duplicate must join the in-flight run — proven by the server's
+``dedup_joined`` counter), shuts the server down, restarts it on the
+same store, reruns the workloads and checks the warm-start hit counters
+are nonzero.  The result cache is disabled throughout: a cache hit
+would answer requests without booting a VM, hiding exactly the
+warm-start path this smoke exists to exercise.  Exits non-zero on any
+violation.
+
+Usage: PYTHONPATH=src python scripts/smoke_serve.py [workloads...]
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve.client import ServeError, request, run_many
+
+BUDGET = 20_000
+#: Generous batching window so concurrently issued requests reliably
+#: land in one batch (the dedup proof must not depend on a tight race).
+BATCH_WINDOW = 0.2
+
+
+def start_server(socket_path, store_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--no-cache", "--persist-dir", store_dir,
+         "--batch-window", str(BATCH_WINDOW)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    # readiness: the server prints "serving on <socket>" once bound
+    line = process.stdout.readline()
+    if "serving on" not in line:
+        process.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return process
+
+
+def stop_server(socket_path, process):
+    try:
+        request(socket_path, {"op": "shutdown"}, timeout=30)
+    except ServeError:
+        process.kill()
+    process.wait(timeout=30)
+
+
+def drive(socket_path, workloads):
+    """Run ``workloads`` concurrently; returns the server's stats."""
+    payloads = [{"op": "run", "workload": name, "budget": BUDGET}
+                for name in workloads]
+    responses = run_many(socket_path, payloads, timeout=300)
+    for name, response in zip(workloads, responses):
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"run {name} failed: {response.get('error')}")
+    return request(socket_path, {"op": "stats"}, timeout=30)
+
+
+def main(argv):
+    workloads = list(argv[1:]) or ["gzip", "mcf", "crafty"]
+    # one duplicate proves in-flight dedup via the server counters
+    requests = workloads + [workloads[0]]
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-serve-") as root:
+        socket_path = os.path.join(root, "serve.sock")
+        store_dir = os.path.join(root, "store")
+
+        started = time.perf_counter()
+        server = start_server(socket_path, store_dir)
+        try:
+            cold = drive(socket_path, requests)
+        finally:
+            stop_server(socket_path, server)
+        counts = cold["requests"]
+        print(f"cold: {counts.get('runs_completed', 0)} runs, "
+              f"{counts.get('dedup_joined', 0)} dedup joins, "
+              f"{counts.get('batches', 0)} batches, "
+              f"persist {cold['persist']}")
+        if counts.get("dedup_joined", 0) < 1:
+            failures.append("duplicated request was not deduplicated "
+                            f"(dedup_joined={counts.get('dedup_joined')})")
+        if cold["report"]["executed"] != len(workloads):
+            failures.append(
+                f"cold server executed {cold['report']['executed']} "
+                f"points, expected {len(workloads)}")
+        if cold["persist"].get("records_saved", 0) < 1:
+            failures.append("cold server persisted no fragment records")
+
+        server = start_server(socket_path, store_dir)
+        try:
+            warm = drive(socket_path, requests)
+        finally:
+            stop_server(socket_path, server)
+        print(f"warm: {warm['requests'].get('runs_completed', 0)} runs, "
+              f"persist {warm['persist']}")
+        if warm["persist"].get("warm_hits", 0) < 1:
+            failures.append("restarted server reported zero warm-start "
+                            "hits")
+        if warm["persist"].get("warm_misses", 0) != 0:
+            failures.append(
+                f"restarted server missed "
+                f"{warm['persist']['warm_misses']} translations the "
+                f"store should have answered")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"ok: serve smoke passed in "
+          f"{time.perf_counter() - started:.1f}s "
+          f"({warm['persist']['warm_hits']} warm hits on restart)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,7 +20,12 @@ Sites (see ``docs/robustness.md`` for the degradation path each drives):
     a freshly installed fragment's body is silently corrupted (detected
     by the entry checksum when verification is on);
 ``worker_crash`` / ``worker_timeout``
-    a harness pool worker dies / stalls before returning its chunk.
+    a harness pool worker dies / stalls before returning its chunk;
+``persist_load``
+    a fragment-store load fails wholesale (the VM starts cold);
+``persist_corrupt``
+    individual fragment-store records are dropped at load time as if
+    their CRCs had failed.
 
 Selector keys (all optional; a bare site faults on every occurrence):
 
@@ -46,6 +51,8 @@ class FaultSite:
     CORRUPT = "corrupt"
     WORKER_CRASH = "worker_crash"
     WORKER_TIMEOUT = "worker_timeout"
+    PERSIST_LOAD = "persist_load"
+    PERSIST_CORRUPT = "persist_corrupt"
 
 
 #: Every site a spec may name — parsing rejects anything else.

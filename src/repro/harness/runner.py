@@ -41,7 +41,16 @@ def run_vm(workload_name, config=None, scale=None, budget=DEFAULT_BUDGET,
     harness forces it on so run summaries carry telemetry blocks; the
     CLI leaves the config's setting alone).  ``trace`` does the same for
     span tracing (``repro trace`` / ``--trace-out`` force it on).
+
+    When the config carries no explicit ``persist_path``, the
+    ``REPRO_PERSIST_DIR``/``REPRO_PERSIST_MODE`` environment overlay
+    supplies one — how ``repro serve`` hands the shared fragment store
+    to pool workers, which rebuild configs from ``key_fields`` (persist
+    settings are deliberately not key fields).  Fresh translations are
+    saved back to the store when the run ends, even on a trap.
     """
+    import os
+
     workload = get_workload(workload_name)
     config = config if config is not None else VMConfig()
     overrides = {"collect_trace": collect_trace}
@@ -49,9 +58,21 @@ def run_vm(workload_name, config=None, scale=None, budget=DEFAULT_BUDGET,
         overrides["telemetry"] = telemetry
     if trace is not None:
         overrides["trace"] = trace
+    if config.persist_path is None:
+        from repro.persist.store import ENV_PERSIST_DIR, ENV_PERSIST_MODE
+
+        env_dir = os.environ.get(ENV_PERSIST_DIR)
+        if env_dir:
+            overrides["persist_path"] = env_dir
+            env_mode = os.environ.get(ENV_PERSIST_MODE)
+            if env_mode:
+                overrides["persist_mode"] = env_mode
     config = config.copy(**overrides)
     vm = CoDesignedVM(workload.program(scale), config)
-    vm.run(max_v_instructions=budget)
+    try:
+        vm.run(max_v_instructions=budget)
+    finally:
+        vm.persist_save()
     return RunResult(workload_name, config, vm)
 
 

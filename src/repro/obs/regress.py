@@ -41,6 +41,13 @@ TIME_SLACK_SECONDS = 0.005
 CONTEXT_KEYS = ("benchmark", "experiment", "workloads", "budget", "reps",
                 "run_points", "scale")
 
+#: Top-level *blocks* (nested dicts) that likewise carry context, not
+#: metrics: the machine-identity block every record embeds, and the
+#: fragment-store description ``BENCH_warmstart.json`` records (record
+#: counts and store bytes are properties of what was persisted, not of
+#: how fast the run went).
+CONTEXT_BLOCKS = ("machine", "store")
+
 
 def machine_metadata():
     """The host identity embedded in benchmark output files.
@@ -86,15 +93,16 @@ def _is_number(value):
 def flatten_metrics(doc):
     """Flatten a benchmark record into ``{dotted.name: number}``.
 
-    Top-level context fields (:data:`CONTEXT_KEYS`) and the ``machine``
-    block are excluded — they guard comparability, they are not
-    metrics.  Lists of per-workload row dicts key by the row's
-    ``workload`` (``rows.gzip.speedup``); other lists key by index.
-    Non-numeric leaves are ignored.
+    Top-level context fields (:data:`CONTEXT_KEYS`) and context blocks
+    (:data:`CONTEXT_BLOCKS` — ``machine``, ``store``) are excluded —
+    they guard comparability, they are not metrics.  Lists of
+    per-workload row dicts key by the row's ``workload``
+    (``rows.gzip.speedup``); other lists key by index.  Non-numeric
+    leaves are ignored.
     """
     metrics = {}
     for key, value in doc.items():
-        if key in CONTEXT_KEYS or key == "machine":
+        if key in CONTEXT_KEYS or key in CONTEXT_BLOCKS:
             continue
         _flatten_into(metrics, key, value)
     return metrics

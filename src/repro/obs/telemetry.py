@@ -41,6 +41,12 @@ class Telemetry:
 
     enabled = True
 
+    #: Set by a :class:`~repro.persist.session.PersistSession` when the
+    #: VM persists translations.  Warm-start activity depends on what
+    #: happens to be on disk, so it exports through ``host_summary``
+    #: only — never the deterministic ``summary``.
+    persist_stats = None
+
     def __init__(self, event_capacity=DEFAULT_CAPACITY):
         self.registry = MetricsRegistry()
         self.events = EventStream(event_capacity)
@@ -90,10 +96,13 @@ class Telemetry:
 
     def host_summary(self):
         """Process-local wall-clock measurements (outside determinism)."""
-        return {
+        summary = {
             "timers": self.registry.to_dict()["timers"],
             "decode_misses": self.decode_misses,
         }
+        if self.persist_stats is not None:
+            summary["persist"] = self.persist_stats.to_dict()
+        return summary
 
     def __repr__(self):
         return (f"Telemetry({self.events.emitted} events, "

@@ -1,0 +1,38 @@
+"""Persistent translation cache: serialize fragments across processes.
+
+The subsystem has three layers (see ``docs/serving.md``):
+
+* :mod:`repro.persist.codec` — turn a translated fragment (pre-install
+  codegen output) into a JSON record keyed by its superblock's path
+  digest, and rebuild a bit-identical fragment from such a record when
+  the translation-cache chain context matches;
+* :mod:`repro.persist.store` — the versioned on-disk fragment store
+  (CRC-per-record, header versioning, corrupt-entry quarantine) plus
+  :class:`~repro.persist.store.PersistStats`, following the ResultCache
+  patterns;
+* :mod:`repro.persist.session` — the per-VM glue: a
+  :class:`~repro.persist.session.TranslationMemo` the translator
+  consults before running the cold pipeline, loaded from / saved to the
+  store around each run ("AOT warm-start").
+"""
+
+from repro.persist.session import PersistSession, TranslationMemo
+from repro.persist.store import (
+    ENV_PERSIST_DIR,
+    ENV_PERSIST_MODE,
+    FragmentStore,
+    PersistStats,
+    program_digest,
+    store_key,
+)
+
+__all__ = [
+    "ENV_PERSIST_DIR",
+    "ENV_PERSIST_MODE",
+    "FragmentStore",
+    "PersistSession",
+    "PersistStats",
+    "TranslationMemo",
+    "program_digest",
+    "store_key",
+]

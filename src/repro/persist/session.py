@@ -1,0 +1,203 @@
+"""Per-VM persistence glue: the translation memo and its store session.
+
+:class:`TranslationMemo` is what the translator actually consults — a
+digest-keyed map of persisted records.  The warm-start path is a
+*translation memo*, not a boot-time preload: superblock capture runs
+exactly as on a cold start, and only when the translator is about to run
+the cold pipeline for a captured superblock does the memo offer a
+persisted record.  A restored fragment is installed through the normal
+``TranslationCache.add`` path (layout, checksums, chaining patches), and
+the record's cost charges are replayed, so a warm run's ``VMStats`` are
+bit-identical to the cold run's — the property
+``tests/test_warm_differential.py`` pins across every workload.
+
+:class:`PersistSession` owns one VM's store interaction: compute the
+store key from the pristine program image and the config's semantic
+fields at boot, load the store into the memo (``persist_mode`` of
+``load``/``both``), and save the memo's freshly committed records after
+the run (``save``/``both``).  Every failure along the way is a counted
+clean miss — a VM with a corrupt, stale or unreadable store behaves
+exactly like a cold VM, plus nonzero ``persist.*`` counters.
+"""
+
+import os
+
+from repro.faults.inject import FaultInjector, NULL_INJECTOR
+from repro.faults.plan import FaultPlan, FaultSite
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.persist.codec import (
+    RestoreMismatch,
+    UsageCounts,
+    encode_record,
+    restore_fragment,
+    superblock_digest,
+)
+from repro.persist.store import (
+    ENV_PERSIST_FAULT_SEED,
+    ENV_PERSIST_FAULTS,
+    FragmentStore,
+    PersistStats,
+    program_digest,
+    record_crc,
+    store_key,
+)
+from repro.translator.pipeline import TranslationResult
+
+#: The injection sites owned by this subsystem.
+PERSIST_SITES = frozenset((FaultSite.PERSIST_LOAD,
+                           FaultSite.PERSIST_CORRUPT))
+
+
+class TranslationMemo:
+    """Digest-keyed persisted translations, consulted by the translator."""
+
+    def __init__(self, stats=None, capture=True, lookup=True):
+        self.stats = stats if stats is not None else PersistStats()
+        #: encode-and-commit freshly translated fragments for saving
+        self.capture = capture
+        #: offer persisted records to the translator
+        self.lookup = lookup
+        self._preloaded = {}       # digest -> [record, ...]
+        self._fresh = []           # committed this run, in commit order
+        self._committed = set()    # their CRCs, for in-run dedup
+
+    def preload(self, by_digest):
+        """Adopt a store's ``{digest: [records]}`` map (copied: store
+        loads may be shared through the process-level read cache)."""
+        for digest, records in by_digest.items():
+            self._preloaded.setdefault(digest, []).extend(records)
+
+    def try_restore(self, translator, superblock):
+        """Restore a persisted translation of ``superblock``, or None.
+
+        On a hit the fragment is installed through the translator's
+        normal cache-add path and the recorded cost charges are
+        replayed, so the returned :class:`TranslationResult` leaves VM
+        statistics exactly as a cold translation would have.  Any
+        mismatch with the live chain context (or a malformed record) is
+        a counted miss — the caller falls through to the cold pipeline.
+        """
+        if not self.lookup:
+            return None
+        candidates = self._preloaded.get(superblock_digest(superblock))
+        if not candidates:
+            self.stats.warm_misses += 1
+            return None
+        tcache = translator.tcache
+        fragment = record = None
+        with translator.telemetry.registry.timer("persist.restore").time():
+            for candidate in candidates:
+                try:
+                    fragment = restore_fragment(
+                        candidate, superblock, tcache, translator.fmt,
+                        translator.n_accumulators)
+                except RestoreMismatch:
+                    self.stats.chain_mismatches += 1
+                    continue
+                except (KeyError, ValueError, TypeError, IndexError):
+                    # a record that passed its CRC but does not decode —
+                    # a generator bug, not a reason to fail the run
+                    self.stats.corrupt_records += 1
+                    continue
+                record = candidate
+                break
+        if fragment is None:
+            self.stats.warm_misses += 1
+            return None
+        cost = translator.cost
+        for phase, units in record["charges"]:
+            cost.charge(phase, units)
+        cost.note_fragment(fragment.source_instr_count)
+        with translator._phase("chaining"):
+            tcache.add(fragment)       # TCacheFull propagates, as cold
+        self.stats.warm_hits += 1
+        usage = record["usage"]
+        return TranslationResult(
+            fragment, None,
+            usage=None if usage is None else UsageCounts(usage))
+
+    def encode(self, superblock, fragment, usage, charges, tcache):
+        """Serialise a cold translation for later commit (pre-install)."""
+        if not self.capture:
+            return None
+        return encode_record(superblock, fragment, usage, charges, tcache)
+
+    def commit(self, record):
+        """Adopt a record whose fragment was successfully installed."""
+        if record is None:
+            return
+        crc = record_crc(record)
+        if crc not in self._committed:
+            self._committed.add(crc)
+            self._fresh.append(record)
+
+    def records(self):
+        """The records committed this run, in commit order."""
+        return list(self._fresh)
+
+    def __repr__(self):
+        return (f"TranslationMemo({len(self._preloaded)} digests "
+                f"preloaded, {len(self._fresh)} fresh)")
+
+
+class PersistSession:
+    """One VM's fragment-store lifecycle (load at boot, save after run)."""
+
+    def __init__(self, program, config, telemetry=None, injector=None):
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self.stats = PersistStats()
+        self.mode = config.persist_mode
+        self.injector = self._choose_injector(config, injector)
+        if self.telemetry.enabled:
+            self.telemetry.persist_stats = self.stats
+        self.code_sha256 = program_digest(program)
+        self.config_fields = config.key_fields()
+        self.key = store_key(self.code_sha256, config)
+        self.store = FragmentStore(str(config.persist_path),
+                                   stats=self.stats,
+                                   injector=self.injector)
+        load = self.mode in ("load", "both")
+        save = self.mode in ("save", "both")
+        self.memo = TranslationMemo(self.stats, capture=save, lookup=load)
+        if load:
+            with self.telemetry.registry.timer("persist.load").time():
+                self.memo.preload(self.store.load(
+                    self.key, self.code_sha256, self.config_fields))
+
+    @staticmethod
+    def _choose_injector(config, vm_injector):
+        """Pick the fault injector consulted at the persist sites.
+
+        A ``VMConfig.faults`` plan naming a persist site shares the VM's
+        injector (one schedule across all sites — chaos runs are already
+        excluded from result caching).  Otherwise the
+        ``REPRO_PERSIST_FAULTS`` environment overlay builds a *private*
+        injector with null telemetry, so externally injected store
+        faults never leak events into deterministic run summaries.
+        """
+        if vm_injector is not None and vm_injector.enabled and \
+                vm_injector.plan.sites() & PERSIST_SITES:
+            return vm_injector
+        spec = os.environ.get(ENV_PERSIST_FAULTS)
+        if spec:
+            seed = int(os.environ.get(ENV_PERSIST_FAULT_SEED, "0"), 0)
+            return FaultInjector(FaultPlan.parse(spec, seed=seed))
+        return NULL_INJECTOR
+
+    def save(self):
+        """Write this run's fresh records back to the store (idempotent,
+        best-effort: failures are counted, never raised)."""
+        if self.mode not in ("save", "both"):
+            return None
+        records = self.memo.records()
+        if not records:
+            return None
+        with self.telemetry.registry.timer("persist.save").time():
+            return self.store.save(self.key, records, self.code_sha256,
+                                   self.config_fields)
+
+    def __repr__(self):
+        return (f"PersistSession(key={self.key[:12]}..., "
+                f"mode={self.mode!r})")

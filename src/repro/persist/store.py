@@ -1,0 +1,312 @@
+"""The versioned on-disk fragment store.
+
+One store file holds every persisted translation record for one
+``(guest image, semantic VMConfig)`` pair, keyed by :func:`store_key` —
+the SHA-256 of the pristine program image hash plus
+``VMConfig.key_fields()``.  Files live under a two-level fan-out
+(``<root>/<key[:2]>/<key>.jsonl``) like the ResultCache.
+
+File format (JSON lines)::
+
+    {"format": "repro-fragment-store-v1", "schema": S, "generator": G,
+     "code_sha256": ..., "config": {...}}          # header
+    {"crc": <crc32>, "record": {...}}              # one per record
+
+Versions live in the *header*, not the filename, so version skew is
+detected at load time and reads as a clean miss (``stale_stores``
+counter) — never an exception.  Each record carries a CRC32 of its
+canonical JSON; a record that fails to parse or verify is skipped and
+counted (``corrupt_records``), and a file whose header is unreadable is
+renamed to ``<name>.quarantined`` so a damaged store cannot be
+re-probed forever.  Saves are atomic (temp file + ``os.replace``) and
+merge with the existing file's valid records, so concurrent VMs sharing
+one store directory at worst overwrite each other with supersets.
+
+Two fault-injection sites cover the subsystem (``docs/robustness.md``):
+``persist_load`` fails a whole store load, ``persist_corrupt`` drops
+individual records as if their CRCs failed.
+"""
+
+import hashlib
+import os
+import tempfile
+import zlib
+from json import JSONDecodeError, loads
+
+from repro.faults.inject import NULL_INJECTOR
+from repro.faults.plan import FaultSite
+from repro.persist.codec import canonical_json
+
+#: Bump when the store file layout changes shape.
+STORE_SCHEMA_VERSION = 1
+#: Bump when the record *contents* change meaning — any codec or
+#: translator change that alters what a persisted fragment replays to.
+PERSIST_GENERATOR_VERSION = 1
+
+STORE_FORMAT = "repro-fragment-store-v1"
+
+#: Environment overlay picked up by ``run_vm`` when the config carries no
+#: explicit ``persist_path`` — how ``repro serve`` hands the store to
+#: pool workers that reconstruct configs from ``key_fields``.
+ENV_PERSIST_DIR = "REPRO_PERSIST_DIR"
+ENV_PERSIST_MODE = "REPRO_PERSIST_MODE"
+#: Private persist-only fault plan (spec string / seed), consulted even
+#: when ``VMConfig.faults`` is unset — lets ``repro serve`` chaos-test
+#: store loads without polluting deterministic run telemetry.
+ENV_PERSIST_FAULTS = "REPRO_PERSIST_FAULTS"
+ENV_PERSIST_FAULT_SEED = "REPRO_PERSIST_FAULT_SEED"
+
+#: Process-level store read cache: (path, mtime_ns, size) -> digest map.
+#: A long-lived server boots many VMs against the same store file; the
+#: cache skips re-parsing when the file is unchanged.  Bypassed whenever
+#: a fault injector is active so injected schedules stay deterministic.
+_LOAD_CACHE = {}
+_LOAD_CACHE_LIMIT = 8
+
+
+def program_digest(program):
+    """Content hash (hex SHA-256) of a pristine guest program image."""
+    sha = hashlib.sha256()
+    sha.update(f"entry={program.entry:#x}".encode("ascii"))
+    for segment in program.memory.segments:
+        sha.update(f"|{segment.name}@{segment.base:#x}+{segment.size:#x}|"
+                   .encode("ascii"))
+        sha.update(program.memory.read_bytes(segment.base, segment.size))
+    return sha.hexdigest()
+
+
+def store_key(code_sha256, config):
+    """Store identity: guest image hash + the semantic config subset."""
+    preimage = canonical_json({"code": code_sha256,
+                               "config": config.key_fields()})
+    return hashlib.sha256(preimage.encode("utf-8")).hexdigest()
+
+
+class PersistStats:
+    """Counters for one VM's persistence activity.
+
+    Exported through ``Telemetry.host_summary()`` (the process-local
+    block): warm hits depend on what happens to be on disk, so these
+    must never enter the deterministic ``summary()`` that cached run
+    summaries are built from.
+    """
+
+    FIELDS = ("stores_loaded", "records_loaded", "stale_stores",
+              "load_failures", "corrupt_records", "quarantined",
+              "warm_hits", "warm_misses", "chain_mismatches",
+              "records_saved", "save_failures", "faults_injected")
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self):
+        busy = {name: value for name, value in self.to_dict().items()
+                if value}
+        return f"PersistStats({busy})"
+
+
+def record_crc(record):
+    """CRC32 of a record's canonical JSON (the per-line integrity check)."""
+    return zlib.crc32(canonical_json(record).encode("utf-8"))
+
+
+class FragmentStore:
+    """A directory of ``<key>.jsonl`` fragment-record files."""
+
+    def __init__(self, root, stats=None, injector=None):
+        self.root = root
+        self.stats = stats if stats is not None else PersistStats()
+        self.injector = injector if injector is not None else NULL_INJECTOR
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".jsonl")
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self, key, code_sha256, config_fields):
+        """Read the store file for ``key`` as ``{digest: [records]}``.
+
+        Every failure mode is a counted clean miss returning ``{}``:
+        missing file (silent), unreadable file (``load_failures``),
+        version/identity skew (``stale_stores``), unparseable header
+        (quarantine + ``quarantined``), bad records skipped one by one
+        (``corrupt_records``).
+        """
+        stats = self.stats
+        path = self._path(key)
+        if self.injector.fire(FaultSite.PERSIST_LOAD, key=key):
+            stats.load_failures += 1
+            stats.faults_injected += 1
+            return {}
+        use_cache = not self.injector.enabled
+        cache_key = None
+        if use_cache:
+            try:
+                info = os.stat(path)
+            except OSError:
+                return {}
+            # the identity/version ingredients are part of the key: a
+            # cached parse must never be served across a header check it
+            # would no longer pass
+            cache_key = (path, info.st_mtime_ns, info.st_size,
+                         code_sha256, canonical_json(config_fields),
+                         STORE_SCHEMA_VERSION, PERSIST_GENERATOR_VERSION)
+            cached = _LOAD_CACHE.get(cache_key)
+            if cached is not None:
+                stats.stores_loaded += 1
+                stats.records_loaded += sum(
+                    len(records) for records in cached.values())
+                return cached
+        loaded = self._read(path, key, code_sha256, config_fields,
+                            stats=stats)
+        if loaded is None:
+            return {}
+        stats.stores_loaded += 1
+        stats.records_loaded += sum(
+            len(records) for records in loaded.values())
+        if use_cache and cache_key is not None:
+            while len(_LOAD_CACHE) >= _LOAD_CACHE_LIMIT:
+                _LOAD_CACHE.pop(next(iter(_LOAD_CACHE)))
+            _LOAD_CACHE[cache_key] = loaded
+        return loaded
+
+    def _read(self, path, key, code_sha256, config_fields, stats=None):
+        """Parse one store file; ``stats=None`` reads quietly (for save
+        merges).  Returns ``{digest: [records]}`` or None on any
+        whole-file failure."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return None
+        except UnicodeDecodeError:
+            # binary garbage where a store should be: same treatment as
+            # an unparseable header
+            if stats is not None:
+                self._quarantine(path)
+                stats.quarantined += 1
+            return None
+        except OSError:
+            if stats is not None:
+                stats.load_failures += 1
+            return None
+        header = None
+        if lines:
+            try:
+                header = loads(lines[0])
+            except (JSONDecodeError, ValueError):
+                header = None
+        if not isinstance(header, dict) or \
+                header.get("format") != STORE_FORMAT:
+            if stats is not None:
+                self._quarantine(path)
+                stats.quarantined += 1
+            return None
+        if header.get("schema") != STORE_SCHEMA_VERSION or \
+                header.get("generator") != PERSIST_GENERATOR_VERSION or \
+                header.get("code_sha256") != code_sha256 or \
+                header.get("config") != config_fields:
+            if stats is not None:
+                stats.stale_stores += 1
+            return None
+        by_digest = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            if stats is not None and self.injector.fire(
+                    FaultSite.PERSIST_CORRUPT, key=key):
+                stats.corrupt_records += 1
+                stats.faults_injected += 1
+                continue
+            record = self._parse_record(line)
+            if record is None:
+                if stats is not None:
+                    stats.corrupt_records += 1
+                continue
+            by_digest.setdefault(record["digest"], []).append(record)
+        return by_digest
+
+    @staticmethod
+    def _parse_record(line):
+        try:
+            entry = loads(line)
+        except (JSONDecodeError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        record = entry.get("record")
+        if not isinstance(record, dict) or "digest" not in record or \
+                entry.get("crc") != record_crc(record):
+            return None
+        return record
+
+    def _quarantine(self, path):
+        """Rename an unparseable store aside so it is never re-probed."""
+        try:
+            os.replace(path, path + ".quarantined")
+        except OSError:
+            pass
+
+    # -- saving ----------------------------------------------------------
+
+    def save(self, key, records, code_sha256, config_fields):
+        """Atomically write ``records``, merged with the existing file.
+
+        Merging is by record CRC, so concurrent writers converge on the
+        union.  Write failures are swallowed and counted
+        (``save_failures``) — a full disk must not kill the run whose
+        results were already computed.  Returns the path, or None.
+        """
+        stats = self.stats
+        path = self._path(key)
+        merged = {}          # crc -> record, first-writer-wins
+        existing = self._read(path, key, code_sha256, config_fields,
+                              stats=None)
+        if existing:
+            for digest_records in existing.values():
+                for record in digest_records:
+                    merged[record_crc(record)] = record
+        fresh = 0
+        for record in records:
+            crc = record_crc(record)
+            if crc not in merged:
+                merged[crc] = record
+                fresh += 1
+        header = {"format": STORE_FORMAT,
+                  "schema": STORE_SCHEMA_VERSION,
+                  "generator": PERSIST_GENERATOR_VERSION,
+                  "code_sha256": code_sha256,
+                  "config": config_fields}
+        lines = [canonical_json(header)]
+        lines.extend(canonical_json({"crc": crc, "record": record})
+                     for crc, record in merged.items())
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        except OSError:
+            stats.save_failures += 1
+            return None
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+            os.replace(tmp_path, path)
+        except OSError:
+            stats.save_failures += 1
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return None
+        stats.records_saved += fresh
+        # drop any cached parse of the replaced file
+        for cache_key in [k for k in _LOAD_CACHE if k[0] == path]:
+            _LOAD_CACHE.pop(cache_key, None)
+        return path
+
+    def __repr__(self):
+        return f"FragmentStore({self.root!r})"

@@ -1,0 +1,18 @@
+"""Long-lived service mode: ``repro serve`` / ``repro client``.
+
+A :class:`~repro.serve.server.FragmentServer` is an asyncio JSON-lines
+server on a local unix socket.  It accepts run-point requests, dedups
+identical in-flight requests onto one future, batches what arrives
+within a short window, and dispatches each batch to one shared
+:class:`~repro.harness.parallel.PointRunner` — so every request benefits
+from the process-wide result cache, the persistent fragment store
+(:mod:`repro.persist`, via the ``REPRO_PERSIST_DIR`` overlay) and the
+worker pool.  A ``stats`` endpoint exposes the server's own counters,
+the runner report, the merged telemetry aggregates and the accumulated
+``persist.*`` totals.  See ``docs/serving.md``.
+"""
+
+from repro.serve.client import request, run_many
+from repro.serve.server import FragmentServer
+
+__all__ = ["FragmentServer", "request", "run_many"]

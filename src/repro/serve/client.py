@@ -1,0 +1,61 @@
+"""Synchronous client helpers for the ``repro serve`` protocol.
+
+Plain blocking sockets on purpose: the clients (CLI, smoke script,
+tests, benchmarks) are short-lived drivers, and a thread per concurrent
+request is exactly what is needed to prove the server's in-flight
+deduplication — two identical requests must be *on the wire together*
+to join one run.
+"""
+
+import json
+import socket
+import threading
+
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServeError(Exception):
+    """The server connection failed or returned a malformed response."""
+
+
+def request(socket_path, payload, timeout=DEFAULT_TIMEOUT):
+    """Send one request object; return the parsed response object."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(socket_path))
+            sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            buffer = b""
+            while not buffer.endswith(b"\n"):
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    raise ServeError(
+                        "connection closed before a response arrived")
+                buffer += chunk
+        except OSError as exc:
+            raise ServeError(f"serve request failed: {exc}") from exc
+    try:
+        return json.loads(buffer)
+    except ValueError as exc:
+        raise ServeError(f"malformed response: {exc}") from exc
+
+
+def run_many(socket_path, payloads, timeout=DEFAULT_TIMEOUT):
+    """Issue ``payloads`` concurrently (one thread each), results in
+    order.  A failed request becomes an ``{"ok": False, ...}`` entry
+    instead of raising, so one bad response cannot hide the others."""
+    results = [None] * len(payloads)
+
+    def _one(index, payload):
+        try:
+            results[index] = request(socket_path, payload, timeout=timeout)
+        except ServeError as exc:
+            results[index] = {"ok": False, "error": str(exc)}
+
+    threads = [threading.Thread(target=_one, args=(index, payload))
+               for index, payload in enumerate(payloads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results

@@ -1,0 +1,240 @@
+"""The ``repro serve`` asyncio server.
+
+Protocol: JSON objects, one per line, over a local unix stream socket.
+Each request gets exactly one JSON-line response with an ``ok`` flag.
+Operations (full field reference in ``docs/serving.md``):
+
+``{"op": "ping"}``
+    liveness check;
+``{"op": "run", "workload": ..., "budget": ..., "scale": ...,
+"config": {...}}``
+    execute one VM run point and return its summary (``config`` holds
+    ``VMConfig.to_dict``-style overrides on the default config);
+``{"op": "stats"}``
+    the server's request counters, the shared runner's report, merged
+    telemetry counters and the accumulated ``persist.*`` totals;
+``{"op": "shutdown"}``
+    acknowledge, then stop the server.
+
+Scheduling: requests are deduplicated *at submission* — an identical
+run point arriving while one is queued or executing joins the same
+future (counted as ``dedup_joined``), so duplicates cost one VM run and
+one response each.  A single batcher task drains the submission queue,
+collecting up to ``max_batch`` points for ``batch_window`` seconds, and
+hands each batch to ``PointRunner.run`` on the default executor — the
+event loop keeps accepting requests while a batch computes, which is
+what lets later duplicates join in-flight work.
+"""
+
+import asyncio
+import json
+from collections import Counter
+
+from repro.harness.runner import DEFAULT_BUDGET
+from repro.harness.runpoints import RunPoint
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+DEFAULT_BATCH_WINDOW = 0.05
+DEFAULT_MAX_BATCH = 16
+
+
+class FragmentServer:
+    """One long-lived serving session around a shared PointRunner."""
+
+    def __init__(self, runner, socket_path,
+                 batch_window=DEFAULT_BATCH_WINDOW,
+                 max_batch=DEFAULT_MAX_BATCH, out=None):
+        if batch_window < 0:
+            raise ValueError("batch window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max batch must be >= 1")
+        self.runner = runner
+        self.socket_path = str(socket_path)
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.out = out
+        #: request/op counters plus scheduling counters (dedup_joined,
+        #: batches, runs_completed, run_failures, bad_requests)
+        self.counters = Counter()
+        #: PersistStats totals accumulated across every run summary
+        self.persist_totals = Counter()
+        self._inflight = {}     # point identity -> asyncio.Future
+        self._queue = None
+        self._stop = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def serve(self):
+        """Accept requests until a ``shutdown`` request arrives."""
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        batcher = asyncio.ensure_future(self._batcher())
+        server = await asyncio.start_unix_server(self._handle,
+                                                 path=self.socket_path)
+        self._say(f"serving on {self.socket_path}")
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            batcher.cancel()
+            try:
+                await batcher
+            except asyncio.CancelledError:
+                pass
+            self._say(f"served {self.counters['requests']} requests "
+                      f"({self.counters['runs_completed']} runs, "
+                      f"{self.counters['dedup_joined']} dedup joins, "
+                      f"{self.counters['batches']} batches)")
+
+    def _say(self, message):
+        print(message, file=self.out, flush=True)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, line):
+        self.counters["requests"] += 1
+        try:
+            request = json.loads(line)
+        except ValueError:
+            self.counters["bad_requests"] += 1
+            return {"ok": False, "error": "malformed JSON request"}
+        if not isinstance(request, dict):
+            self.counters["bad_requests"] += 1
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        self.counters[f"op.{op}"] += 1
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return self._stats()
+        if op == "shutdown":
+            # answer first, then stop: the response must reach the
+            # client before the loop tears the transport down
+            asyncio.get_running_loop().call_later(0.05, self._stop.set)
+            return {"ok": True, "op": "shutdown"}
+        if op == "run":
+            return await self._run(request)
+        self.counters["bad_requests"] += 1
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _stats(self):
+        return {
+            "ok": True,
+            "op": "stats",
+            "requests": dict(self.counters),
+            "inflight": len(self._inflight),
+            "report": self.runner.report.snapshot(),
+            "persist": dict(self.persist_totals),
+            "telemetry": self.runner.telemetry.to_dict()["counters"],
+        }
+
+    # -- run dispatch ----------------------------------------------------
+
+    def _point_from(self, request):
+        workload = request.get("workload")
+        if workload not in WORKLOAD_NAMES:
+            raise ValueError(f"unknown workload {workload!r}")
+        fields = VMConfig().to_dict()
+        overrides = request.get("config") or {}
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise ValueError(
+                f"unknown config fields {sorted(unknown)}")
+        fields.update(overrides)
+        config = VMConfig.from_dict(fields)
+        budget = request.get("budget", DEFAULT_BUDGET)
+        if not isinstance(budget, int) or budget < 1:
+            raise ValueError("budget must be a positive integer")
+        return RunPoint.vm(workload, config=config,
+                           scale=request.get("scale"), budget=budget)
+
+    async def _run(self, request):
+        try:
+            point = self._point_from(request)
+        except (ValueError, TypeError) as exc:
+            self.counters["bad_requests"] += 1
+            return {"ok": False, "error": str(exc)}
+        try:
+            summary = await self._submit(point)
+        except Exception as exc:   # surface run failures as responses
+            self.counters["run_failures"] += 1
+            return {"ok": False, "op": "run",
+                    "error": f"{type(exc).__name__}: {exc}"}
+        self.counters["runs_completed"] += 1
+        return {"ok": True, "op": "run", "summary": summary}
+
+    async def _submit(self, point):
+        """Submission-time dedup: join in-flight identical work."""
+        identity = point.identity()
+        future = self._inflight.get(identity)
+        if future is not None:
+            self.counters["dedup_joined"] += 1
+            return await future
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[identity] = future
+        await self._queue.put((point, future))
+        return await future
+
+    async def _batcher(self):
+        """The single consumer of the submission queue.
+
+        Being the only task that calls ``runner.run`` serialises batches
+        without a lock; batching itself is a wall-clock window, so one
+        straggler cannot hold the whole queue hostage past it.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), timeout))
+                except asyncio.TimeoutError:
+                    break
+            self.counters["batches"] += 1
+            points = [point for point, _future in batch]
+            try:
+                summaries = await loop.run_in_executor(
+                    None, self.runner.run, points)
+            except Exception as exc:
+                for point, future in batch:
+                    self._inflight.pop(point.identity(), None)
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (point, future), summary in zip(batch, summaries):
+                self._inflight.pop(point.identity(), None)
+                self._note_persist(summary)
+                if not future.done():
+                    future.set_result(summary)
+
+    def _note_persist(self, summary):
+        persist = summary.get("telemetry_host", {}).get("persist")
+        if persist:
+            for name, value in persist.items():
+                self.persist_totals[name] += value
+
+    def __repr__(self):
+        return (f"FragmentServer({self.socket_path!r}, "
+                f"window={self.batch_window}, "
+                f"max_batch={self.max_batch})")

@@ -274,6 +274,34 @@ class TranslationCache:
         self.telemetry.events.emit(EventKind.FRAGMENT_INVALIDATED,
                                    fid=fragment.fid)
 
+    def _forget_fragment(self, fragment):
+        """Drop every registration a fragment holds in the cache maps.
+
+        The single place removal bookkeeping lives — both
+        :meth:`invalidate_fragment` and :meth:`flush` go through it, so
+        the maps can never disagree about what was cleared: the fragment
+        leaves the live list and both entry indexes, its ``_incoming``
+        row is dropped *and* its fid is discarded from every other row,
+        and its unresolved patch requests are purged from the pending
+        waiter maps (emptied waiter keys are deleted, so a long-running
+        cache does not accumulate ghost keys) — a later translation can
+        never patch into freed space.
+        """
+        self.fragments.remove(fragment)
+        del self._by_entry_vpc[fragment.entry_vpc]
+        del self._entry_addresses[fragment.base_address]
+        self._incoming.pop(fragment.fid, None)
+        for sources in self._incoming.values():
+            sources.discard(fragment.fid)
+        for waiters_by_vpc in (self._pending_exits, self._pending_ras):
+            for vpc in list(waiters_by_vpc):
+                waiters = [entry for entry in waiters_by_vpc[vpc]
+                           if entry[0] is not fragment]
+                if waiters:
+                    waiters_by_vpc[vpc] = waiters
+                else:
+                    del waiters_by_vpc[vpc]
+
     def invalidate_fragment(self, fragment):
         """Remove one fragment (corruption recovery); may flush instead.
 
@@ -287,21 +315,7 @@ class TranslationCache:
         if incoming - {fragment.fid}:
             self.flush()
             return "flushed"
-        self.fragments.remove(fragment)
-        del self._by_entry_vpc[fragment.entry_vpc]
-        del self._entry_addresses[fragment.base_address]
-        self._incoming.pop(fragment.fid, None)
-        for sources in self._incoming.values():
-            sources.discard(fragment.fid)
-        # purge the removed fragment's own unresolved patch requests so a
-        # later translation can never patch into freed space
-        for waiters in self._pending_exits.values():
-            waiters[:] = [(frag, exit_record)
-                          for frag, exit_record in waiters
-                          if frag is not fragment]
-        for waiters in self._pending_ras.values():
-            waiters[:] = [(frag, index) for frag, index in waiters
-                          if frag is not fragment]
+        self._forget_fragment(fragment)
         self.telemetry.events.emit(EventKind.FRAGMENT_INVALIDATED,
                                    fid=fragment.fid, removed=True)
         return "removed"
@@ -310,7 +324,10 @@ class TranslationCache:
         """Drop all fragments (translation cache flush, Section 4.1).
 
         Fragment ids stay globally unique across flushes so statistics
-        keyed by fid never collide.
+        keyed by fid never collide.  Removal runs through
+        :meth:`_forget_fragment` per fragment (quadratic in the live
+        count, which the capacity bound keeps small) so a flush exercises
+        exactly the same bookkeeping as single-fragment invalidation.
         """
         self.telemetry.events.emit(EventKind.TCACHE_FLUSH,
                                    fragments=len(self.fragments),
@@ -318,12 +335,8 @@ class TranslationCache:
         self.tracer.instant("tcache.flush", cat="tcache",
                             fragments=len(self.fragments),
                             code_bytes=self.total_code_bytes())
-        self.fragments = []
-        self._by_entry_vpc = {}
-        self._entry_addresses = {}
-        self._pending_exits = {}
-        self._pending_ras = {}
-        self._incoming = {}
+        for fragment in list(self.fragments):
+            self._forget_fragment(fragment)
         self._next_free = self.dispatch_address + sum(
             instr.size for instr in self.dispatch_body)
         self.patches_applied = 0

@@ -55,7 +55,7 @@ class Translator:
     def __init__(self, tcache, fmt=IFormat.MODIFIED,
                  policy=ChainingPolicy.SW_PRED_RAS, n_accumulators=4,
                  fuse_memory=False, cost_model=None, telemetry=None,
-                 tracer=None, injector=None):
+                 tracer=None, injector=None, memo=None):
         self.tcache = tcache
         self.injector = injector if injector is not None else NULL_INJECTOR
         self.fmt = fmt
@@ -67,6 +67,9 @@ class Translator:
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional persistence memo (repro.persist): consulted before
+        #: the cold pipeline, fed pre-install records after it
+        self.memo = memo
 
     def _phase(self, name):
         """A wall-clock span for one pipeline stage (no-op when
@@ -93,8 +96,23 @@ class Translator:
             # before any cache mutation or cost charge: an injected
             # failure must leave the stack exactly as it found it
             raise TranslationError(superblock.entry_vpc, "injected fault")
+        if self.memo is not None:
+            restored = self.memo.try_restore(self, superblock)
+            if restored is not None:
+                return restored
         cost = self.cost
-        cost.charge("fetch_decode", len(superblock.entries))
+        if self.memo is not None and self.memo.capture:
+            charges = []
+
+            def charge(phase, units):
+                # mirror every charge into the persistence record so a
+                # warm restore can replay translation-cost accounting
+                cost.charge(phase, units)
+                charges.append((phase, units))
+        else:
+            charges = None
+            charge = cost.charge
+        charge("fetch_decode", len(superblock.entries))
 
         if self.fmt is IFormat.ALPHA:
             with self._phase("decompose"):
@@ -110,10 +128,10 @@ class Translator:
                 strands = form_strands(nodes, usage, self.n_accumulators)
             with self._phase("allocate"):
                 plan = build_copy_plan(nodes, usage, strands)
-            cost.charge("usage", sum(len(v.uses) + 1 for v in usage.values))
-            cost.charge("classify", len(usage.values))
-            cost.charge("strand", len(strands.strands) + len(nodes))
-        cost.charge("decompose", len(nodes))
+            charge("usage", sum(len(v.uses) + 1 for v in usage.values))
+            charge("classify", len(usage.values))
+            charge("strand", len(strands.strands) + len(nodes))
+        charge("decompose", len(nodes))
 
         with self._phase("codegen"):
             generator = CodeGenerator(
@@ -122,11 +140,20 @@ class Translator:
                 n_accumulators=self.n_accumulators)
             fragment = generator.generate()
 
-        cost.charge("codegen", len(fragment.body))
-        cost.charge("tcache_copy", len(fragment.body))
-        cost.charge("chaining", len(fragment.exits))
+        charge("codegen", len(fragment.body))
+        charge("tcache_copy", len(fragment.body))
+        charge("chaining", len(fragment.exits))
         cost.note_fragment(fragment.source_instr_count)
 
+        # serialise before install: ``add`` may patch the fragment's own
+        # self-loop exits, and records must stay pre-install (see
+        # repro.persist.codec); commit only once the install succeeded
+        record = None
+        if charges is not None:
+            record = self.memo.encode(superblock, fragment, usage,
+                                      charges, self.tcache)
         with self._phase("chaining"):
             self.tcache.add(fragment)
+        if record is not None:
+            self.memo.commit(record)
         return TranslationResult(fragment, nodes, usage, strands, plan)

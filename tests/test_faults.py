@@ -75,7 +75,8 @@ class TestSpecGrammar:
     def test_known_sites_cover_constants(self):
         assert KNOWN_SITES == {
             "translate", "tcache_full", "corrupt",
-            "worker_crash", "worker_timeout"}
+            "worker_crash", "worker_timeout",
+            "persist_load", "persist_corrupt"}
 
 
 class TestPlanParsing:

@@ -1,0 +1,371 @@
+"""The persistence subsystem: codec, store, session, VM wiring.
+
+The warm-start *equality* contract (a warm VM's ``VMStats`` are
+bit-identical to a cold run's, across every workload) lives in
+``tests/test_warm_differential.py``; version-skew reads live in
+``tests/test_version_skew.py``.  This module covers the mechanics:
+round-trips through the store, every graceful-degradation path with its
+counter, the fault-injection sites, and the config/env plumbing.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.inject import FaultInjector, NULL_INJECTOR
+from repro.faults.plan import FaultPlan, FaultSite, KNOWN_SITES
+from repro.harness.runner import run_vm
+from repro.persist.codec import canonical_json, superblock_digest
+from repro.persist.session import PersistSession
+from repro.persist.store import (
+    ENV_PERSIST_DIR,
+    ENV_PERSIST_FAULT_SEED,
+    ENV_PERSIST_FAULTS,
+    ENV_PERSIST_MODE,
+    FragmentStore,
+    PersistStats,
+    program_digest,
+    record_crc,
+    store_key,
+)
+from repro.vm.config import VMConfig
+from repro.workloads import get_workload
+
+BUDGET = 20_000
+
+
+def _cold(workload="gzip", **overrides):
+    return run_vm(workload, VMConfig(**overrides), budget=BUDGET,
+                  collect_trace=False, telemetry=True)
+
+
+def _persist_run(root, mode, workload="gzip", **overrides):
+    config = VMConfig(persist_path=str(root), persist_mode=mode,
+                      **overrides)
+    return run_vm(workload, config, budget=BUDGET, collect_trace=False,
+                  telemetry=True)
+
+
+def _persist_stats(result):
+    return result.vm.telemetry.host_summary()["persist"]
+
+
+def _store_file(root):
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        paths.extend(os.path.join(dirpath, name) for name in filenames
+                     if name.endswith(".jsonl"))
+    assert len(paths) == 1, paths
+    return paths[0]
+
+
+class TestStoreKeying:
+    def test_program_digest_stable_and_content_sensitive(self):
+        program_a = get_workload("gzip").program(None)
+        program_b = get_workload("gzip").program(None)
+        assert program_digest(program_a) == program_digest(program_b)
+        assert program_digest(program_a) != \
+            program_digest(get_workload("mcf").program(None))
+
+    def test_store_key_tracks_semantic_config_only(self):
+        code = "ab" * 32
+        base = VMConfig()
+        assert store_key(code, base) == \
+            store_key(code, VMConfig(telemetry=True, exec_engine="naive"))
+        assert store_key(code, base) != \
+            store_key(code, VMConfig(n_accumulators=8))
+
+    def test_persist_fields_are_not_key_fields(self):
+        fields = VMConfig(persist_path="/tmp/x").key_fields()
+        assert "persist_path" not in fields
+        assert "persist_mode" not in fields
+
+    def test_persist_fields_round_trip_dict(self):
+        config = VMConfig(persist_path="/tmp/x", persist_mode="load")
+        rebuilt = VMConfig.from_dict(config.to_dict())
+        assert rebuilt.persist_path == "/tmp/x"
+        assert rebuilt.persist_mode == "load"
+
+    def test_invalid_persist_mode_rejected(self):
+        with pytest.raises(ValueError, match="persist mode"):
+            VMConfig(persist_mode="sideways")
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        records = [{"digest": "d1", "payload": 1},
+                   {"digest": "d1", "payload": 2},
+                   {"digest": "d2", "payload": 3}]
+        key = "ab" * 32
+        assert store.save(key, records, "code", {"cfg": 1}) is not None
+        assert store.stats.records_saved == 3
+
+        fresh = FragmentStore(str(tmp_path))
+        loaded = fresh.load(key, "code", {"cfg": 1})
+        assert sorted(loaded) == ["d1", "d2"]
+        assert len(loaded["d1"]) == 2
+        assert fresh.stats.stores_loaded == 1
+        assert fresh.stats.records_loaded == 3
+
+    def test_save_merges_with_existing_records(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        key = "ab" * 32
+        store.save(key, [{"digest": "d1", "payload": 1}], "code", {})
+        store.save(key, [{"digest": "d1", "payload": 1},
+                         {"digest": "d2", "payload": 2}], "code", {})
+        assert store.stats.records_saved == 2  # the duplicate is free
+        loaded = FragmentStore(str(tmp_path)).load(key, "code", {})
+        assert sorted(loaded) == ["d1", "d2"]
+
+    def test_missing_file_is_a_silent_miss(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        assert store.load("cd" * 32, "code", {}) == {}
+        assert store.stats.to_dict() == PersistStats().to_dict()
+
+    def test_identity_mismatch_reads_stale(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        key = "ab" * 32
+        store.save(key, [{"digest": "d1"}], "code", {"cfg": 1})
+        fresh = FragmentStore(str(tmp_path))
+        assert fresh.load(key, "OTHER", {"cfg": 1}) == {}
+        assert fresh.load(key, "code", {"cfg": 2}) == {}
+        assert fresh.stats.stale_stores == 2
+        assert fresh.stats.stores_loaded == 0
+
+
+class TestStoreDegradation:
+    def test_unparseable_header_quarantines(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        key = "ab" * 32
+        store.save(key, [{"digest": "d1"}], "code", {})
+        path = _store_file(tmp_path)
+        with open(path, "w") as handle:
+            handle.write("not json at all\n")
+        fresh = FragmentStore(str(tmp_path))
+        assert fresh.load(key, "code", {}) == {}
+        assert fresh.stats.quarantined == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".quarantined")
+        # quarantined files are never re-probed: next load is a miss
+        assert fresh.load(key, "code", {}) == {}
+        assert fresh.stats.quarantined == 1
+
+    def test_bit_flipped_record_skipped_and_counted(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        key = "ab" * 32
+        store.save(key, [{"digest": "d1", "payload": 10},
+                         {"digest": "d2", "payload": 20}], "code", {})
+        path = _store_file(tmp_path)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        entry = json.loads(lines[1])
+        entry["record"]["payload"] ^= 1      # flip a bit, keep the CRC
+        lines[1] = json.dumps(entry)
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        fresh = FragmentStore(str(tmp_path))
+        loaded = fresh.load(key, "code", {})
+        assert list(loaded) == ["d2"]
+        assert fresh.stats.corrupt_records == 1
+        assert fresh.stats.records_loaded == 1
+
+    def test_truncated_record_line_skipped(self, tmp_path):
+        store = FragmentStore(str(tmp_path))
+        key = "ab" * 32
+        store.save(key, [{"digest": "d1", "payload": 10}], "code", {})
+        path = _store_file(tmp_path)
+        with open(path) as handle:
+            content = handle.read()
+        with open(path, "w") as handle:
+            handle.write(content[:-5])       # tear the final record
+        fresh = FragmentStore(str(tmp_path))
+        assert fresh.load(key, "code", {}) == {}
+        assert fresh.stats.corrupt_records == 1
+
+    def test_record_crc_is_canonical(self):
+        assert record_crc({"b": 1, "a": 2}) == record_crc({"a": 2, "b": 1})
+
+
+class TestStoreFaultInjection:
+    def test_persist_sites_are_known(self):
+        assert FaultSite.PERSIST_LOAD in KNOWN_SITES
+        assert FaultSite.PERSIST_CORRUPT in KNOWN_SITES
+
+    def test_persist_load_fault_is_counted_miss(self, tmp_path):
+        key = "ab" * 32
+        FragmentStore(str(tmp_path)).save(key, [{"digest": "d1"}],
+                                          "code", {})
+        injector = FaultInjector(FaultPlan.parse("persist_load@count=1"))
+        store = FragmentStore(str(tmp_path), injector=injector)
+        assert store.load(key, "code", {}) == {}
+        assert store.stats.load_failures == 1
+        assert store.stats.faults_injected == 1
+        # the fault fired once; the next load succeeds
+        assert store.load(key, "code", {}) != {}
+
+    def test_persist_corrupt_fault_drops_records(self, tmp_path):
+        key = "ab" * 32
+        FragmentStore(str(tmp_path)).save(
+            key, [{"digest": f"d{i}"} for i in range(4)], "code", {})
+        injector = FaultInjector(FaultPlan.parse("persist_corrupt@every=2"))
+        store = FragmentStore(str(tmp_path), injector=injector)
+        loaded = store.load(key, "code", {})
+        assert len(loaded) == 2
+        assert store.stats.corrupt_records == 2
+        assert store.stats.faults_injected == 2
+
+
+class TestVMPersistence:
+    def test_save_mode_writes_store(self, tmp_path):
+        result = _persist_run(tmp_path, "save")
+        stats = _persist_stats(result)
+        assert stats["records_saved"] > 0
+        assert stats["warm_hits"] == 0
+        assert os.path.exists(_store_file(tmp_path))
+
+    def test_load_without_store_is_counted_misses(self, tmp_path):
+        cold = _cold()
+        result = _persist_run(tmp_path, "load")
+        stats = _persist_stats(result)
+        assert stats["warm_hits"] == 0
+        assert stats["warm_misses"] == cold.stats.fragments_created
+        assert vars(result.stats) == vars(cold.stats)
+
+    def test_both_mode_roundtrips_across_runs(self, tmp_path):
+        first = _persist_run(tmp_path, "both")
+        second = _persist_run(tmp_path, "both")
+        assert _persist_stats(first)["records_saved"] > 0
+        warm = _persist_stats(second)
+        assert warm["warm_hits"] == second.stats.fragments_created
+        assert warm["records_saved"] == 0   # nothing new to persist
+        assert vars(first.stats) == vars(second.stats)
+
+    def test_corrupted_store_degrades_to_cold(self, tmp_path):
+        cold = _cold()
+        _persist_run(tmp_path, "save")
+        path = _store_file(tmp_path)
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        # tear every record, keep the header
+        broken = [lines[0]] + [line[:10] for line in lines[1:]]
+        with open(path, "w") as handle:
+            handle.write("\n".join(broken) + "\n")
+        result = _persist_run(tmp_path, "load")
+        stats = _persist_stats(result)
+        assert stats["corrupt_records"] == len(lines) - 1
+        assert stats["warm_hits"] == 0
+        assert vars(result.stats) == vars(cold.stats)
+
+    def test_garbage_store_quarantined_never_raises(self, tmp_path):
+        cold = _cold()
+        _persist_run(tmp_path, "save")
+        path = _store_file(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\xff garbage \xfe")
+        result = _persist_run(tmp_path, "load")
+        stats = _persist_stats(result)
+        assert stats["quarantined"] == 1
+        assert vars(result.stats) == vars(cold.stats)
+        assert os.path.exists(path + ".quarantined")
+
+    def test_no_persist_path_means_no_session(self):
+        result = _cold()
+        assert result.vm.persist is None
+        assert "persist" not in result.vm.telemetry.host_summary()
+
+    def test_persist_save_is_idempotent(self, tmp_path):
+        result = _persist_run(tmp_path, "save")
+        saved = _persist_stats(result)["records_saved"]
+        result.vm.persist_save()     # run_vm already saved once
+        assert _persist_stats(result)["records_saved"] == saved
+
+
+class TestConfiguredFaultsReachPersist:
+    def test_config_fault_plan_with_persist_site_shares_injector(
+            self, tmp_path):
+        _persist_run(tmp_path, "save")
+        result = _persist_run(tmp_path, "load",
+                              faults="persist_load@count=1")
+        assert result.vm.persist.injector is result.vm.injector
+        stats = _persist_stats(result)
+        assert stats["load_failures"] == 1
+        assert stats["faults_injected"] == 1
+        assert stats["warm_hits"] == 0
+
+    def test_config_fault_plan_without_persist_site_stays_null(
+            self, tmp_path):
+        result = _persist_run(tmp_path, "save",
+                              faults="translate@count=999")
+        assert result.vm.persist.injector is NULL_INJECTOR
+
+    def test_env_fault_overlay_builds_private_injector(
+            self, tmp_path, monkeypatch):
+        _persist_run(tmp_path, "save")
+        monkeypatch.setenv(ENV_PERSIST_FAULTS, "persist_corrupt@every=1")
+        monkeypatch.setenv(ENV_PERSIST_FAULT_SEED, "7")
+        result = _persist_run(tmp_path, "load")
+        session = result.vm.persist
+        assert session.injector is not result.vm.injector
+        assert session.injector.plan.seed == 7
+        stats = _persist_stats(result)
+        assert stats["corrupt_records"] > 0
+        assert stats["warm_hits"] == 0
+        # the private injector must not leak fault events into the
+        # deterministic telemetry block
+        events = result.vm.telemetry.summary()["events"]["by_kind"]
+        assert "fault_injected" not in events
+
+
+class TestEnvOverlay:
+    def test_run_vm_picks_up_env_persist_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_PERSIST_DIR, str(tmp_path))
+        monkeypatch.setenv(ENV_PERSIST_MODE, "save")
+        result = run_vm("gzip", budget=BUDGET, collect_trace=False,
+                        telemetry=True)
+        assert result.config.persist_path == str(tmp_path)
+        assert result.config.persist_mode == "save"
+        assert _persist_stats(result)["records_saved"] > 0
+
+    def test_explicit_config_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_PERSIST_DIR, str(tmp_path / "env"))
+        config = VMConfig(persist_path=str(tmp_path / "explicit"))
+        result = run_vm("gzip", config, budget=BUDGET,
+                        collect_trace=False)
+        assert result.config.persist_path == str(tmp_path / "explicit")
+
+
+class TestSessionInternals:
+    def test_session_digest_includes_taken_pattern(self):
+        class Entry:
+            def __init__(self, vpc, taken, next_pc):
+                self.vpc = vpc
+                self.taken = taken
+                self.next_pc = next_pc
+                self.next_vpc = next_pc
+
+        class Block:
+            entry_vpc = 0x1000
+            continuation_vpc = None
+
+            class end_reason:
+                value = "cycle"
+
+            entries = [Entry(0x1000, False, 0x1004)]
+
+        a = superblock_digest(Block)
+        Block.entries = [Entry(0x1000, True, 0x1004)]
+        assert superblock_digest(Block) != a
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            canonical_json({"a": [1, 2], "b": 1})
+
+    def test_session_save_without_capture_writes_nothing(self, tmp_path):
+        program = get_workload("gzip").program(None)
+        config = VMConfig(persist_path=str(tmp_path), persist_mode="load")
+        session = PersistSession(program, config)
+        assert not session.memo.capture
+        assert session.save() is None
+        assert list(os.walk(tmp_path))[0][2] == []

@@ -69,6 +69,75 @@ class TestFlatten:
         metrics = flatten_metrics({"name": "x", "flag": True, "n": 1})
         assert metrics == {"n": 1}
 
+    def test_context_blocks_excluded(self):
+        # BENCH_warmstart.json's "store" block describes what was
+        # persisted (context), like "machine" describes the host — its
+        # numbers must not become gated metrics
+        metrics = flatten_metrics({
+            "store": {"records": 58, "bytes": 100_000},
+            "machine": {"cpu_count": 8},
+            "aggregate_speedup": 6.8,
+        })
+        assert metrics == {"aggregate_speedup": 6.8}
+
+
+WARMSTART = {
+    "benchmark": "warm_start",
+    "workloads": ["gzip", "mcf"],
+    "budget": 60_000,
+    "reps": 3,
+    "rows": [
+        {"workload": "gzip", "cold_translate_seconds": 0.0008,
+         "warm_translate_seconds": 0.0001, "speedup": 6.4,
+         "warm_hits": 4, "fragments": 4},
+        {"workload": "mcf", "cold_translate_seconds": 0.0009,
+         "warm_translate_seconds": 0.0001, "speedup": 9.0,
+         "warm_hits": 3, "fragments": 3},
+    ],
+    "cold_total_seconds": 0.0017,
+    "warm_total_seconds": 0.0002,
+    "aggregate_speedup": 6.8,
+    "store": {"records": 7, "bytes": 12_000},
+    "machine": {"python": "3.11.7", "cpu_count": 1},
+}
+
+
+class TestWarmstartRecordShape:
+    """The warm-start record flows through the generic gate unchanged."""
+
+    def doctored(self, **changes):
+        doc = copy.deepcopy(WARMSTART)
+        doc.update(changes)
+        return doc
+
+    def test_flattening(self):
+        metrics = flatten_metrics(WARMSTART)
+        assert metrics["rows.gzip.speedup"] == 6.4
+        assert metrics["rows.mcf.warm_hits"] == 3
+        assert metrics["aggregate_speedup"] == 6.8
+        assert not any(name.startswith("store") for name in metrics)
+
+    def test_self_compare_passes(self):
+        assert compare_benchmarks(WARMSTART,
+                                  copy.deepcopy(WARMSTART)).ok
+
+    def test_speedup_drop_regresses(self):
+        comparison = compare_benchmarks(
+            WARMSTART, self.doctored(aggregate_speedup=4.0))
+        assert [d.name for d in comparison.regressions] == \
+            ["aggregate_speedup"]
+
+    def test_warm_hit_drift_regresses_exactly(self):
+        doc = self.doctored()
+        doc["rows"][0]["warm_hits"] = 3
+        comparison = compare_benchmarks(WARMSTART, doc)
+        assert [d.name for d in comparison.regressions] == \
+            ["rows.gzip.warm_hits"]
+
+    def test_store_growth_is_not_gated(self):
+        doc = self.doctored(store={"records": 99, "bytes": 10**9})
+        assert compare_benchmarks(WARMSTART, doc).ok
+
 
 class TestCompare:
     def test_self_compare_passes(self):

@@ -1,0 +1,258 @@
+"""The ``repro serve`` server, driven in-process over a real socket.
+
+A :class:`FragmentServer` runs ``asyncio`` in a background thread
+against a throwaway unix socket; the blocking client from
+:mod:`repro.serve.client` drives it exactly as the CLI does.  Covers the
+protocol surface (ping/run/stats/shutdown, malformed requests), the
+submission-time dedup that the long batch window makes deterministic,
+warm-start across server generations sharing one store directory, and
+chaos survival under a seeded persist fault schedule.
+"""
+
+import asyncio
+import io
+import os
+import threading
+import time
+
+import pytest
+
+from repro.harness.parallel import PointRunner
+from repro.persist.store import (
+    ENV_PERSIST_DIR,
+    ENV_PERSIST_FAULTS,
+    ENV_PERSIST_MODE,
+)
+from repro.serve.client import ServeError, request, run_many
+from repro.serve.server import FragmentServer
+
+BUDGET = 5_000
+#: Wide enough that concurrent duplicates always land in one batch.
+BATCH_WINDOW = 0.2
+
+
+class ServerUnderTest:
+    """One in-thread server generation bound to a throwaway socket."""
+
+    def __init__(self, socket_path, batch_window=BATCH_WINDOW):
+        self.socket_path = str(socket_path)
+        self.runner = PointRunner(workers=1, cache=None)
+        self.server = FragmentServer(self.runner, self.socket_path,
+                                     batch_window=batch_window,
+                                     out=io.StringIO())
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve()), daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if os.path.exists(self.socket_path):
+                try:
+                    if request(self.socket_path, {"op": "ping"},
+                               timeout=5).get("ok"):
+                        return self
+                except ServeError:
+                    pass
+            time.sleep(0.01)
+        raise RuntimeError("server did not come up")
+
+    def __exit__(self, *exc):
+        try:
+            request(self.socket_path, {"op": "shutdown"}, timeout=5)
+        except ServeError:
+            pass
+        self.thread.join(timeout=10)
+
+
+def _run_payload(workload, **extra):
+    payload = {"op": "run", "workload": workload, "budget": BUDGET}
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture
+def sock(tmp_path):
+    return str(tmp_path / "serve.sock")
+
+
+class TestProtocol:
+    def test_ping(self, sock):
+        with ServerUnderTest(sock):
+            assert request(sock, {"op": "ping"}) == {"ok": True,
+                                                     "op": "ping"}
+
+    def test_run_returns_summary(self, sock):
+        with ServerUnderTest(sock):
+            response = request(sock, _run_payload("gzip"))
+        assert response["ok"]
+        summary = response["summary"]
+        assert summary["workload"] == "gzip"
+        assert summary["committed"] > 0
+        assert summary["stats"]["fragments"] > 0
+        assert "telemetry" in summary
+
+    def test_run_with_config_overrides(self, sock):
+        with ServerUnderTest(sock):
+            default = request(sock, _run_payload("gzip"), timeout=120)
+            cold_only = request(sock, _run_payload(
+                "gzip", config={"threshold": 10**9}), timeout=120)
+        assert default["ok"] and cold_only["ok"]
+        # an unreachable hot threshold keeps everything interpreted, so
+        # the override demonstrably reached the VM
+        assert default["summary"]["stats"]["fragments"] > 0
+        assert cold_only["summary"]["stats"]["fragments"] == 0
+
+    def test_bad_requests_are_answered_not_fatal(self, sock):
+        with ServerUnderTest(sock) as under_test:
+            bad = [
+                request(sock, {"op": "run", "workload": "nope"}),
+                request(sock, {"op": "run", "workload": "gzip",
+                               "budget": -4}),
+                request(sock, {"op": "run", "workload": "gzip",
+                               "config": {"bogus_knob": 1}}),
+                request(sock, {"op": "frobnicate"}),
+                request(sock, [1, 2, 3]),
+            ]
+            stats = request(sock, {"op": "stats"})
+            assert all(not response["ok"] for response in bad)
+            assert all("error" in response for response in bad)
+            assert stats["requests"]["bad_requests"] == len(bad)
+            # the server is still healthy after every rejection
+            assert request(sock, {"op": "ping"})["ok"]
+            assert under_test.runner.report.executed == 0
+
+    def test_malformed_json_line(self, sock):
+        import json
+        import socket as socketlib
+
+        with ServerUnderTest(sock):
+            with socketlib.socket(socketlib.AF_UNIX,
+                                  socketlib.SOCK_STREAM) as raw:
+                raw.settimeout(5)
+                raw.connect(sock)
+                raw.sendall(b"this is not json\n")
+                buffer = b""
+                while not buffer.endswith(b"\n"):
+                    buffer += raw.recv(1 << 16)
+        response = json.loads(buffer)
+        assert response == {"ok": False, "error": "malformed JSON request"}
+
+    def test_stats_shape(self, sock):
+        with ServerUnderTest(sock):
+            request(sock, _run_payload("gzip"))
+            stats = request(sock, {"op": "stats"})
+        assert stats["ok"]
+        assert stats["report"]["executed"] == 1
+        assert stats["requests"]["runs_completed"] == 1
+        assert stats["inflight"] == 0
+        assert isinstance(stats["telemetry"], dict)
+
+    def test_shutdown_stops_the_loop(self, sock):
+        under_test = ServerUnderTest(sock).__enter__()
+        response = request(sock, {"op": "shutdown"})
+        assert response == {"ok": True, "op": "shutdown"}
+        under_test.thread.join(timeout=10)
+        assert not under_test.thread.is_alive()
+
+
+class TestDedupAndBatching:
+    def test_identical_inflight_requests_join(self, sock):
+        with ServerUnderTest(sock) as under_test:
+            payloads = [_run_payload("gzip")] * 4 + [_run_payload("mcf")]
+            responses = run_many(sock, payloads, timeout=120)
+            stats = request(sock, {"op": "stats"})
+        assert all(response["ok"] for response in responses)
+        # all four gzip responses carry the same summary
+        summaries = [response["summary"] for response in responses[:4]]
+        assert all(summary == summaries[0] for summary in summaries)
+        assert stats["requests"]["dedup_joined"] == 3
+        assert under_test.runner.report.executed == 2
+
+    def test_distinct_configs_do_not_join(self, sock):
+        with ServerUnderTest(sock) as under_test:
+            payloads = [_run_payload("gzip"),
+                        _run_payload("gzip",
+                                     config={"n_accumulators": 2})]
+            responses = run_many(sock, payloads, timeout=120)
+            stats = request(sock, {"op": "stats"})
+        assert all(response["ok"] for response in responses)
+        assert stats["requests"].get("dedup_joined", 0) == 0
+        assert under_test.runner.report.executed == 2
+
+    def test_sequential_identical_requests_rerun(self, sock):
+        # dedup is in-flight only — a second request after the first
+        # completed is a fresh run (memoisation is the ResultCache's job)
+        with ServerUnderTest(sock) as under_test:
+            first = request(sock, _run_payload("gzip"), timeout=120)
+            second = request(sock, _run_payload("gzip"), timeout=120)
+            stats = request(sock, {"op": "stats"})
+        assert first["summary"]["stats"] == second["summary"]["stats"]
+        assert stats["requests"].get("dedup_joined", 0) == 0
+        assert under_test.runner.report.executed == 2
+
+
+class TestWarmStartAcrossGenerations:
+    def test_restarted_server_answers_from_the_store(self, sock,
+                                                     tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(ENV_PERSIST_DIR, str(tmp_path / "store"))
+        monkeypatch.setenv(ENV_PERSIST_MODE, "both")
+        workloads = ["gzip", "mcf"]
+        with ServerUnderTest(sock):
+            responses = run_many(
+                sock, [_run_payload(name) for name in workloads],
+                timeout=120)
+            cold = request(sock, {"op": "stats"})
+        assert all(response["ok"] for response in responses)
+        assert cold["persist"]["records_saved"] > 0
+        assert cold["persist"].get("warm_hits", 0) == 0
+
+        with ServerUnderTest(sock):
+            responses = run_many(
+                sock, [_run_payload(name) for name in workloads],
+                timeout=120)
+            warm = request(sock, {"op": "stats"})
+        assert all(response["ok"] for response in responses)
+        assert warm["persist"]["warm_hits"] > 0
+        assert warm["persist"].get("warm_misses", 0) == 0
+        assert warm["persist"].get("records_saved", 0) == 0
+
+    def test_warm_and_cold_summaries_identical(self, sock, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv(ENV_PERSIST_DIR, str(tmp_path / "store"))
+        monkeypatch.setenv(ENV_PERSIST_MODE, "both")
+        with ServerUnderTest(sock):
+            cold = request(sock, _run_payload("crafty"), timeout=120)
+        with ServerUnderTest(sock):
+            warm = request(sock, _run_payload("crafty"), timeout=120)
+        # the host-side blocks differ (elapsed, persist counters); the
+        # deterministic payload must not
+        for block in ("stats", "telemetry", "evals"):
+            assert cold["summary"].get(block) == warm["summary"].get(block)
+
+
+class TestChaosSurvival:
+    def test_seeded_persist_faults_never_fail_requests(self, sock,
+                                                       tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv(ENV_PERSIST_DIR, str(tmp_path / "store"))
+        monkeypatch.setenv(ENV_PERSIST_MODE, "both")
+        monkeypatch.setenv(ENV_PERSIST_FAULTS,
+                           "persist_load@every=2;persist_corrupt@every=3")
+        workloads = ["gzip", "mcf", "crafty", "gzip", "mcf", "crafty"]
+        with ServerUnderTest(sock):
+            seed_responses = run_many(
+                sock, [_run_payload(name) for name in workloads[:3]],
+                timeout=120)
+            chaos_responses = run_many(
+                sock, [_run_payload(name) for name in workloads],
+                timeout=120)
+            stats = request(sock, {"op": "stats"})
+        assert all(response["ok"] for response in seed_responses)
+        assert all(response["ok"] for response in chaos_responses)
+        assert stats["requests"].get("run_failures", 0) == 0
+        assert stats["persist"]["faults_injected"] > 0
+        # faulted loads degrade to cold translation, never to an error
+        assert stats["persist"]["load_failures"] + \
+            stats["persist"]["corrupt_records"] > 0

@@ -1,0 +1,140 @@
+"""Removal bookkeeping: ``_forget_fragment`` keeps every map consistent.
+
+``invalidate_fragment`` and ``flush`` share one removal helper
+(``TranslationCache._forget_fragment``); this regression suite pins the
+invariants that helper exists to protect — after *any* removal, no
+cache map (live list, entry indexes, incoming-edge rows, pending patch
+waiters) may still reference a forgotten fragment, and emptied waiter
+keys must be deleted rather than left as ghosts.
+"""
+
+from repro.asm import assemble
+from repro.vm import CoDesignedVM, VMConfig
+from tests.conftest import FIG2_KERNEL
+
+#: Two nested loops plus a cold tail: translates several fragments with
+#: cross-fragment chains *and* leaves exits pending toward code that
+#: never gets hot — both kinds of bookkeeping to clean up.
+NESTED = """
+_start: li r9, 80
+outer:  li r1, 60
+inner:  subq r1, 1, r1
+        addq r2, r1, r2
+        bne r1, inner
+        subq r9, 1, r9
+        bne r9, outer
+        call_pal halt
+"""
+
+
+def _cache(source=NESTED):
+    vm = CoDesignedVM(assemble(source), VMConfig())
+    vm.run(max_v_instructions=500_000)
+    return vm.tcache
+
+
+def _assert_consistent(cache):
+    """Every cache map references only live fragments, coherently."""
+    live = set(cache.fragments)
+    live_fids = {fragment.fid for fragment in live}
+    assert set(cache._by_entry_vpc.values()) == live
+    assert set(cache._entry_addresses.values()) == live
+    for fragment in live:
+        assert cache._by_entry_vpc[fragment.entry_vpc] is fragment
+        assert cache._entry_addresses[fragment.base_address] is fragment
+    assert set(cache._incoming) <= live_fids
+    for sources in cache._incoming.values():
+        assert sources <= live_fids
+    for waiters_by_vpc in (cache._pending_exits, cache._pending_ras):
+        for vpc, waiters in waiters_by_vpc.items():
+            assert waiters, f"ghost waiter key for V:{vpc:#x}"
+            assert all(entry[0] in live for entry in waiters)
+
+
+def test_populated_cache_has_state_to_clean():
+    cache = _cache()
+    assert len(cache.fragments) >= 2
+    assert cache._incoming          # chained fragments
+    assert cache._pending_exits     # exits toward never-hot code
+    _assert_consistent(cache)
+
+
+def test_single_removal_leaves_consistent_maps():
+    # the nested loops chain every fragment into another, so use the
+    # single-superblock kernel, whose only incoming edge is its own
+    # self-loop
+    cache = _cache(FIG2_KERNEL)
+    removable = [fragment for fragment in cache.fragments
+                 if not (cache._incoming.get(fragment.fid, set()) -
+                         {fragment.fid})]
+    assert removable, "workload produced no safely removable fragment"
+    fragment = removable[0]
+    assert cache.invalidate_fragment(fragment) == "removed"
+    _assert_consistent(cache)
+    assert fragment not in cache.fragments
+    assert fragment.fid not in cache._incoming
+    for sources in cache._incoming.values():
+        assert fragment.fid not in sources
+
+
+def test_removal_deletes_emptied_waiter_keys():
+    cache = _cache(FIG2_KERNEL)
+    # find a fragment that is the sole waiter on some pending V-PC
+    sole = None
+    for vpc, waiters in cache._pending_exits.items():
+        owners = {entry[0] for entry in waiters}
+        if len(owners) == 1:
+            fragment = owners.pop()
+            if not (cache._incoming.get(fragment.fid, set()) -
+                    {fragment.fid}):
+                sole = (vpc, fragment)
+                break
+    assert sole is not None, "no sole-waiter fragment in this workload"
+    vpc, fragment = sole
+    assert cache.invalidate_fragment(fragment) == "removed"
+    assert vpc not in cache._pending_exits
+    _assert_consistent(cache)
+
+
+def test_flush_equivalent_to_forgetting_every_fragment():
+    cache = _cache()
+    cache.flush()
+    assert cache.fragments == []
+    assert cache._by_entry_vpc == {}
+    assert cache._entry_addresses == {}
+    assert cache._incoming == {}
+    assert cache._pending_exits == {}
+    assert cache._pending_ras == {}
+    assert cache.patches_applied == 0
+    assert cache.total_code_bytes() == 0
+    _assert_consistent(cache)
+
+
+def test_sequential_removals_then_reuse():
+    cache = _cache()
+    # peel fragments one at a time (flushing when unsafe) until empty;
+    # the maps must be consistent after every step
+    guard = 0
+    while cache.fragments and guard < 100:
+        guard += 1
+        fragment = cache.fragments[-1]
+        cache.invalidate_fragment(fragment)
+        _assert_consistent(cache)
+    assert cache.fragments == []
+    # layout restarts cleanly after a flush-driven teardown
+    next_free_floor = cache.dispatch_address + sum(
+        instr.size for instr in cache.dispatch_body)
+    assert cache._next_free >= next_free_floor
+
+
+def test_fids_stay_unique_across_removal_and_reinstall():
+    cache = _cache()
+    seen = {fragment.fid for fragment in cache.fragments}
+    cache.flush()
+    # re-run translation into the same cache via a fresh VM is not
+    # possible (the cache belongs to its VM), so re-install a donor body
+    donor_cache = _cache()
+    donor = donor_cache.fragments[0]
+    donor_cache.invalidate_fragment(donor)
+    installed = cache.add(donor)
+    assert installed.fid not in seen

@@ -1,0 +1,77 @@
+"""Warm-start differential: restored translations change nothing.
+
+The acceptance contract for the persistence subsystem: for every
+workload, a warm run (every translation answered from the fragment
+store) produces ``VMStats`` *bit-identical* to the cold run's.  The
+restore path installs fragments through the normal ``tcache.add``
+pipeline and replays the recorded cost charges, so any drift — one
+extra chain patch, one missed premature-termination count, one
+different code byte — shows up here as a failed field-by-field
+comparison.
+
+Budget is deliberately modest: every workload's hot region translates
+fully well below it, and the suite runs 3x12 VM boots.
+"""
+
+import pytest
+
+from repro.harness.runner import run_vm
+from repro.vm.config import VMConfig
+from repro.workloads import WORKLOAD_NAMES
+
+BUDGET = 20_000
+
+
+def _run(workload, persist_path=None, persist_mode="both"):
+    config = VMConfig() if persist_path is None else VMConfig(
+        persist_path=str(persist_path), persist_mode=persist_mode)
+    return run_vm(workload, config, budget=BUDGET, collect_trace=False,
+                  telemetry=True)
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_warm_stats_identical_to_cold(workload, tmp_path):
+    cold = _run(workload)
+
+    seeded = _run(workload, tmp_path, "save")
+    assert vars(seeded.stats) == vars(cold.stats), \
+        "capturing translations for the store perturbed the run"
+    persisted = seeded.vm.telemetry.host_summary()["persist"]
+    assert persisted["records_saved"] == cold.stats.fragments_created
+
+    warm = _run(workload, tmp_path, "load")
+    assert vars(warm.stats) == vars(cold.stats), \
+        "a store-restored run diverged from the cold baseline"
+    stats = warm.vm.telemetry.host_summary()["persist"]
+    assert stats["warm_hits"] == cold.stats.fragments_created
+    assert stats["warm_misses"] == 0
+    assert stats["chain_mismatches"] == 0
+    assert stats["corrupt_records"] == 0
+
+
+@pytest.mark.parametrize("workload", ["gzip", "vortex"])
+def test_warm_telemetry_matches_cold(workload, tmp_path):
+    # beyond VMStats: the deterministic telemetry summary (counters,
+    # events, hot fragments) must be warm/cold identical too, since
+    # cached run summaries are built from it
+    cold = _run(workload)
+    _run(workload, tmp_path, "save")
+    warm = _run(workload, tmp_path, "load")
+    assert warm.vm.telemetry.summary() == cold.vm.telemetry.summary()
+
+
+def _instr_fields(instr):
+    return {name: getattr(instr, name) for name in type(instr).__slots__}
+
+
+def test_warm_run_reexecutes_same_code(tmp_path):
+    # the restored fragments are not just statistically equivalent —
+    # the translated code cache ends up instruction-identical
+    cold = _run("gzip")
+    _run("gzip", tmp_path, "save")
+    warm = _run("gzip", tmp_path, "load")
+    cold_frags = {f.entry_vpc: [_instr_fields(i) for i in f.body]
+                  for f in cold.tcache.fragments}
+    warm_frags = {f.entry_vpc: [_instr_fields(i) for i in f.body]
+                  for f in warm.tcache.fragments}
+    assert warm_frags == cold_frags
