@@ -18,6 +18,7 @@ smoke:
 	$(PYTHON) scripts/smoke_chaos.py
 	$(PYTHON) scripts/smoke_fuzz.py
 	$(PYTHON) scripts/smoke_serve.py
+	$(PYTHON) scripts/smoke_stream.py
 
 # A longer differential-fuzzing pass than the smoke run: 200 seeded
 # programs through every oracle stage, with shrinking on any finding.

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Smoke-test the serve streaming layer end to end.
+
+Boots a real `repro serve` subprocess, attaches two concurrent frame
+subscribers, drives two workloads through the client, and asserts the
+acceptance criteria: both subscribers observe the full request
+lifecycle (accepted -> executed -> completed, with matching correlation
+ids), the `metrics` verb returns Prometheus text that parses, zero
+frames are dropped at the default queue depth, and `repro top` renders
+a live dashboard off the same stream.  Then restarts the server on the
+same fragment store and proves the warm-start generation streams the
+same way (with warm hits visible in the exposed metrics).  Exits
+non-zero on any violation.
+
+Usage: PYTHONPATH=src python scripts/smoke_stream.py [workloads...]
+"""
+
+import io
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.cli import main as cli_main
+from repro.obs.expo import parse_exposition
+from repro.serve.client import ServeError, Subscription, request, run_many
+
+BUDGET = 20_000
+SNAPSHOT_INTERVAL = 0.2
+
+
+def start_server(socket_path, store_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--no-cache", "--persist-dir", store_dir,
+         "--snapshot-interval", str(SNAPSHOT_INTERVAL)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    line = process.stdout.readline()
+    if "serving on" not in line:
+        process.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return process
+
+
+def stop_server(socket_path, process):
+    try:
+        request(socket_path, {"op": "shutdown"}, timeout=30)
+    except ServeError:
+        process.kill()
+    process.wait(timeout=30)
+
+
+class Collector:
+    """One background subscriber accumulating every frame it receives."""
+
+    def __init__(self, socket_path):
+        self.frames = []
+        self.error = None
+        self.subscription = Subscription(socket_path, timeout=120)
+        self.thread = threading.Thread(target=self._pump, daemon=True)
+        self.thread.start()
+
+    def _pump(self):
+        try:
+            for frame in self.subscription.frames():
+                self.frames.append(frame)
+        except ServeError as exc:
+            self.error = exc
+
+    def finish(self):
+        """Close the stream and return the collected frames."""
+        self.subscription.close()
+        self.thread.join(timeout=30)
+        return self.frames
+
+    def completed_cids(self):
+        return {frame["data"]["cid"] for frame in self.frames
+                if frame["frame"] == "lifecycle"
+                and frame["data"].get("phase") == "completed"}
+
+
+def drive_generation(socket_path, workloads, failures, label):
+    """Attach 2 subscribers, run the workloads, check every criterion."""
+    collectors = [Collector(socket_path), Collector(socket_path)]
+    payloads = [{"op": "run", "workload": name, "budget": BUDGET}
+                for name in workloads]
+    responses = run_many(socket_path, payloads, timeout=300)
+    cids = set()
+    for name, response in zip(workloads, responses):
+        if not response.get("ok"):
+            failures.append(f"{label}: run {name} failed: "
+                            f"{response.get('error')}")
+        else:
+            cids.add(response["cid"])
+
+    # let the tail lifecycle/snapshot frames land before detaching
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if all(cids <= collector.completed_cids()
+               for collector in collectors):
+            break
+        time.sleep(0.05)
+
+    stats = request(socket_path, {"op": "stats"}, timeout=30)
+    metrics = request(socket_path, {"op": "metrics"}, timeout=30)
+    for collector in collectors:
+        collector.finish()
+
+    streaming = stats["streaming"]
+    if streaming["subscribers"] != 2:
+        failures.append(f"{label}: expected 2 live subscribers, stats "
+                        f"saw {streaming['subscribers']}")
+    if streaming["frames_dropped"] != 0:
+        failures.append(f"{label}: {streaming['frames_dropped']} frames "
+                        f"dropped at default queue depth")
+    for index, collector in enumerate(collectors):
+        if collector.error is not None:
+            failures.append(f"{label}: subscriber {index} errored: "
+                            f"{collector.error}")
+        missing = cids - collector.completed_cids()
+        if missing:
+            failures.append(f"{label}: subscriber {index} missed "
+                            f"completed frames for {sorted(missing)}")
+        kinds = {frame["frame"] for frame in collector.frames}
+        if "snapshot" not in kinds:
+            failures.append(f"{label}: subscriber {index} saw no "
+                            f"snapshot frames")
+        phases = {frame["data"].get("phase")
+                  for frame in collector.frames
+                  if frame["frame"] == "lifecycle"}
+        for phase in ("accepted", "executed", "completed"):
+            if phase not in phases:
+                failures.append(f"{label}: subscriber {index} never saw "
+                                f"a {phase!r} lifecycle frame")
+
+    if not metrics.get("ok"):
+        failures.append(f"{label}: metrics verb failed: "
+                        f"{metrics.get('error')}")
+        return stats, {}
+    try:
+        samples = parse_exposition(metrics["text"])
+    except ValueError as exc:
+        failures.append(f"{label}: exposition does not parse: {exc}")
+        return stats, {}
+    if samples.get("repro_serve_runs_completed_total") != len(workloads):
+        failures.append(
+            f"{label}: exposition reports "
+            f"{samples.get('repro_serve_runs_completed_total')} runs, "
+            f"expected {len(workloads)}")
+    bucket_names = [name for name in samples
+                    if name.startswith("repro_serve_total_seconds_bucket")]
+    if not bucket_names:
+        failures.append(f"{label}: no latency histogram buckets in the "
+                        f"exposition")
+    return stats, samples
+
+
+def main(argv):
+    workloads = list(argv[1:]) or ["gzip", "vortex"]
+    failures = []
+    started = time.perf_counter()
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-stream-") as root:
+        socket_path = os.path.join(root, "serve.sock")
+        store_dir = os.path.join(root, "store")
+
+        server = start_server(socket_path, store_dir)
+        try:
+            cold_stats, _ = drive_generation(socket_path, workloads,
+                                             failures, "cold")
+        finally:
+            stop_server(socket_path, server)
+        print(f"cold: {cold_stats['requests'].get('runs_completed', 0)} "
+              f"runs streamed to 2 subscribers, "
+              f"{cold_stats['streaming']['frames_published']} frames, "
+              f"{cold_stats['streaming']['frames_dropped']} dropped")
+
+        # generation 2: same store, so traffic is warm-start traffic
+        server = start_server(socket_path, store_dir)
+        try:
+            warm_stats, warm_samples = drive_generation(
+                socket_path, workloads, failures, "warm")
+            if warm_samples.get("repro_persist_warm_hits_total", 0) < 1:
+                failures.append("warm generation exposed zero "
+                                "persist warm hits")
+            top_out = io.StringIO()
+            code = cli_main(["top", "--socket", socket_path,
+                             "--frames", "6", "--no-clear"], out=top_out)
+            dashboard = top_out.getvalue()
+            if code != 0:
+                failures.append(f"repro top exited {code}")
+            if "repro top" not in dashboard or "latency" not in dashboard:
+                failures.append(f"repro top rendered nothing usable: "
+                                f"{dashboard[:200]!r}")
+        finally:
+            stop_server(socket_path, server)
+        print(f"warm: {warm_stats['requests'].get('runs_completed', 0)} "
+              f"runs, warm hits "
+              f"{warm_stats['persist'].get('warm_hits', 0)}, "
+              f"{warm_stats['streaming']['frames_dropped']} dropped; "
+              f"top rendered {len(dashboard.splitlines())} lines")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"ok: stream smoke passed in "
+          f"{time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -190,12 +190,25 @@ def build_parser():
     serve_parser.add_argument("--max-batch", type=_positive_int,
                               default=16,
                               help="run points per batch (default 16)")
+    serve_parser.add_argument("--snapshot-interval", type=float,
+                              default=1.0, metavar="SECONDS",
+                              help="metric snapshot / stream cadence "
+                                   "(default 1.0)")
+    serve_parser.add_argument("--queue-depth", type=_positive_int,
+                              default=512,
+                              help="per-subscriber frame queue depth — "
+                                   "slow consumers drop frames past "
+                                   "this (default 512)")
+    serve_parser.add_argument("--log-json", action="store_true",
+                              help="emit structured JSON log lines "
+                                   "(with request correlation ids) "
+                                   "instead of plain text")
 
     client_parser = sub.add_parser(
         "client", help="drive a running `repro serve` server")
     client_parser.add_argument("op",
                                choices=("ping", "run", "stats",
-                                        "shutdown"))
+                                        "metrics", "shutdown"))
     client_parser.add_argument("--socket", default="repro-serve.sock",
                                metavar="PATH")
     client_parser.add_argument("-w", "--workload", action="append",
@@ -211,6 +224,22 @@ def build_parser():
     client_parser.add_argument("--json", action="store_true",
                                help="print full JSON responses instead "
                                     "of summary lines")
+
+    top_parser = sub.add_parser(
+        "top", help="live dashboard over a running `repro serve` "
+                    "server's frame stream")
+    top_parser.add_argument("--socket", default="repro-serve.sock",
+                            metavar="PATH",
+                            help="unix socket of the server "
+                                 "(default repro-serve.sock)")
+    top_parser.add_argument("--frames", type=_positive_int, default=None,
+                            help="stop after this many frames (default: "
+                                 "run until Ctrl-C / server shutdown)")
+    top_parser.add_argument("--timeout", type=float, default=600.0,
+                            help="socket timeout seconds")
+    top_parser.add_argument("--no-clear", action="store_true",
+                            help="append dashboards instead of clearing "
+                                 "the screen between redraws")
 
     map_parser = sub.add_parser(
         "map", help="show a workload's translation-cache fragment map")
@@ -404,7 +433,8 @@ def _command_bench_compare(args, out):
 
 
 def _command_profile(args, out):
-    from repro.obs.profile import hot_fragment_table, phase_breakdown_lines
+    from repro.obs.profile import histogram_quantile_lines, \
+        hot_fragment_table, phase_breakdown_lines
     from repro.tcache.dump import cache_totals_line
 
     config = _config_from(args).copy(telemetry=True)
@@ -420,6 +450,9 @@ def _command_profile(args, out):
         print(line, file=out)
     print("", file=out)
     for line in phase_breakdown_lines(telemetry.registry):
+        print(line, file=out)
+    print("", file=out)
+    for line in histogram_quantile_lines(telemetry.registry):
         print(line, file=out)
     print("", file=out)
     for line in hot_fragment_table(telemetry.fragments, result.tcache,
@@ -586,7 +619,10 @@ def _command_serve(args, out):
     runner = PointRunner(workers=args.workers, cache=cache)
     server = FragmentServer(runner, args.socket,
                             batch_window=args.batch_window,
-                            max_batch=args.max_batch, out=out)
+                            max_batch=args.max_batch, out=out,
+                            snapshot_interval=args.snapshot_interval,
+                            queue_depth=args.queue_depth,
+                            log_json=args.log_json)
     try:
         asyncio.run(server.serve())
     except KeyboardInterrupt:
@@ -626,8 +662,20 @@ def _command_client(args, out):
     except ServeError as exc:
         print(f"client: {exc}", file=out)
         return 2
+    if args.op == "metrics" and response.get("ok") and not args.json:
+        # the exposition text IS the output format — print it raw
+        print(response.get("text", ""), file=out, end="")
+        return 0
     print(json.dumps(response, indent=2, sort_keys=True), file=out)
     return 0 if response.get("ok") else 1
+
+
+def _command_top(args, out):
+    from repro.cli_top import command_top
+
+    return command_top(args.socket, frames=args.frames, out=out,
+                       clear=False if args.no_clear else None,
+                       timeout=args.timeout)
 
 
 def _command_map(args, out):
@@ -676,6 +724,7 @@ def main(argv=None, out=None):
         "fuzz": _command_fuzz,
         "serve": _command_serve,
         "client": _command_client,
+        "top": _command_top,
         "map": _command_map,
         "report": _command_report,
     }[args.command]

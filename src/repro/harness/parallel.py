@@ -60,6 +60,27 @@ def _execute_chunk(points, fail=None):
     return results
 
 
+class RunObserver:
+    """Per-point lifecycle callbacks a :class:`PointRunner` reports to.
+
+    The default implementation is all no-ops, so observers override
+    only what they need.  Callbacks fire on the thread executing the
+    batch (the serve batcher's executor thread); observers living on an
+    event loop must hand off with ``call_soon_threadsafe``.  Points run
+    in pool worker *processes* are reported post-hoc by the parent when
+    the chunk returns.
+    """
+
+    def on_cache_hit(self, point):
+        """``point`` was answered by the result cache (no VM ran)."""
+
+    def on_point_start(self, point):
+        """``point`` is about to execute on the serial path."""
+
+    def on_point_done(self, point, summary):
+        """``point`` finished executing; ``summary`` is its result."""
+
+
 class RunReport:
     """Counters accumulated across one runner's batches."""
 
@@ -122,7 +143,7 @@ class PointRunner:
     """Executes batches of run points with caching and optional workers."""
 
     def __init__(self, workers=1, cache=None, tracer=None, faults=None,
-                 fault_seed=0, max_worker_retries=2):
+                 fault_seed=0, max_worker_retries=2, observer=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_worker_retries < 0:
@@ -142,6 +163,9 @@ class PointRunner:
         #: becomes a span (parallel workers land on their own tracks) and
         #: every cache hit an instant marker.  Defaults to the no-op twin.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional :class:`RunObserver` receiving per-point lifecycle
+        #: callbacks (the serve streaming layer's request-lifecycle tap)
+        self.observer = observer
         self.report = RunReport()
         #: report delta for the most recent :meth:`run` call
         self.last_report = None
@@ -180,6 +204,8 @@ class PointRunner:
                 self.report.cache_hits += 1
                 self.tracer.instant(f"cache-hit {point.label()}",
                                     cat="harness")
+                if self.observer is not None:
+                    self.observer.on_cache_hit(point)
             else:
                 pending.append(index)
 
@@ -213,12 +239,16 @@ class PointRunner:
         for slot, i in enumerate(pending):
             if executed[slot] is None:
                 point = order[i]
+                if self.observer is not None:
+                    self.observer.on_point_start(point)
                 with self.tracer.span(point.label(), cat="harness",
                                       kind=point.kind,
                                       budget=point.budget):
                     executed[slot] = execute_point(point)
         for index, summary in zip(pending, executed):
             summaries[index] = summary
+            if self.observer is not None:
+                self.observer.on_point_done(order[index], summary)
             self.report.executed += 1
             self.report.vm_seconds += summary.get("elapsed", 0.0)
             if self.cache is not None:

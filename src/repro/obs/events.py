@@ -20,6 +20,31 @@ from collections import Counter, deque
 #: Default ring-buffer capacity, in records.
 DEFAULT_CAPACITY = 4096
 
+#: Process-global subscription taps: callables invoked with every
+#: :class:`Event` any live :class:`EventStream` emits.  This is the hook
+#: the serve-mode streaming layer uses to fan VM events out to socket
+#: subscribers while a run is still executing — telemetry objects are
+#: created per run deep inside ``execute_point``, so a per-stream
+#: callback could never be threaded in from outside.  The emit hot path
+#: pays one truthiness check when no tap is installed (and the no-op
+#: :class:`NullEventStream` never even reaches it, keeping the
+#: telemetry-off overhead gate untouched).  A tap that raises is
+#: dropped silently: observability must never take down a VM run.
+_GLOBAL_TAPS = []
+
+
+def add_global_tap(tap):
+    """Install ``tap`` (an ``Event -> None`` callable) on every stream."""
+    _GLOBAL_TAPS.append(tap)
+
+
+def remove_global_tap(tap):
+    """Remove a previously installed tap (no error if already gone)."""
+    try:
+        _GLOBAL_TAPS.remove(tap)
+    except ValueError:
+        pass
+
 
 class EventKind:
     """Names of the event types the VM emits (plain strings)."""
@@ -92,6 +117,12 @@ class EventStream:
         self.emitted += 1
         self.by_kind[kind] += 1
         self._buffer.append(event)
+        if _GLOBAL_TAPS:
+            for tap in list(_GLOBAL_TAPS):
+                try:
+                    tap(event)
+                except Exception:
+                    remove_global_tap(tap)
         return event
 
     @property
@@ -169,23 +200,74 @@ def parse_jsonl(text):
     return events
 
 
+#: Longest payload excerpt a :class:`SkippedLines` warning quotes.
+SKIP_PAYLOAD_LIMIT = 60
+
+
+class SkippedLines(int):
+    """The skip count :func:`parse_jsonl_lenient` returns, carrying the
+    diagnosis of the *first* line it skipped.
+
+    Subclassing ``int`` keeps every existing caller working (``if
+    skipped:``, arithmetic, formatting) while tooling that wants to say
+    *why* lines were skipped reads :attr:`first_lineno` /
+    :attr:`first_error` / :attr:`first_payload` or prints
+    :meth:`warning` directly.
+    """
+
+    first_lineno = None
+    first_error = None
+    first_payload = None
+
+    def __new__(cls, count, lineno=None, error=None, payload=None):
+        """``count`` skipped lines; the rest describes the first one."""
+        value = super().__new__(cls, count)
+        value.first_lineno = lineno
+        value.first_error = error
+        if payload is not None and len(payload) > SKIP_PAYLOAD_LIMIT:
+            payload = payload[:SKIP_PAYLOAD_LIMIT] + "..."
+        value.first_payload = payload
+        return value
+
+    def warning(self):
+        """A one-line report naming the first skipped line, or ``""``
+        when nothing was skipped."""
+        if self == 0:
+            return ""
+        return (f"skipped {int(self)} malformed line(s); first at line "
+                f"{self.first_lineno}: {self.first_error} "
+                f"(payload {self.first_payload!r})")
+
+
 def parse_jsonl_lenient(text):
     """Like :func:`parse_jsonl`, but skip malformed lines.
 
-    Returns ``(events, skipped)`` where ``skipped`` counts the lines
-    that failed to parse — tooling reading logs of unknown provenance
-    can report the count instead of dying on the first bad line.
+    Returns ``(events, skipped)`` where ``skipped`` is a
+    :class:`SkippedLines` count of the lines that failed to parse —
+    tooling reading logs of unknown provenance can report
+    ``skipped.warning()`` (the 1-based line number, the parse error and
+    a truncated payload of the first bad line) instead of dying on it.
     """
     events = []
     skipped = 0
+    first = None
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
             events.append(_parse_line(line, lineno))
-        except ValueError:
+        except ValueError as exc:
             skipped += 1
-    return events, skipped
+            if first is None:
+                message = str(exc)
+                prefix = f"line {lineno}: "
+                if message.startswith(prefix):
+                    message = message[len(prefix):]
+                first = (lineno, message, line)
+    if first is None:
+        return events, SkippedLines(0)
+    return events, SkippedLines(skipped, lineno=first[0], error=first[1],
+                                payload=first[2])
 
 
 class NullEventStream:

@@ -1,0 +1,118 @@
+"""Prometheus-style text exposition of a metrics registry.
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` (or its
+``to_dict`` payload) in the Prometheus text format, the lingua franca a
+scraper, ``curl`` or a human can read off the ``repro client metrics``
+verb:
+
+* counters  -> ``<ns>_<name>_total <value>`` (``# TYPE ... counter``);
+* gauges    -> ``<ns>_<name> <value>`` (``# TYPE ... gauge``);
+* timers    -> ``<ns>_<name>_seconds_total`` + ``<ns>_<name>_spans_total``
+  (a timer is two counters in this format);
+* histograms -> cumulative ``<ns>_<name>_bucket{le="..."}`` samples with
+  the mandatory ``le="+Inf"`` terminal bucket and ``<ns>_<name>_count``
+  (the registry's fixed-bucket histograms track counts, not sums, so no
+  ``_sum`` sample is emitted — consumers estimate quantiles from the
+  buckets via :func:`repro.obs.registry.histogram_quantile`).
+
+Metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar
+(dots and dashes become underscores).  :func:`parse_exposition` is the
+matching strict reader used by the smoke scripts and tests to prove the
+output actually parses.
+"""
+
+import re
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)$")
+
+
+def sanitize_metric_name(name):
+    """``name`` mapped onto the Prometheus metric-name grammar."""
+    cleaned = _SANITIZE.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value):
+    """A sample value in exposition syntax (integers stay integral)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry, namespace="repro"):
+    """The registry as Prometheus text-format lines (one string).
+
+    ``registry`` is a :class:`~repro.obs.registry.MetricsRegistry` or an
+    equivalent ``to_dict`` payload.  Samples are grouped per metric
+    under ``# TYPE`` headers and sorted by name, so two renders of equal
+    registries are byte-identical.
+    """
+    data = registry if isinstance(registry, dict) else registry.to_dict()
+    prefix = f"{namespace}_" if namespace else ""
+    lines = []
+
+    def emit(name, kind, samples):
+        lines.append(f"# TYPE {name} {kind}")
+        for suffix, value in samples:
+            lines.append(f"{name}{suffix} {_format_value(value)}")
+
+    for name, value in sorted(data.get("counters", {}).items()):
+        emit(f"{prefix}{sanitize_metric_name(name)}_total", "counter",
+             [("", value)])
+    for name, value in sorted(data.get("gauges", {}).items()):
+        emit(f"{prefix}{sanitize_metric_name(name)}", "gauge",
+             [("", value)])
+    for name, fields in sorted(data.get("timers", {}).items()):
+        base = f"{prefix}{sanitize_metric_name(name)}"
+        emit(f"{base}_seconds_total", "counter", [("", fields["seconds"])])
+        emit(f"{base}_spans_total", "counter", [("", fields["count"])])
+    for name, fields in sorted(data.get("histograms", {}).items()):
+        base = f"{prefix}{sanitize_metric_name(name)}"
+        samples = []
+        cumulative = 0
+        for bound, count in zip(fields["bounds"], fields["counts"]):
+            cumulative += count
+            samples.append((f'{{le="{bound}"}}', cumulative))
+        samples.append(('{le="+Inf"}', fields["total"]))
+        emit(f"{base}_bucket", "histogram", samples)
+        emit(f"{base}_count", "counter", [("", fields["total"])])
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text):
+    """Parse Prometheus text format back into ``{sample: value}``.
+
+    Strict by design — this is the proof harness for
+    :func:`render_prometheus`, so any line that is not a comment, blank,
+    or a well-formed ``name[{labels}] value`` sample raises
+    ``ValueError`` naming the 1-based line number.  Sample keys keep
+    their label part verbatim (``repro_x_bucket{le="5"}``).
+    """
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {lineno}: not a valid exposition sample: "
+                f"{line[:60]!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: non-numeric sample value "
+                             f"{match.group('value')!r}") from None
+        key = match.group("name") + (match.group("labels") or "")
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = value
+    return samples

@@ -160,6 +160,26 @@ def hot_fragment_table(profiler, tcache, top=10):
     return lines
 
 
+def histogram_quantile_lines(registry, qs=(0.5, 0.9, 0.99)):
+    """Render each registry histogram's quantiles as text lines.
+
+    The quantiles come from :meth:`~repro.obs.registry.Histogram.quantile`
+    (Prometheus-style linear interpolation within fixed buckets) — the
+    same math ``repro top`` applies to the streamed latency histograms.
+    """
+    lines = ["histogram quantiles "
+             f"({'/'.join(f'p{int(q * 100)}' for q in qs)}):"]
+    if not registry.histograms:
+        lines.append("  (no histograms recorded — was telemetry on?)")
+        return lines
+    for name, histogram in sorted(registry.histograms.items()):
+        if not histogram.total:
+            continue
+        cells = "  ".join(f"{histogram.quantile(q):10.1f}" for q in qs)
+        lines.append(f"  {name:28s} {cells}  (n={histogram.total})")
+    return lines
+
+
 def phase_breakdown_lines(registry, prefix="phase."):
     """Render the registry's ``phase.``-prefixed timers as a breakdown.
 

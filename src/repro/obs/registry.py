@@ -133,6 +133,14 @@ class Histogram:
         self.counts[bisect_left(self.bounds, value)] += count
         self.total += count
 
+    def quantile(self, q):
+        """Estimate the ``q``-quantile (see :func:`histogram_quantile`)."""
+        return histogram_quantile(self.bounds, self.counts, q)
+
+    def quantiles(self, qs=(0.5, 0.9, 0.99)):
+        """Estimate several quantiles at once; ``{q: estimate}``."""
+        return {q: self.quantile(q) for q in qs}
+
     def reset(self):
         """Zero every bucket (used for rebuild-on-finalize histograms)."""
         self.counts = [0] * (len(self.bounds) + 1)
@@ -140,6 +148,48 @@ class Histogram:
 
     def __repr__(self):
         return f"Histogram({self.name}, n={self.total})"
+
+
+def histogram_quantile(bounds, counts, q):
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    The estimator is the Prometheus ``histogram_quantile`` rule: find
+    the bucket containing the target rank ``q * total`` and interpolate
+    linearly inside it, taking the first bucket's lower edge as 0 and
+    clamping the overflow bucket to the last finite bound (a fixed
+    bucket layout cannot know how far past it the tail reaches).  The
+    estimate is therefore **exact at bucket boundaries**: a rank landing
+    precisely on a bucket's cumulative count returns that bucket's upper
+    bound, which the unit tests pin down.
+
+    Returns ``None`` for an empty histogram — there is no distribution
+    to ask about, and 0.0 would be indistinguishable from a real
+    all-zero sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    bounds = tuple(bounds)
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        below = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            if index >= len(bounds):        # overflow bucket
+                return float(bounds[-1]) if bounds else 0.0
+            lower = 0.0 if index == 0 else float(bounds[index - 1])
+            upper = float(bounds[index])
+            return lower + (upper - lower) * ((rank - below) / count)
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def histogram_quantiles(bounds, counts, qs=(0.5, 0.9, 0.99)):
+    """Several :func:`histogram_quantile` estimates at once, as
+    ``{q: estimate}`` (``None`` entries for an empty histogram)."""
+    return {q: histogram_quantile(bounds, counts, q) for q in qs}
 
 
 class MetricsRegistry:
@@ -272,6 +322,14 @@ class _NullMetric:
 
     def observe(self, value, count=1):
         """No-op."""
+
+    def quantile(self, q):
+        """Always None (nothing was observed)."""
+        return None
+
+    def quantiles(self, qs=(0.5, 0.9, 0.99)):
+        """All-None estimates."""
+        return {q: None for q in qs}
 
     def reset(self):
         """No-op."""

@@ -1,0 +1,148 @@
+"""A bounded ring of periodic metric snapshots, with delta/rate views.
+
+The registry (:mod:`repro.obs.registry`) accumulates *totals*; a
+long-lived process (``repro serve``) also needs to answer "how fast is
+this moving **right now**" — requests per second, warm-hit rate over the
+last interval, promotion bursts.  :class:`TimeSeriesRing` holds the last
+N snapshots of a flat ``{name: number}`` value map, each stamped with a
+wall-clock timestamp and a monotonic sequence number, so consumers can
+difference any two snapshots into per-interval deltas and divide by the
+elapsed time for rates — without the producer ever storing anything but
+totals.
+
+The ring is bounded: recording past capacity evicts the oldest snapshot
+(counted in :attr:`TimeSeriesRing.evicted`), so a server that snapshots
+every second holds a fixed-size recent-history window forever.
+"""
+
+from collections import deque
+
+#: Default ring capacity — at the serve loop's 1 s snapshot cadence,
+#: five minutes of history.
+DEFAULT_RING_CAPACITY = 300
+
+
+class Snapshot:
+    """One point-in-time value map: timestamp, sequence, flat values."""
+
+    __slots__ = ("ts", "seq", "values")
+
+    def __init__(self, ts, seq, values):
+        self.ts = ts
+        self.seq = seq
+        self.values = values
+
+    def to_json(self):
+        """The snapshot as a JSON-able dict."""
+        return {"ts": self.ts, "seq": self.seq, "values": self.values}
+
+    def __repr__(self):
+        return f"Snapshot(seq={self.seq}, ts={self.ts:.3f}, " \
+               f"{len(self.values)} values)"
+
+
+def snapshot_delta(older, newer):
+    """Per-name differences ``newer - older`` over the newer snapshot's
+    keys (a name absent from the older snapshot counts from zero, so a
+    counter created mid-run still deltas correctly)."""
+    old = older.values
+    return {name: value - old.get(name, 0)
+            for name, value in newer.values.items()}
+
+
+class TimeSeriesRing:
+    """A bounded, ordered buffer of :class:`Snapshot` records."""
+
+    def __init__(self, capacity=DEFAULT_RING_CAPACITY):
+        if capacity < 2:
+            raise ValueError("ring capacity must be >= 2 (deltas need "
+                             "two snapshots)")
+        self.capacity = capacity
+        self._buffer = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, values, ts):
+        """Append one snapshot of ``values`` taken at wall-clock ``ts``;
+        returns it."""
+        snapshot = Snapshot(ts, self.recorded, dict(values))
+        self.recorded += 1
+        self._buffer.append(snapshot)
+        return snapshot
+
+    @property
+    def evicted(self):
+        """Snapshots pushed out of the ring so far."""
+        return self.recorded - len(self._buffer)
+
+    def latest(self):
+        """The newest snapshot, or None when empty."""
+        return self._buffer[-1] if self._buffer else None
+
+    def delta(self, spans=1):
+        """``(deltas, elapsed)`` between the newest snapshot and the one
+        ``spans`` recordings back (clamped to the oldest held).
+
+        Returns ``({}, 0.0)`` with fewer than two snapshots — a rate
+        needs an interval.
+        """
+        if len(self._buffer) < 2:
+            return {}, 0.0
+        spans = max(1, min(spans, len(self._buffer) - 1))
+        older = self._buffer[-1 - spans]
+        newer = self._buffer[-1]
+        return snapshot_delta(older, newer), newer.ts - older.ts
+
+    def rates(self, spans=1):
+        """Per-second rates over the same window as :meth:`delta`."""
+        deltas, elapsed = self.delta(spans)
+        if elapsed <= 0:
+            return {}, elapsed
+        return {name: value / elapsed for name, value in deltas.items()}, \
+            elapsed
+
+    def series(self, name, limit=None):
+        """``(ts, value)`` pairs of one metric across the held window
+        (snapshots missing the name are skipped), newest last."""
+        points = [(snapshot.ts, snapshot.values[name])
+                  for snapshot in self._buffer if name in snapshot.values]
+        return points[-limit:] if limit else points
+
+    def to_json(self, limit=None):
+        """The newest ``limit`` snapshots (all, when None) as JSON-able
+        dicts, oldest first."""
+        snapshots = list(self._buffer)
+        if limit:
+            snapshots = snapshots[-limit:]
+        return [snapshot.to_json() for snapshot in snapshots]
+
+    def __len__(self):
+        return len(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+    def __repr__(self):
+        return (f"TimeSeriesRing({len(self._buffer)}/{self.capacity} "
+                f"held, {self.recorded} recorded)")
+
+
+def flatten_registry(data, prefix=""):
+    """Flatten a :meth:`MetricsRegistry.to_dict` payload into the flat
+    ``{name: number}`` map a :class:`TimeSeriesRing` records.
+
+    Counters and gauges keep their names; timers contribute
+    ``<name>.seconds`` and ``<name>.count``; histograms contribute
+    ``<name>.total`` (bucket vectors do not difference usefully as
+    scalars — stream them whole instead).
+    """
+    values = {}
+    for name, value in data.get("counters", {}).items():
+        values[prefix + name] = value
+    for name, value in data.get("gauges", {}).items():
+        values[prefix + name] = value
+    for name, fields in data.get("timers", {}).items():
+        values[f"{prefix}{name}.seconds"] = fields["seconds"]
+        values[f"{prefix}{name}.count"] = fields["count"]
+    for name, fields in data.get("histograms", {}).items():
+        values[f"{prefix}{name}.total"] = fields["total"]
+    return values

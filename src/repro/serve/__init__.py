@@ -1,4 +1,5 @@
-"""Long-lived service mode: ``repro serve`` / ``repro client``.
+"""Long-lived service mode: ``repro serve`` / ``repro client`` /
+``repro top``.
 
 A :class:`~repro.serve.server.FragmentServer` is an asyncio JSON-lines
 server on a local unix socket.  It accepts run-point requests, dedups
@@ -8,11 +9,27 @@ within a short window, and dispatches each batch to one shared
 from the process-wide result cache, the persistent fragment store
 (:mod:`repro.persist`, via the ``REPRO_PERSIST_DIR`` overlay) and the
 worker pool.  A ``stats`` endpoint exposes the server's own counters,
-the runner report, the merged telemetry aggregates and the accumulated
-``persist.*`` totals.  See ``docs/serving.md``.
+the runner report, the merged telemetry aggregates, the accumulated
+``persist.*`` totals, latency quantiles and streaming accounting; a
+``metrics`` endpoint renders the same surface as Prometheus text
+exposition; a ``subscribe`` endpoint streams typed JSONL frames
+(:mod:`repro.serve.streaming`) to any number of bounded concurrent
+subscribers.  See ``docs/serving.md`` and ``docs/observability.md``.
 """
 
-from repro.serve.client import request, run_many
+from repro.serve.client import ServeError, Subscription, request, run_many
 from repro.serve.server import FragmentServer
+from repro.serve.streaming import (
+    DEFAULT_EVENT_KINDS,
+    DEFAULT_QUEUE_DEPTH,
+    Frame,
+    FrameKind,
+    KNOWN_FRAME_KINDS,
+    SubscriptionHub,
+)
 
-__all__ = ["FragmentServer", "request", "run_many"]
+__all__ = [
+    "FragmentServer", "ServeError", "Subscription", "request",
+    "run_many", "DEFAULT_EVENT_KINDS", "DEFAULT_QUEUE_DEPTH", "Frame",
+    "FrameKind", "KNOWN_FRAME_KINDS", "SubscriptionHub",
+]

@@ -5,11 +5,20 @@ tests, benchmarks) are short-lived drivers, and a thread per concurrent
 request is exactly what is needed to prove the server's in-flight
 deduplication — two identical requests must be *on the wire together*
 to join one run.
+
+Connection failures map to distinct, actionable :class:`ServeError`
+messages: a missing socket ("is ``repro serve`` running?"), a stale
+socket nothing is listening on, a connect/response timeout.  The CLI
+surfaces them verbatim with a non-zero exit.
+
+:class:`Subscription` is the streaming counterpart: it issues one
+``subscribe`` request and then iterates the server's JSONL frames
+(see :mod:`repro.serve.streaming`) until closed — what ``repro top``
+and the stream smoke test are built on.
 """
 
 import json
 import socket
-import threading
 
 DEFAULT_TIMEOUT = 600.0
 
@@ -18,12 +27,48 @@ class ServeError(Exception):
     """The server connection failed or returned a malformed response."""
 
 
+def _connect(socket_path, timeout):
+    """Open a unix-stream connection, translating each failure mode
+    into a message that says what to do about it."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(str(socket_path))
+    except FileNotFoundError as exc:
+        sock.close()
+        raise ServeError(
+            f"no server socket at {socket_path} — is `repro serve` "
+            f"running?") from exc
+    except ConnectionRefusedError as exc:
+        sock.close()
+        raise ServeError(
+            f"socket {socket_path} exists but nothing is listening "
+            f"(stale socket from a dead server? remove it and restart "
+            f"`repro serve`)") from exc
+    except socket.timeout as exc:
+        sock.close()
+        raise ServeError(
+            f"connecting to {socket_path} timed out after {timeout}s"
+        ) from exc
+    except OSError as exc:
+        sock.close()
+        raise ServeError(f"cannot connect to {socket_path}: {exc}") \
+            from exc
+    return sock
+
+
+def _parse_line(line, what="response"):
+    """One JSON line -> object, or a :class:`ServeError` naming it."""
+    try:
+        return json.loads(line)
+    except ValueError as exc:
+        raise ServeError(f"malformed {what}: {exc}") from exc
+
+
 def request(socket_path, payload, timeout=DEFAULT_TIMEOUT):
     """Send one request object; return the parsed response object."""
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
+    with _connect(socket_path, timeout) as sock:
         try:
-            sock.connect(str(socket_path))
             sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
             buffer = b""
             while not buffer.endswith(b"\n"):
@@ -32,18 +77,20 @@ def request(socket_path, payload, timeout=DEFAULT_TIMEOUT):
                     raise ServeError(
                         "connection closed before a response arrived")
                 buffer += chunk
+        except socket.timeout as exc:
+            raise ServeError(
+                f"server did not respond within {timeout}s") from exc
         except OSError as exc:
             raise ServeError(f"serve request failed: {exc}") from exc
-    try:
-        return json.loads(buffer)
-    except ValueError as exc:
-        raise ServeError(f"malformed response: {exc}") from exc
+    return _parse_line(buffer)
 
 
 def run_many(socket_path, payloads, timeout=DEFAULT_TIMEOUT):
     """Issue ``payloads`` concurrently (one thread each), results in
     order.  A failed request becomes an ``{"ok": False, ...}`` entry
     instead of raising, so one bad response cannot hide the others."""
+    import threading
+
     results = [None] * len(payloads)
 
     def _one(index, payload):
@@ -59,3 +106,95 @@ def run_many(socket_path, payloads, timeout=DEFAULT_TIMEOUT):
     for thread in threads:
         thread.join()
     return results
+
+
+class Subscription:
+    """One live frame stream off a ``subscribe`` request.
+
+    Usable as a context manager::
+
+        with Subscription(path) as sub:
+            for frame in sub.frames():
+                ...
+
+    The constructor blocks until the subscribe acknowledgement **and**
+    the ``hello`` frame arrive (so ``sub.sid`` / ``sub.hello`` are
+    always populated); :meth:`frames` then yields each subsequent frame
+    dict until the server closes the stream, ``limit`` frames have
+    arrived, or :meth:`close` is called.
+    """
+
+    def __init__(self, socket_path, kinds=None, events=None,
+                 timeout=DEFAULT_TIMEOUT):
+        self._sock = _connect(socket_path, timeout)
+        self._reader = self._sock.makefile("rb")
+        self.closed = False
+        payload = {"op": "subscribe"}
+        if kinds is not None:
+            payload["kinds"] = list(kinds)
+        if events is not None:
+            payload["events"] = list(events)
+        try:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") +
+                               b"\n")
+            ack = _parse_line(self._read_line(), "subscribe ack")
+            if not ack.get("ok"):
+                raise ServeError(f"subscribe refused: "
+                                 f"{ack.get('error', 'unknown error')}")
+            #: subscriber id assigned by the server (``hello.data.id``)
+            self.sid = ack.get("id")
+            #: the greeting frame: queue depth, snapshot cadence, filters
+            self.hello = _parse_line(self._read_line(), "hello frame")
+        except Exception:
+            self.close()
+            raise
+
+    def _read_line(self, what="frame"):
+        try:
+            line = self._reader.readline()
+        except socket.timeout as exc:
+            raise ServeError(f"no {what} arrived within the timeout") \
+                from exc
+        except OSError as exc:
+            raise ServeError(f"stream read failed: {exc}") from exc
+        if not line:
+            raise ServeError(f"stream closed before a {what} arrived")
+        return line
+
+    def frames(self, limit=None):
+        """Yield parsed frame dicts as they arrive (at most ``limit``);
+        a server-side close ends the iteration instead of raising."""
+        count = 0
+        while limit is None or count < limit:
+            try:
+                line = self._reader.readline()
+            except (OSError, ValueError):
+                return
+            if not line:
+                return
+            yield _parse_line(line)
+            count += 1
+
+    def close(self):
+        """Tear the connection down (idempotent); the server notices
+        the disconnect and unsubscribes."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    def __repr__(self):
+        return f"Subscription(sid={getattr(self, 'sid', None)})"

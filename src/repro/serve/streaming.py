@@ -1,0 +1,262 @@
+"""The serve-mode subscription hub: typed frames fanned out to sockets.
+
+The ``subscribe`` protocol verb (:mod:`repro.serve.server`) turns a
+client connection into a one-way stream of JSON-line **frames**.  The
+:class:`SubscriptionHub` is the fan-out point: every frame published is
+offered to every live subscriber through a **bounded** per-subscriber
+queue — a slow or stuck consumer overflows its own queue and loses
+frames (counted per subscriber and hub-wide), but can never exert
+backpressure on the batcher or on other subscribers.  That no-stall
+property is the whole design: the serving hot path pays one
+``put_nowait`` per subscriber per frame, nothing else.
+
+Frame kinds (:class:`FrameKind`):
+
+* ``hello`` — the first frame on every subscription: subscriber id,
+  queue depth, the kind filter in force;
+* ``snapshot`` — the periodic metrics snapshot: flat values, deltas
+  over the previous snapshot, the latency histograms;
+* ``event`` — one VM telemetry event (``repro.obs.events``) forwarded
+  live through the process-global tap, minus the high-rate kinds unless
+  a subscriber asks for them;
+* ``lifecycle`` — request lifecycle records (accepted / joined /
+  executed / completed / failed / run_started / run_finished /
+  point_cached), each carrying the request's correlation id;
+* ``log`` — structured server log records.
+
+A frame's wire form is ``{"frame": kind, "seq": n, "ts": t, "data":
+{...}}`` — disjoint from request responses (which carry ``"ok"``), so a
+client can multiplex both off one line reader.
+"""
+
+import asyncio
+import itertools
+
+from repro.obs.events import EventKind
+
+#: Per-subscriber queue depth.  Sized so a dashboard redrawing a few
+#: times a second never drops at serve's default event volume, while a
+#: wedged consumer caps its memory at ~a few hundred small frames.
+DEFAULT_QUEUE_DEPTH = 512
+
+#: Event kinds forwarded to subscribers by default: the low-rate
+#: lifecycle/degradation kinds.  ``fragment_entered`` and
+#: ``dispatch_run`` fire per fragment visit — thousands per run — and
+#: are only forwarded to subscribers that name them explicitly.
+HIGH_RATE_KINDS = frozenset((EventKind.FRAGMENT_ENTERED,
+                             EventKind.DISPATCH_RUN))
+DEFAULT_EVENT_KINDS = frozenset((
+    EventKind.FRAGMENT_CREATED,
+    EventKind.FRAGMENT_CHAINED,
+    EventKind.FRAGMENT_INVALIDATED,
+    EventKind.TCACHE_FLUSH,
+    EventKind.TRAP_DELIVERED,
+    EventKind.SUPERBLOCK_CAPTURED,
+    EventKind.FAULT_INJECTED,
+    EventKind.TRANSLATION_FAILED,
+    EventKind.PC_BLACKLISTED,
+    EventKind.TCACHE_FULL,
+    EventKind.FRAGMENT_CORRUPTED,
+    EventKind.JIT_PROMOTED,
+))
+
+
+class FrameKind:
+    """Names of the frame types the hub publishes (plain strings)."""
+
+    HELLO = "hello"
+    SNAPSHOT = "snapshot"
+    EVENT = "event"
+    LIFECYCLE = "lifecycle"
+    LOG = "log"
+
+
+#: Every kind the hub publishes — subscribers may filter to a subset.
+KNOWN_FRAME_KINDS = frozenset(
+    value for name, value in vars(FrameKind).items()
+    if not name.startswith("_"))
+
+
+class Frame:
+    """One typed record: kind, hub-wide sequence number, timestamp,
+    payload dict."""
+
+    __slots__ = ("kind", "seq", "ts", "data")
+
+    def __init__(self, kind, seq, ts, data):
+        self.kind = kind
+        self.seq = seq
+        self.ts = ts
+        self.data = data
+
+    def to_json(self):
+        """The frame as a JSON-able dict (the JSONL line's object)."""
+        return {"frame": self.kind, "seq": self.seq,
+                "ts": round(self.ts, 6), "data": self.data}
+
+    def __repr__(self):
+        return f"Frame({self.kind}, seq={self.seq})"
+
+
+class Subscriber:
+    """One live subscription: a bounded queue plus its drop accounting."""
+
+    __slots__ = ("sid", "queue", "kinds", "event_kinds", "sent",
+                 "dropped", "closed")
+
+    def __init__(self, sid, depth, kinds=None, event_kinds=None):
+        self.sid = sid
+        self.queue = asyncio.Queue(maxsize=depth)
+        #: frame-kind filter (None = every kind)
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        #: event-kind filter applied to ``event`` frames
+        self.event_kinds = frozenset(event_kinds) \
+            if event_kinds is not None else DEFAULT_EVENT_KINDS
+        self.sent = 0
+        self.dropped = 0
+        self.closed = False
+
+    def wants(self, frame):
+        """Does this subscriber's filter accept ``frame``?"""
+        if self.kinds is not None and frame.kind not in self.kinds:
+            return False
+        if frame.kind == FrameKind.EVENT and \
+                frame.data.get("kind") not in self.event_kinds:
+            return False
+        return True
+
+    def offer(self, frame):
+        """Enqueue without blocking; a full queue drops the frame."""
+        try:
+            self.queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.dropped += 1
+            return False
+        self.sent += 1
+        return True
+
+    def close(self):
+        """Wake the consumer with the end-of-stream sentinel (``None``).
+
+        A full queue makes room by discarding its oldest frame — the
+        sentinel must always land, or the writer task would wait
+        forever.
+        """
+        self.closed = True
+        while True:
+            try:
+                self.queue.put_nowait(None)
+                return
+            except asyncio.QueueFull:
+                self.queue.get_nowait()
+
+    def stats(self):
+        """This subscription's accounting as a JSON-able dict."""
+        return {"id": self.sid, "sent": self.sent, "dropped": self.dropped,
+                "queued": self.queue.qsize()}
+
+    def __repr__(self):
+        return (f"Subscriber({self.sid}, sent={self.sent}, "
+                f"dropped={self.dropped})")
+
+
+class SubscriptionHub:
+    """Fan-out of frames to any number of bounded subscribers.
+
+    Single-threaded by contract: every method must be called on the
+    server's event-loop thread (producers on other threads hand off via
+    ``loop.call_soon_threadsafe``).  Publishing to zero subscribers is
+    one length check.
+    """
+
+    def __init__(self, queue_depth=DEFAULT_QUEUE_DEPTH):
+        if queue_depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.queue_depth = queue_depth
+        self._subscribers = {}
+        self._ids = itertools.count(1)
+        self._seq = itertools.count()
+        #: lifetime accounting, surviving unsubscribes
+        self.connected_total = 0
+        self.published = 0
+        self.dropped_total = 0
+
+    def subscribe(self, kinds=None, event_kinds=None):
+        """Register a new :class:`Subscriber` (its ``hello`` frame is
+        the server's job — the hub only owns the queues)."""
+        if kinds is not None:
+            unknown = set(kinds) - KNOWN_FRAME_KINDS
+            if unknown:
+                raise ValueError(f"unknown frame kinds {sorted(unknown)}")
+        subscriber = Subscriber(next(self._ids), self.queue_depth,
+                                kinds=kinds, event_kinds=event_kinds)
+        self._subscribers[subscriber.sid] = subscriber
+        self.connected_total += 1
+        return subscriber
+
+    def unsubscribe(self, subscriber):
+        """Drop a subscriber; its lifetime drops fold into the hub total."""
+        if self._subscribers.pop(subscriber.sid, None) is not None:
+            self.dropped_total += subscriber.dropped
+
+    def publish(self, kind, data, ts):
+        """Build one frame and offer it to every matching subscriber;
+        returns the frame (sequence numbers advance even with no
+        subscribers, so frame loss is externally detectable)."""
+        frame = Frame(kind, next(self._seq), ts, data)
+        self.published += 1
+        for subscriber in self._subscribers.values():
+            if subscriber.wants(frame):
+                subscriber.offer(frame)
+        return frame
+
+    def event_kind_union(self):
+        """Union of every live subscriber's event-kind filter (only
+        those whose frame filter accepts ``event`` frames at all) — the
+        server's telemetry tap consults this before paying a
+        cross-thread hand-off for an event nobody wants."""
+        kinds = set()
+        for subscriber in self._subscribers.values():
+            if subscriber.kinds is None or \
+                    FrameKind.EVENT in subscriber.kinds:
+                kinds |= subscriber.event_kinds
+        return frozenset(kinds)
+
+    def direct(self, subscriber, kind, data, ts):
+        """Publish one frame to a *single* subscriber, bypassing its
+        filters (how the server delivers the ``hello`` greeting without
+        broadcasting it to everyone)."""
+        frame = Frame(kind, next(self._seq), ts, data)
+        self.published += 1
+        subscriber.offer(frame)
+        return frame
+
+    def close_all(self):
+        """Send every live subscriber the end-of-stream sentinel."""
+        for subscriber in list(self._subscribers.values()):
+            subscriber.close()
+
+    def __len__(self):
+        return len(self._subscribers)
+
+    def stats(self):
+        """Hub accounting: live subscriber states plus lifetime totals.
+
+        ``frames_dropped`` counts drops of *every* subscriber ever
+        connected — the zero-drop acceptance checks read it directly.
+        """
+        live = [subscriber.stats()
+                for subscriber in self._subscribers.values()]
+        return {
+            "subscribers": len(self._subscribers),
+            "connected_total": self.connected_total,
+            "frames_published": self.published,
+            "frames_dropped": self.dropped_total +
+            sum(entry["dropped"] for entry in live),
+            "queue_depth": self.queue_depth,
+            "live": live,
+        }
+
+    def __repr__(self):
+        return (f"SubscriptionHub({len(self._subscribers)} live, "
+                f"{self.published} published)")

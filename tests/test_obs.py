@@ -218,6 +218,34 @@ class TestEventStream:
         assert events == stream.records()
         assert skipped == 0
 
+    def test_parse_jsonl_lenient_reports_first_bad_line(self):
+        stream = EventStream()
+        stream.emit(EventKind.FRAGMENT_CREATED, fid=0)
+        text = stream.to_jsonl() + "this is not json\n" + "[]\n"
+        events, skipped = parse_jsonl_lenient(text)
+        assert skipped == 2
+        assert skipped.first_lineno == 2
+        assert skipped.first_payload == "this is not json"
+        warning = skipped.warning()
+        assert "skipped 2 malformed line(s)" in warning
+        assert "line 2" in warning
+        assert "this is not json" in warning
+
+    def test_parse_jsonl_lenient_truncates_long_payloads(self):
+        payload = "x" * 500
+        events, skipped = parse_jsonl_lenient(payload + "\n")
+        assert events == []
+        assert skipped == 1
+        assert skipped.first_payload.endswith("...")
+        assert len(skipped.first_payload) < 80
+        assert "..." in skipped.warning()
+
+    def test_skipped_lines_still_an_int(self):
+        _events, skipped = parse_jsonl_lenient("nope\n")
+        assert skipped == 1
+        assert skipped + 1 == 2     # arithmetic keeps working
+        assert bool(skipped) is True
+
     def test_summary(self):
         stream = EventStream(capacity=1)
         stream.emit(EventKind.FRAGMENT_CREATED, fid=0)

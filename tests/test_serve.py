@@ -34,12 +34,13 @@ BATCH_WINDOW = 0.2
 class ServerUnderTest:
     """One in-thread server generation bound to a throwaway socket."""
 
-    def __init__(self, socket_path, batch_window=BATCH_WINDOW):
+    def __init__(self, socket_path, batch_window=BATCH_WINDOW,
+                 **server_kwargs):
         self.socket_path = str(socket_path)
         self.runner = PointRunner(workers=1, cache=None)
         self.server = FragmentServer(self.runner, self.socket_path,
                                      batch_window=batch_window,
-                                     out=io.StringIO())
+                                     out=io.StringIO(), **server_kwargs)
         self.thread = threading.Thread(
             target=lambda: asyncio.run(self.server.serve()), daemon=True)
 

@@ -1,0 +1,383 @@
+"""The serve streaming layer: hub fan-out, live subscriptions, drops.
+
+Three layers of coverage: :class:`SubscriptionHub` units on a private
+event loop (filters, bounded-queue drops, the close sentinel), real
+server generations driven over a socket (lifecycle frames with
+correlation ids, snapshots, subscriber churn under concurrent load,
+slow consumers losing frames without hurting anyone else), and the
+degradation path (a seeded-fault run streaming ``fault_injected``
+events through the process-global tap).  Client-side failure messages
+and the ``repro top`` CLI ride along.
+"""
+
+import asyncio
+import io
+import socket as socket_module
+import threading
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cli_top import TopState, render_dashboard
+from repro.harness.runner import run_vm
+from repro.obs.events import EventKind
+from repro.obs.expo import parse_exposition
+from repro.obs.telemetry import tapped_events
+from repro.serve.client import ServeError, Subscription, request
+from repro.serve.streaming import (
+    DEFAULT_EVENT_KINDS,
+    FrameKind,
+    SubscriptionHub,
+)
+from repro.vm.config import VMConfig
+
+from tests.test_serve import BUDGET, ServerUnderTest, _run_payload
+
+
+def run_cli(*argv):
+    """Drive the real CLI entry point; returns ``(exit_code, text)``."""
+    out = io.StringIO()
+    code = cli_main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def sock(tmp_path):
+    return str(tmp_path / "stream.sock")
+
+
+def hub_call(coro):
+    """Run one coroutine on a throwaway loop (hub methods must run on
+    an event-loop thread because Subscriber owns an asyncio.Queue)."""
+    return asyncio.run(coro)
+
+
+class TestSubscriptionHub:
+    def test_publish_reaches_every_subscriber(self):
+        async def scenario():
+            hub = SubscriptionHub(queue_depth=8)
+            first = hub.subscribe()
+            second = hub.subscribe()
+            frame = hub.publish(FrameKind.LIFECYCLE, {"phase": "x"}, 1.0)
+            assert frame.seq == 0
+            assert first.queue.get_nowait() is not None
+            assert second.queue.qsize() == 1
+            assert hub.stats()["frames_published"] == 1
+        hub_call(scenario())
+
+    def test_frame_kind_filter(self):
+        async def scenario():
+            hub = SubscriptionHub(queue_depth=8)
+            only_snapshots = hub.subscribe(kinds=("snapshot",))
+            hub.publish(FrameKind.LIFECYCLE, {}, 1.0)
+            hub.publish(FrameKind.SNAPSHOT, {}, 2.0)
+            assert only_snapshots.queue.qsize() == 1
+            assert only_snapshots.queue.get_nowait().kind == "snapshot"
+        hub_call(scenario())
+
+    def test_unknown_frame_kind_rejected(self):
+        async def scenario():
+            hub = SubscriptionHub()
+            with pytest.raises(ValueError, match="unknown frame kinds"):
+                hub.subscribe(kinds=("bogus",))
+        hub_call(scenario())
+
+    def test_event_kind_filter_defaults_exclude_high_rate(self):
+        async def scenario():
+            hub = SubscriptionHub(queue_depth=8)
+            subscriber = hub.subscribe()
+            hub.publish(FrameKind.EVENT,
+                        {"kind": EventKind.FRAGMENT_ENTERED}, 1.0)
+            hub.publish(FrameKind.EVENT,
+                        {"kind": EventKind.FAULT_INJECTED}, 2.0)
+            assert subscriber.queue.qsize() == 1
+            frame = subscriber.queue.get_nowait()
+            assert frame.data["kind"] == EventKind.FAULT_INJECTED
+        hub_call(scenario())
+
+    def test_slow_consumer_drops_are_counted_not_blocking(self):
+        async def scenario():
+            hub = SubscriptionHub(queue_depth=3)
+            slow = hub.subscribe()
+            fast = hub.subscribe()
+            for index in range(10):
+                hub.publish(FrameKind.LIFECYCLE, {"n": index}, float(index))
+                fast.queue.get_nowait()     # fast consumer keeps up
+            assert slow.dropped == 7
+            assert slow.sent == 3
+            assert fast.dropped == 0
+            assert hub.stats()["frames_dropped"] == 7
+        hub_call(scenario())
+
+    def test_drops_survive_unsubscribe(self):
+        async def scenario():
+            hub = SubscriptionHub(queue_depth=1)
+            subscriber = hub.subscribe()
+            hub.publish(FrameKind.LOG, {}, 1.0)
+            hub.publish(FrameKind.LOG, {}, 2.0)
+            hub.unsubscribe(subscriber)
+            assert hub.stats()["frames_dropped"] == 1
+            assert hub.stats()["subscribers"] == 0
+            assert hub.stats()["connected_total"] == 1
+        hub_call(scenario())
+
+    def test_close_sentinel_lands_even_when_full(self):
+        async def scenario():
+            hub = SubscriptionHub(queue_depth=2)
+            subscriber = hub.subscribe()
+            hub.publish(FrameKind.LOG, {}, 1.0)
+            hub.publish(FrameKind.LOG, {}, 2.0)
+            subscriber.close()
+            drained = []
+            while subscriber.queue.qsize():
+                drained.append(subscriber.queue.get_nowait())
+            assert drained[-1] is None      # the sentinel made it
+        hub_call(scenario())
+
+    def test_event_kind_union_tracks_subscribers(self):
+        async def scenario():
+            hub = SubscriptionHub()
+            assert hub.event_kind_union() == frozenset()
+            subscriber = hub.subscribe()
+            assert hub.event_kind_union() == DEFAULT_EVENT_KINDS
+            hub.subscribe(kinds=("snapshot",))  # no event frames wanted
+            assert hub.event_kind_union() == DEFAULT_EVENT_KINDS
+            hub.unsubscribe(subscriber)
+        hub_call(scenario())
+
+
+class TestServerStreaming:
+    def test_subscribe_sees_request_lifecycle(self, sock):
+        with ServerUnderTest(sock, snapshot_interval=0.1):
+            with Subscription(sock, timeout=30) as subscription:
+                assert subscription.hello["frame"] == "hello"
+                assert subscription.hello["data"]["id"] == \
+                    subscription.sid
+                response = request(sock, _run_payload("gzip"))
+                assert response["ok"]
+                cid = response["cid"]
+                phases = {}
+                deadline = time.monotonic() + 20
+                for frame in subscription.frames():
+                    if frame["frame"] == "lifecycle" and \
+                            frame["data"].get("cid") == cid:
+                        phases[frame["data"]["phase"]] = frame["data"]
+                    if "completed" in phases or \
+                            time.monotonic() > deadline:
+                        break
+        assert "accepted" in phases
+        assert "executed" in phases
+        assert "completed" in phases
+        executed = phases["executed"]
+        assert executed["workload"] == "gzip"
+        assert executed["queue_wait_seconds"] >= 0
+        assert executed["run_seconds"] > 0
+        assert phases["completed"]["total_seconds"] >= \
+            executed["run_seconds"]
+
+    def test_snapshot_frames_carry_values_and_deltas(self, sock):
+        with ServerUnderTest(sock, snapshot_interval=0.05):
+            with Subscription(sock, kinds=("snapshot",),
+                              timeout=30) as subscription:
+                request(sock, _run_payload("gzip"))
+                snapshots = []
+                deadline = time.monotonic() + 20
+                for frame in subscription.frames():
+                    snapshots.append(frame)
+                    if frame["data"]["values"].get(
+                            "serve.runs_completed") or \
+                            time.monotonic() > deadline:
+                        break
+        assert all(frame["frame"] == "snapshot" for frame in snapshots)
+        assert len(snapshots) >= 1
+        newest = snapshots[-1]["data"]
+        assert newest["values"]["serve.runs_completed"] == 1
+        assert "serve.op.run" in newest["values"]
+        assert "deltas" in newest and "latency" in newest
+        assert newest["latency"]["serve.total_seconds"]["total"] == 1
+
+    def test_two_concurrent_subscribers_zero_drops(self, sock):
+        """The acceptance path: warm traffic to 2+ live subscribers at
+        the default queue depth loses nothing."""
+        with ServerUnderTest(sock, snapshot_interval=0.1):
+            with Subscription(sock, timeout=30) as first, \
+                    Subscription(sock, timeout=30) as second:
+                for workload in ("gzip", "vortex"):
+                    assert request(sock,
+                                   _run_payload(workload))["ok"]
+                stats = request(sock, {"op": "stats"})
+                # both streams observed the runs completing
+                seen = [0, 0]
+                for index, subscription in enumerate((first, second)):
+                    for frame in subscription.frames():
+                        if frame["frame"] == "lifecycle" and \
+                                frame["data"].get("phase") == "completed":
+                            seen[index] += 1
+                            if seen[index] == 2:
+                                break
+            assert seen == [2, 2]
+            assert stats["streaming"]["subscribers"] == 2
+            assert stats["streaming"]["frames_dropped"] == 0
+            final = request(sock, {"op": "stats"})
+        assert final["streaming"]["frames_dropped"] == 0
+        assert final["streaming"]["connected_total"] == 2
+        assert final["requests"]["runs_completed"] == 2
+
+    def test_subscriber_churn_leaves_serving_intact(self, sock):
+        with ServerUnderTest(sock, snapshot_interval=0.05):
+            stop = threading.Event()
+            churned = [0]
+
+            def churn():
+                while not stop.is_set():
+                    try:
+                        with Subscription(sock, timeout=30) as subscription:
+                            for _ in subscription.frames(limit=2):
+                                pass
+                        churned[0] += 1
+                    except ServeError:
+                        pass
+
+            threads = [threading.Thread(target=churn) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                responses = [request(sock, _run_payload("gzip")),
+                             request(sock, _run_payload("vortex"))]
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert all(response["ok"] for response in responses)
+            stats = request(sock, {"op": "stats"})
+            assert stats["requests"]["runs_completed"] == 2
+            assert stats["streaming"]["subscribers"] == 0
+            assert stats["streaming"]["connected_total"] >= churned[0]
+
+    def test_slow_consumer_drops_counted_server_side(self, sock):
+        with ServerUnderTest(sock, snapshot_interval=0.01,
+                             queue_depth=2):
+            # subscribe and then never read a single frame
+            with Subscription(sock, timeout=30):
+                deadline = time.monotonic() + 20
+                dropped = 0
+                while time.monotonic() < deadline:
+                    stats = request(sock, {"op": "stats"})
+                    dropped = stats["streaming"]["frames_dropped"]
+                    if dropped > 0:
+                        break
+                    time.sleep(0.02)
+            assert dropped > 0
+            # the batch path never noticed: a run still works fine
+            assert request(sock, _run_payload("gzip"))["ok"]
+
+    def test_metrics_verb_returns_parsable_exposition(self, sock):
+        with ServerUnderTest(sock):
+            request(sock, _run_payload("gzip"))
+            response = request(sock, {"op": "metrics"})
+        assert response["ok"]
+        samples = parse_exposition(response["text"])
+        assert samples["repro_serve_runs_completed_total"] == 1
+        assert samples["repro_serve_requests_total"] >= 2
+        assert any(name.startswith("repro_serve_total_seconds_bucket")
+                   for name in samples)
+
+    def test_run_responses_carry_correlation_ids(self, sock):
+        with ServerUnderTest(sock):
+            first = request(sock, _run_payload("gzip"))
+            second = request(sock, _run_payload("vortex"))
+        assert first["cid"] != second["cid"]
+        assert first["cid"].startswith("r")
+
+
+class TestDegradationStreaming:
+    def test_seeded_fault_run_streams_fault_events(self):
+        """A VM run under a seeded fault schedule pushes its
+        degradation events through the global tap — the same path a
+        serve subscriber's ``event`` frames come from."""
+        seen = []
+        config = VMConfig(faults="translate@count=2", fault_seed=11,
+                          telemetry=True)
+        with tapped_events(seen.append,
+                           kinds=(EventKind.FAULT_INJECTED,
+                                  EventKind.TRANSLATION_FAILED)):
+            run_vm("gzip", config, budget=BUDGET, collect_trace=False)
+        kinds = {event.kind for event in seen}
+        assert EventKind.FAULT_INJECTED in kinds
+        assert all(event.kind in (EventKind.FAULT_INJECTED,
+                                  EventKind.TRANSLATION_FAILED)
+                   for event in seen)
+
+    def test_tap_removed_after_context(self):
+        seen = []
+        with tapped_events(seen.append):
+            pass
+        run_vm("gzip", VMConfig(telemetry=True), budget=1_000,
+               collect_trace=False)
+        assert seen == []
+
+
+class TestClientErrors:
+    def test_missing_socket_names_the_fix(self, tmp_path):
+        with pytest.raises(ServeError, match="is `repro serve` running"):
+            request(tmp_path / "absent.sock", {"op": "ping"}, timeout=2)
+
+    def test_stale_socket_detected(self, tmp_path):
+        stale = str(tmp_path / "stale.sock")
+        holder = socket_module.socket(socket_module.AF_UNIX,
+                                      socket_module.SOCK_STREAM)
+        holder.bind(stale)
+        holder.close()      # the file stays; nothing listens
+        with pytest.raises(ServeError, match="nothing is listening"):
+            request(stale, {"op": "ping"}, timeout=2)
+
+    def test_client_cli_exits_2_with_message(self, tmp_path):
+        code, text = run_cli("client", "ping", "--socket",
+                             str(tmp_path / "absent.sock"))
+        assert code == 2
+        assert "is `repro serve` running" in text
+
+
+class TestTopCli:
+    def test_top_renders_live_dashboard(self, sock):
+        with ServerUnderTest(sock, snapshot_interval=0.05):
+            request(sock, _run_payload("gzip"))
+            code, text = run_cli("top", "--socket", sock,
+                                 "--frames", "12", "--no-clear")
+        assert code == 0
+        assert "repro top" in text
+        assert "latency" in text
+        assert "persist" in text
+
+    def test_top_without_server_exits_2(self, tmp_path):
+        code, text = run_cli("top", "--socket",
+                             str(tmp_path / "absent.sock"),
+                             "--frames", "1")
+        assert code == 2
+        assert "is `repro serve` running" in text
+
+    def test_topstate_folds_frames(self):
+        state = TopState()
+        redraw = state.update({"frame": "lifecycle",
+                               "data": {"phase": "completed", "cid": "r1",
+                                        "workload": "gzip",
+                                        "total_seconds": 0.5,
+                                        "committed": 123}})
+        assert redraw is False
+        redraw = state.update({"frame": "snapshot", "data": {
+            "seq": 3, "interval": 1.0,
+            "values": {"serve.requests": 10, "serve.runs_completed": 4,
+                       "persist.warm_hits": 3, "persist.warm_misses": 1},
+            "deltas": {"serve.runs_completed": 2, "serve.requests": 5},
+            "latency": {"serve.total_seconds": {
+                "bounds": [0.1, 1.0], "counts": [2, 2, 0], "total": 4}},
+        }})
+        assert redraw is True
+        text = render_dashboard(state, "sock")
+        assert "snapshot #3" in text
+        assert "2.0/s" in text          # runs delta over 1 s
+        assert "(75%)" in text          # warm 3/4
+        assert "r1" in text
+        quantiles = state.quantiles("serve.total_seconds")
+        assert quantiles[0.5] == pytest.approx(0.1)
