@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke chaos fuzz bench bench-quick bench-gate report \
-	clean-cache
+.PHONY: check test smoke chaos fuzz fuzz-hostile bench bench-quick \
+	bench-gate report clean-cache
 
 check: test smoke
 
@@ -16,6 +16,7 @@ smoke:
 	$(PYTHON) scripts/smoke_telemetry.py
 	$(PYTHON) scripts/smoke_trace.py
 	$(PYTHON) scripts/smoke_chaos.py
+	$(PYTHON) scripts/smoke_smc.py
 	$(PYTHON) scripts/smoke_fuzz.py
 	$(PYTHON) scripts/smoke_serve.py
 	$(PYTHON) scripts/smoke_stream.py
@@ -24,6 +25,12 @@ smoke:
 # programs through every oracle stage, with shrinking on any finding.
 fuzz:
 	$(PYTHON) -m repro fuzz --count 200 --seed 1 --shrink
+
+# Hostile-guest fuzzing: self-modifying code, protection flips and
+# syscalls, with the SMC/protect chaos sites layered on top.
+fuzz-hostile:
+	$(PYTHON) -m repro fuzz --count 100 --seed 1 --hostile --chaos \
+		--shrink --engines naive,jit
 
 # The full differential chaos suite: every workload under every seeded
 # fault schedule must converge to the fault-free interpreter.

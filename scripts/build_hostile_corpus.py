@@ -1,0 +1,117 @@
+"""Rebuild the checked-in hostile regression corpus (tests/corpus/hostile/).
+
+Picks a spread of hostile-guest programs (``generate(..., hostile=True)``)
+whose shapes and observed behaviour jointly cover the hostile surface:
+self-modifying stores that actually land on installed fragments
+(``smc_detected``), ``protect`` calls that revoke execute permission and
+kill the program with a precise protection fault, failing protect calls,
+and the ``getc``/``brk``/``yield`` syscalls.  Each program is shrunk
+*behaviour-preservingly*: a candidate survives only if the oracle stack
+still agrees, the reference outcome is unchanged bit for bit, the
+program still reaches translated code, and every hostile signal the
+original exhibited (SMC detection, protect invalidation, each syscall)
+is still exhibited.
+
+Deterministic: same generator version in, same corpus bytes out.
+
+Usage::
+
+    PYTHONPATH=src python scripts/build_hostile_corpus.py [out_dir]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fuzz.corpus import entry_dict, write_corpus  # noqa: E402
+from repro.fuzz.gen import generate  # noqa: E402
+from repro.fuzz.oracle import (  # noqa: E402
+    check_program,
+    oracle_config,
+    run_reference,
+    run_vm_outcome,
+)
+from repro.fuzz.shrink import shrink_words  # noqa: E402
+
+#: (seed, index) at max_insns=40 — chosen so the combined coverage
+#: includes SMC stores that hit installed fragments, protect calls that
+#: revoke execute permission (precise protection faults), failing
+#: protect calls, getc/brk/yield syscalls, and hostile programs that
+#: still halt cleanly.
+SELECTION = [
+    (1, 1),     # protection fault + SMC hit + getc + yield
+    (1, 2),     # brk + getc + SMC hit, halts
+    (1, 3),     # pure SMC hit
+    (1, 5),     # getc + brk heavy, halts
+    (1, 9),     # two SMC hits
+    (1, 10),    # gentrap + SMC + getc + yield + protect
+    (1, 13),    # unaligned epilogue trap + SMC + getc
+    (1, 20),    # protection fault, repeated protect invalidations
+    (1, 30),    # yield + SMC hit
+    (3, 4),     # brk + two SMC hits
+    (3, 21),    # protection fault, protect-dense body
+    (3, 25),    # all five hostile shapes in one program
+    (3, 29),    # protection fault + brk + yield
+    (7, 3),     # protection fault, protect-only
+    (7, 4),     # three SMC chunks, one hit
+    (7, 14),    # two SMC hits + brk + yield
+    (7, 23),    # protection fault *and* SMC hit + yield
+    (7, 32),    # brk + getc + yield + protect + SMC, halts
+]
+MAX_INSNS = 40
+
+
+def _signature(outcome):
+    return (outcome.status, outcome.pc, tuple(outcome.regs),
+            outcome.console, outcome.mem, outcome.committed,
+            outcome.trap_kind, outcome.trap_vpc)
+
+
+def _hostile_signals(vm):
+    """Boolean fingerprint of which hostile surfaces a run touched."""
+    stats = vm.stats
+    calls = vm.interpreter.pal.calls
+    return (stats.smc_detected > 0, stats.protect_invalidations > 0,
+            tuple(sorted(name for name, count in calls.items() if count)))
+
+
+def build_entry(seed, index):
+    fprog = generate(seed, index, max_insns=MAX_INSNS, hostile=True)
+    reference = _signature(run_reference(fprog))
+    _outcome, baseline = run_vm_outcome(fprog, oracle_config())
+    signals = _hostile_signals(baseline)
+
+    def behaviour_preserved(words):
+        candidate = fprog.with_words(words)
+        if _signature(run_reference(candidate)) != reference:
+            return False
+        _outcome, vm = run_vm_outcome(candidate, oracle_config())
+        if vm.stats.fragments_created == 0:
+            return False
+        if _hostile_signals(vm) != signals:
+            return False
+        return not check_program(candidate,
+                                 stages=("cosim", "engine"))["failures"]
+
+    shrunk, checks = shrink_words(fprog.words, behaviour_preserved,
+                                  max_checks=150)
+    print(f"  {fprog.name}: {len(fprog.words)} -> {len(shrunk)} words "
+          f"({checks} checks), shapes {sorted(fprog.shapes)}, "
+          f"signals {signals}")
+    return entry_dict(fprog, shrunk_words=shrunk)
+
+
+def main(out_dir):
+    entries = []
+    for seed, index in SELECTION:
+        entries.append(build_entry(seed, index))
+    names = write_corpus(out_dir, entries)
+    print(f"wrote {len(names)} hostile corpus records to {out_dir}")
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else \
+        os.path.join(os.path.dirname(__file__), "..", "tests", "corpus",
+                     "hostile")
+    main(target)

@@ -123,6 +123,10 @@ def build_parser():
                               default=None, metavar="N",
                               help="fuel watchdog: abort cleanly after N "
                                    "host dispatch steps")
+    chaos_parser.add_argument("--hostile", action="store_true",
+                              help="extend the fault schedule with the "
+                                   "hostile-guest sites (SMC widening, "
+                                   "spurious protect invalidation)")
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="run seeded random programs through the "
@@ -142,6 +146,10 @@ def build_parser():
     fuzz_parser.add_argument("--chaos", action="store_true",
                              help="also run each program under a seeded "
                                   "fault schedule")
+    fuzz_parser.add_argument("--hostile", action="store_true",
+                             help="generate hostile-guest programs: "
+                                  "self-modifying stores, page-"
+                                  "protection flips and syscalls")
     fuzz_parser.add_argument("--engines", default=None, metavar="LIST",
                              help="comma-separated engine axis for the "
                                   "oracle engine stage (default: "
@@ -511,12 +519,14 @@ def _command_experiment(args, out):
 
 
 def _command_chaos(args, out):
-    from repro.faults.plan import DEFAULT_CHAOS_SPECS
+    from repro.faults.plan import DEFAULT_CHAOS_SPECS, HOSTILE_CHAOS_SPECS
     from repro.harness.runner import run_original
     from repro.vm.system import BudgetExceeded
 
     specs = args.fault_specs if args.fault_specs else \
         list(DEFAULT_CHAOS_SPECS)
+    if args.hostile:
+        specs = specs + list(HOSTILE_CHAOS_SPECS)
     config = _config_from(args).copy(
         faults=";".join(specs), fault_seed=args.fault_seed,
         tcache_capacity_bytes=args.tcache_capacity,
@@ -589,7 +599,7 @@ def _command_fuzz(args, out):
                           shrink=args.shrink, workers=args.workers,
                           budget=args.budget, corpus_dir=args.corpus_dir,
                           telemetry=args.telemetry, runner=runner,
-                          engines=engines)
+                          engines=engines, hostile=args.hostile)
     for line in result.render_lines():
         print(line, file=out)
     if args.corpus_dir:

@@ -25,7 +25,14 @@ Sites (see ``docs/robustness.md`` for the degradation path each drives):
     a fragment-store load fails wholesale (the VM starts cold);
 ``persist_corrupt``
     individual fragment-store records are dropped at load time as if
-    their CRCs had failed.
+    their CRCs had failed;
+``smc``
+    a guest store that hit translated code invalidates *every* fragment
+    on the written page instead of just the overlapping ones (spurious
+    widening — behaviour-neutral, the victims retranslate);
+``protect``
+    a guest ``protect`` PAL call spuriously invalidates every fragment
+    in the affected range even when execute permission survives.
 
 Selector keys (all optional; a bare site faults on every occurrence):
 
@@ -53,6 +60,8 @@ class FaultSite:
     WORKER_TIMEOUT = "worker_timeout"
     PERSIST_LOAD = "persist_load"
     PERSIST_CORRUPT = "persist_corrupt"
+    SMC = "smc"
+    PROTECT = "protect"
 
 
 #: Every site a spec may name — parsing rejects anything else.
@@ -67,6 +76,15 @@ DEFAULT_CHAOS_SPECS = (
     "translate@every=2,times=4",
     "corrupt@every=3,times=3",
     "tcache_full@count=5,times=1",
+)
+
+#: Extra specs for hostile-guest chaos (``repro chaos --hostile`` and the
+#: hostile fuzz oracle): spurious SMC widening and protect invalidation.
+#: Both are behaviour-neutral degradations — architected results must
+#: still converge to the fault-free interpreter reference.
+HOSTILE_CHAOS_SPECS = (
+    "smc@every=2",
+    "protect@every=2",
 )
 
 _INT_KEYS = ("vpc", "count", "every", "after", "times", "worker")

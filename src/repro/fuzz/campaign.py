@@ -110,17 +110,21 @@ def _shrink_finding(finding, budget):
 
 def run_campaign(count, seed, max_insns=60, chaos=False, shrink=False,
                  workers=1, budget=ORACLE_BUDGET, corpus_dir=None,
-                 telemetry=False, runner=None, engines=None):
+                 telemetry=False, runner=None, engines=None,
+                 hostile=False):
     """Run ``count`` seeded programs through the oracle stack.
 
     ``engines`` selects the oracle engine stage's comparison axis
     (``None`` uses the oracle default, currently naive + jit).
+    ``hostile`` generates hostile-guest programs (self-modifying code,
+    protection flips, syscalls) instead of tame ones.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
     points = [RunPoint.fuzz(seed, index, max_insns=max_insns,
                             chaos=chaos, budget=budget,
-                            telemetry=telemetry, engines=engines)
+                            telemetry=telemetry, engines=engines,
+                            hostile=hostile)
               for index in range(count)]
     if runner is None:
         runner = PointRunner(workers=workers, cache=None)
@@ -135,7 +139,7 @@ def run_campaign(count, seed, max_insns=60, chaos=False, shrink=False,
         if summary["inconclusive"]:
             inconclusive += 1
         fprog = generate(summary["seed"], index=summary["index"],
-                         max_insns=max_insns)
+                         max_insns=max_insns, hostile=hostile)
         # the worker hashed the program it generated; the parent's
         # regeneration must match bit for bit in any process
         entry = corpus_mod.entry_dict(fprog,

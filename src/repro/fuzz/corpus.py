@@ -39,6 +39,10 @@ def entry_dict(fprog, failures=None, shrunk_words=None):
         "data": fprog.data.hex(),
         "shapes": dict(fprog.shapes),
     }
+    if fprog.hostile:
+        entry["hostile"] = True
+    if fprog.input:
+        entry["input"] = fprog.input.hex()
     if failures:
         entry["failures"] = list(failures)
     if shrunk_words is not None:
@@ -129,4 +133,6 @@ def program_from_entry(entry, shrunk=False):
                        entry=entry["entry"],
                        text_base=entry["text_base"],
                        data_base=entry["data_base"],
-                       shapes=entry.get("shapes"))
+                       shapes=entry.get("shapes"),
+                       input=bytes.fromhex(entry.get("input", "")),
+                       hostile=entry.get("hostile", False))

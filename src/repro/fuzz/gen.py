@@ -15,6 +15,13 @@ a sandboxed, mapped data buffer:
   genuine guarded traps (GENTRAP from inside the hot loop, unaligned
   and unmapped accesses in the epilogue) so precise-trap delivery is on
   the fuzzed surface;
+* ``hostile=True`` adds the hostile-guest chunks: guarded
+  self-modifying stores that patch a donor instruction word over a
+  labelled slot in the program's own text (the SMC surface), ``protect``
+  PAL calls that flip page protections (including, when traps are
+  allowed, revoking execute permission on the running code), and the
+  ``getc``/``brk``/``yield`` syscalls; hostile programs also carry a
+  scripted input for ``getc``;
 * all randomness flows from one :class:`~repro.utils.rng.Xorshift64`
   seeded by ``mix(seed, index)``; the same ``(seed, index,
   max_insns, GENERATOR_VERSION)`` always yields byte-identical program
@@ -36,12 +43,21 @@ from repro.isa.opcodes import (
     RB_ONLY_OPS,
 )
 from repro.isa.registers import RA_REG, ZERO_REG
-from repro.memory.image import Memory, Program
+from repro.interp.pal import HEAP_BASE
+from repro.memory.image import (
+    PAGE_SIZE,
+    PROT_ALL,
+    PROT_READ,
+    PROT_WRITE,
+    Memory,
+    Program,
+)
 from repro.utils.rng import Xorshift64
 from repro.workloads.base import BinaryWorkload
 
 #: Bump on any change that alters emitted words for an existing seed.
-GENERATOR_VERSION = 1
+#: 2: hostile-guest chunks (SMC self-patching, protect flips, syscalls).
+GENERATOR_VERSION = 2
 
 #: Section layout; matches the assembler defaults so fuzz programs look
 #: exactly like assembled workloads to the VM.
@@ -122,6 +138,12 @@ class _Emitter:
     def branch(self, mnemonic, ra, label):
         self.items.append(("branch", mnemonic, ra, label))
 
+    def lda_slot(self, ra, label):
+        """``lda ra, <4 * label index>(ra)`` — materialise the byte
+        offset of a labelled text slot (combined with an ``ldah`` of the
+        text base, this is how SMC chunks address their patch target)."""
+        self.items.append(("lda_slot", ra, label))
+
     def instr_count(self):
         return sum(1 for item in self.items if item[0] != "label")
 
@@ -141,6 +163,11 @@ class _Emitter:
             if item[0] == "instr":
                 out.append(item[1])
                 continue
+            if item[0] == "lda_slot":
+                _kind, ra, label = item
+                out.append(Instruction("lda", ra=ra, rb=ra,
+                                       imm=4 * positions[label]))
+                continue
             _kind, mnemonic, ra, label = item
             displacement = positions[label] - (len(out) + 1)
             out.append(Instruction(mnemonic, ra=ra, imm=displacement))
@@ -157,11 +184,13 @@ class FuzzProgram:
     """
 
     __slots__ = ("seed", "index", "version", "max_insns", "words", "data",
-                 "entry", "text_base", "data_base", "shapes")
+                 "entry", "text_base", "data_base", "shapes", "input",
+                 "hostile")
 
     def __init__(self, seed, index, version, max_insns, words, data,
                  entry=TEXT_BASE, text_base=TEXT_BASE,
-                 data_base=DATA_BASE, shapes=None):
+                 data_base=DATA_BASE, shapes=None, input=b"",
+                 hostile=False):
         self.seed = seed
         self.index = index
         self.version = version
@@ -172,6 +201,8 @@ class FuzzProgram:
         self.text_base = text_base
         self.data_base = data_base
         self.shapes = dict(shapes or {})
+        self.input = bytes(input)
+        self.hostile = bool(hostile)
 
     @property
     def name(self):
@@ -186,7 +217,8 @@ class FuzzProgram:
         return program_from_words(self.words, data=self.data,
                                   text_base=self.text_base,
                                   data_base=self.data_base,
-                                  entry=self.entry, name=self.name)
+                                  entry=self.entry, name=self.name,
+                                  input_script=self.input)
 
     def to_workload(self):
         """Wrap as a workload so harness plumbing can run it."""
@@ -199,7 +231,8 @@ class FuzzProgram:
         return FuzzProgram(self.seed, self.index, self.version,
                            self.max_insns, words, self.data,
                            entry=self.entry, text_base=self.text_base,
-                           data_base=self.data_base, shapes=self.shapes)
+                           data_base=self.data_base, shapes=self.shapes,
+                           input=self.input, hostile=self.hostile)
 
     def __repr__(self):
         return (f"FuzzProgram({self.name}, {len(self.words)} words, "
@@ -207,7 +240,8 @@ class FuzzProgram:
 
 
 def program_from_words(words, data=b"", text_base=TEXT_BASE,
-                       data_base=DATA_BASE, entry=None, name="fuzz"):
+                       data_base=DATA_BASE, entry=None, name="fuzz",
+                       input_script=b""):
     """Build a loaded program image from raw 32-bit text words.
 
     The data buffer is always mapped (``BUF_SIZE`` bytes minimum), so
@@ -225,7 +259,7 @@ def program_from_words(words, data=b"", text_base=TEXT_BASE,
     return Program(memory, entry if entry is not None else text_base,
                    symbols={"buf": data_base},
                    text_base=text_base, text_size=len(words) * 4,
-                   source_name=name)
+                   source_name=name, input_script=input_script)
 
 
 # -- single-instruction emission (shared with the property tests) -------------
@@ -397,6 +431,119 @@ def _emit_guarded_trap(rng, emitter):
     emitter.place(skip)
 
 
+# -- hostile chunk emitters ---------------------------------------------------
+#
+# Everything below fires behind the same guard idiom as
+# ``_emit_guarded_trap`` (``cmpeq`` the outer counter against a small
+# value) so the hostile act lands on a *late* iteration — after the hot
+# loop has been captured and translated — which is exactly where SMC
+# invalidation, protect-driven invalidation and the retranslate deopt
+# path live.
+
+#: donor-word ALU mnemonics: any operand values are safe, so a patched
+#: slot can swap between them freely without risking a trap.
+_DONOR_OPS = ("addq", "subq", "xor", "bis", "and")
+#: protect scratch: the PAL argument registers (a0..a2 = R16..R18).
+#: R16 doubles as the console operand, but every putc re-materialises it.
+_PAL_ARGS = (16, 17, 18)
+
+
+def _emit_smc(rng, emitter, donors):
+    """A guarded self-modifying store over a labelled slot in own text.
+
+    The generator encodes a donor ALU instruction and appends its word
+    to the data image *past* the sandboxed buffer (random memory chunks
+    never reach it).  On one late iteration the program loads the donor
+    word back (``ldl``), materialises the patch target's own address
+    (``ldah`` text base + ``lda`` of the slot's resolved byte offset)
+    and ``stl``s it over the slot — which sits on the fall-through path
+    and executes again on every remaining iteration.  Both the original
+    and donor instructions are harmless ALU ops writing a body register,
+    so the program survives its own patch; what changes is which values
+    flow — and, underneath, that every engine must detect the write,
+    invalidate precisely, and retranslate the rewritten code.
+    """
+    slot = emitter.label()
+    skip = emitter.label()
+    emitter.instr(Instruction("cmpeq", ra=_COUNTER, rc=_GUARD,
+                              imm=1 + rng.next_range(4), islit=True))
+    emitter.branch("beq", _GUARD, skip)
+    donor = Instruction(_pick(rng, _DONOR_OPS),
+                        ra=_pick(rng, _READ_REGS),
+                        rc=_pick(rng, _BODY_REGS),
+                        imm=_literal(rng), islit=True)
+    offset = BUF_SIZE + 4 * len(donors)
+    donors.append(encode(donor))
+    emitter.instr(Instruction("ldl", ra=_SCRATCH, rb=_BUF, imm=offset))
+    emitter.instr(Instruction("ldah", ra=17, rb=ZERO_REG,
+                              imm=TEXT_BASE >> 16))
+    emitter.lda_slot(17, slot)
+    emitter.instr(Instruction("stl", ra=_SCRATCH, rb=17, imm=0))
+    emitter.place(skip)
+    emitter.place(slot)
+    emitter.instr(Instruction(_pick(rng, _DONOR_OPS),
+                              ra=_pick(rng, _READ_REGS),
+                              rc=_pick(rng, _BODY_REGS),
+                              imm=_literal(rng), islit=True))
+
+
+def _emit_protect(rng, emitter, allow_traps):
+    """A guarded ``protect`` PAL call flipping page protections.
+
+    Three variants: revoke execute on the program's own first text page
+    (the next fetch from it protection-faults — gated by
+    ``allow_traps``), a deliberately failing call against an unmapped
+    range (R0 reads back ``EOF_VALUE``), and a benign flip of the data
+    page between writable protection combinations.
+    """
+    skip = emitter.label()
+    emitter.instr(Instruction("cmpeq", ra=_COUNTER, rc=_GUARD,
+                              imm=1 + rng.next_range(3), islit=True))
+    emitter.branch("beq", _GUARD, skip)
+    choice = rng.next_range(6)
+    if allow_traps and choice == 0:
+        base_high, prot = TEXT_BASE >> 16, PROT_READ | PROT_WRITE
+    elif choice == 1:
+        base_high, prot = 0x30, PROT_ALL        # unmapped: fails clean
+    else:
+        base_high = DATA_BASE >> 16
+        prot = _pick(rng, (PROT_READ | PROT_WRITE, PROT_ALL))
+    emitter.instr(Instruction("ldah", ra=16, rb=ZERO_REG, imm=base_high))
+    emitter.instr(Instruction("lda", ra=17, rb=ZERO_REG, imm=PAGE_SIZE))
+    emitter.instr(Instruction("lda", ra=18, rb=ZERO_REG, imm=prot))
+    emitter.instr(Instruction("call_pal", imm=PAL_FUNCTIONS["protect"]))
+    emitter.place(skip)
+
+
+def _emit_getc(rng, emitter):
+    """Read one scripted input byte and fold it into a body register."""
+    emitter.instr(Instruction("call_pal", imm=PAL_FUNCTIONS["getc"]))
+    emitter.instr(Instruction("addq", ra=0, rb=_pick(rng, _READ_REGS),
+                              rc=_pick(rng, _BODY_REGS)))
+
+
+def _emit_brk(rng, emitter):
+    """Grow the heap with ``brk``, then store/load through the new page."""
+    request = 8 + 8 * rng.next_range(64)
+    emitter.instr(Instruction("ldah", ra=16, rb=ZERO_REG,
+                              imm=HEAP_BASE >> 16))
+    emitter.instr(Instruction("lda", ra=16, rb=16, imm=request))
+    emitter.instr(Instruction("call_pal", imm=PAL_FUNCTIONS["brk"]))
+    # the first heap page is mapped now (request >= HEAP_BASE + 8);
+    # fresh pages read back deterministic zeros
+    emitter.instr(Instruction("ldah", ra=_SCRATCH, rb=ZERO_REG,
+                              imm=HEAP_BASE >> 16))
+    emitter.instr(Instruction("stq", ra=_pick(rng, _READ_REGS),
+                              rb=_SCRATCH, imm=8 * rng.next_range(16)))
+    emitter.instr(Instruction("ldq", ra=_pick(rng, _BODY_REGS),
+                              rb=_SCRATCH, imm=8 * rng.next_range(16)))
+
+
+def _emit_yield(rng, emitter):
+    """Cooperative yield: a superblock-ending architectural no-op."""
+    emitter.instr(Instruction("call_pal", imm=PAL_FUNCTIONS["yield"]))
+
+
 #: body chunk emitters with selection weights.
 _CHUNKS = (
     (_emit_alu, 6),
@@ -455,18 +602,39 @@ def _emit_epilogue_trap(rng, emitter, shapes):
                                   imm=PAL_FUNCTIONS["gentrap"]))
 
 
-def generate(seed, index=0, max_insns=60, allow_traps=True):
+def generate(seed, index=0, max_insns=60, allow_traps=True,
+             hostile=False):
     """Generate one program; deterministic in all arguments.
 
     ``max_insns`` bounds the emitted *body* size (the loop body between
     prologue and epilogue); whole programs run a few thousand dynamic
-    instructions at most.
+    instructions at most.  ``hostile=True`` mixes the hostile-guest
+    chunks (SMC self-patching, protect flips, getc/brk/yield syscalls)
+    into the selection table and attaches a scripted input.
     """
     if max_insns < 4:
         raise ValueError("max_insns must be >= 4")
     rng = Xorshift64(_mix(seed, index))
     emitter = _Emitter()
     shapes = {}
+    donors = []
+    chunk_table, chunk_names = _CHUNK_TABLE, _CHUNK_NAMES
+    if hostile:
+        def smc(chunk_rng, chunk_emitter):
+            _emit_smc(chunk_rng, chunk_emitter, donors)
+
+        def protect(chunk_rng, chunk_emitter):
+            _emit_protect(chunk_rng, chunk_emitter, allow_traps)
+
+        hostile_chunks = ((smc, 2), (protect, 2), (_emit_getc, 2),
+                          (_emit_brk, 1), (_emit_yield, 1))
+        chunk_table = _CHUNK_TABLE + tuple(
+            emit for emit, weight in hostile_chunks
+            for _ in range(weight))
+        chunk_names = dict(_CHUNK_NAMES)
+        chunk_names.update({smc: "smc", protect: "protect",
+                            _emit_getc: "getc", _emit_brk: "brk",
+                            _emit_yield: "yield"})
     iterations = 12 + rng.next_range(29)
 
     _emit_prologue(rng, emitter, iterations)
@@ -490,9 +658,9 @@ def generate(seed, index=0, max_insns=60, allow_traps=True):
                                  _pick(rng, leaves))
             shapes["call"] += 1
             continue
-        chunk = _pick(rng, _CHUNK_TABLE)
+        chunk = _pick(rng, chunk_table)
         chunk(rng, emitter)
-        name = _CHUNK_NAMES[chunk]
+        name = chunk_names[chunk]
         shapes[name] = shapes.get(name, 0) + 1
     emitter.instr(Instruction("subq", ra=_COUNTER, rc=_COUNTER, imm=1,
                               islit=True))
@@ -520,5 +688,12 @@ def generate(seed, index=0, max_insns=60, allow_traps=True):
 
     words = [encode(instr) for instr in emitter.resolve()]
     data = rng.next_bytes(BUF_SIZE)
+    if donors:
+        # donor words live past the sandboxed buffer, out of reach of
+        # random stores — a corrupted donor could patch in garbage
+        data += b"".join(word.to_bytes(4, "little") for word in donors)
+    input_script = rng.next_bytes(4 + rng.next_range(28)) if hostile \
+        else b""
     return FuzzProgram(seed, index, GENERATOR_VERSION, max_insns, words,
-                       data, shapes=shapes)
+                       data, shapes=shapes, input=input_script,
+                       hostile=hostile)

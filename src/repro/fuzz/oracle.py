@@ -23,7 +23,7 @@ them.
 
 import hashlib
 
-from repro.faults.plan import DEFAULT_CHAOS_SPECS
+from repro.faults.plan import DEFAULT_CHAOS_SPECS, HOSTILE_CHAOS_SPECS
 from repro.fuzz.gen import BUF_SIZE
 from repro.interp.interpreter import Halted, Interpreter
 from repro.isa.semantics import Trap
@@ -48,6 +48,13 @@ ORACLE_JIT_THRESHOLD = 2
 
 #: Chaos-stage fault schedule (the same default ``repro chaos`` uses).
 CHAOS_SPEC = ";".join(DEFAULT_CHAOS_SPECS)
+
+#: Chaos-stage schedule for hostile programs: the defaults plus the
+#: SMC-widening and spurious-protect-invalidation sites, which only have
+#: something to bite when the guest actually self-modifies or calls
+#: ``protect``.  Both are behaviour-neutral (they invalidate more than
+#: strictly needed), so the fault-free reference still applies.
+HOSTILE_CHAOS_SPEC = ";".join(DEFAULT_CHAOS_SPECS + HOSTILE_CHAOS_SPECS)
 
 STAGES = ("cosim", "engine", "chaos")
 
@@ -260,8 +267,10 @@ def check_program(fprog, budget=ORACLE_BUDGET, chaos=False, stages=None,
     if "chaos" in stages:
         seed = chaos_seed if chaos_seed is not None else \
             (fprog.seed * 1_000_003 + fprog.index + 1) & 0x7FFFFFFF
+        spec = HOSTILE_CHAOS_SPEC if getattr(fprog, "hostile", False) \
+            else CHAOS_SPEC
         chaotic, _chaos_vm = run_vm_outcome(
-            fprog, oracle_config(faults=CHAOS_SPEC, fault_seed=seed),
+            fprog, oracle_config(faults=spec, fault_seed=seed),
             budget=budget)
         # faults change how the run gets there, never where it ends up:
         # stats are expected to differ, committed accounting is not
@@ -302,8 +311,9 @@ def execute_fuzz_point(point):
 
     fields = dict(point.config)
     engines = fields.get("engines", ENGINE_AXIS)
+    hostile = fields.get("hostile", False)
     fprog = generate(fields["seed"], index=fields["index"],
-                     max_insns=fields["max_insns"])
+                     max_insns=fields["max_insns"], hostile=hostile)
     report = check_program(fprog, budget=point.budget,
                            chaos=fields["chaos"], engines=engines)
     text = fprog.to_bytes()
@@ -315,6 +325,7 @@ def execute_fuzz_point(point):
         "generator_version": fprog.version,
         "max_insns": fields["max_insns"],
         "chaos": fields["chaos"],
+        "hostile": hostile,
         "engines": list(engines),
         "budget": point.budget,
         "insns": len(fprog.words),

@@ -40,7 +40,10 @@ from repro.vm.config import VMConfig
 #: out of the key), but the deterministic ``telemetry`` block now carries
 #: ``jit.*`` counters and ``jit_promoted`` events that pre-jit cache
 #: entries lack.
-SCHEMA_VERSION = 4
+#: 5: the hostile-guest work grew ``VMStats.resilience()`` (smc/mmu
+#: counters inside every cached summary's ``resilience`` block) and made
+#: superblock digests content-aware; pre-MMU entries must not replay.
+SCHEMA_VERSION = 5
 
 
 class EvalSpec:
@@ -132,7 +135,8 @@ class RunPoint:
 
     @classmethod
     def fuzz(cls, seed, index, max_insns=60, chaos=False,
-             budget=200_000, telemetry=False, engines=None):
+             budget=200_000, telemetry=False, engines=None,
+             hostile=False):
         """One generated-program oracle run (see :mod:`repro.fuzz`).
 
         ``config`` reuses the sorted-pair convention but carries the
@@ -148,7 +152,7 @@ class RunPoint:
 
         engines = tuple(engines) if engines is not None else ENGINE_AXIS
         fields = (("chaos", bool(chaos)), ("engines", engines),
-                  ("index", index),
+                  ("hostile", bool(hostile)), ("index", index),
                   ("max_insns", max_insns), ("seed", seed),
                   ("telemetry", bool(telemetry)),
                   ("version", GENERATOR_VERSION))

@@ -50,6 +50,7 @@ class IOp(enum.Enum):
     HALT = "halt"
     PUTC = "putc"
     GENTRAP = "gentrap"
+    SYSCALL = "syscall"              # PAL syscall dispatch (imm = function)
 
     #: Enum members are singletons, so the identity hash is equivalent to
     #: the default name-based hash — and much cheaper.  ``VMStats``

@@ -48,6 +48,9 @@ def instruction_size(instr, fmt):
     if iop in (IOp.RET_RAS, IOp.JMP_DISPATCH, IOp.HALT, IOp.PUTC,
                IOp.GENTRAP):
         return 2
+    if iop is IOp.SYSCALL:
+        # carries the PAL function number, like a CALL_PAL would
+        return 4
     if iop in (IOp.COPY_TO_GPR, IOp.COPY_FROM_GPR):
         # one accumulator + one GPR specifier: always 16-bit
         return 2

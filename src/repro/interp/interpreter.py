@@ -20,7 +20,8 @@ Two engines execute steps (selected per interpreter, default
 
 from repro.interp.specialize import STORE_SIZES, build_step
 from repro.isa.encoding import decode
-from repro.isa.opcodes import Kind, PAL_FUNCTIONS
+from repro.interp.pal import PalContext
+from repro.isa.opcodes import Kind, PAL_FUNCTIONS, PAL_SYSCALLS
 from repro.isa.registers import SP_REG
 from repro.isa.semantics import (
     ALU_OPS,
@@ -89,6 +90,10 @@ class Interpreter:
         self.memory = program.memory
         self.state = _initial_state(program)
         self.console = console if console is not None else []
+        #: syscall state (scripted input, heap break) — shared with the
+        #: VM's fragment executor so translated SYSCALL ops and
+        #: interpreted CALL_PALs see one cursor and one break
+        self.pal = PalContext(program)
         self.instruction_count = 0
         self.exec_engine = exec_engine
         self._decode_cache = DECODE_CACHE
@@ -109,9 +114,10 @@ class Interpreter:
 
         The word is always re-read from memory, so self-modifying code is
         decoded correctly; only the word -> (instruction, closure) mapping
-        is cached.
+        is cached.  The read is the exec-checked fetch path: a page
+        without ``PROT_EXEC`` raises a precise PROTECTION_VIOLATION.
         """
-        word = self.memory.load(pc, 4, vpc=pc)
+        word = self.memory.fetch(pc, vpc=pc)
         entry = self._decode_cache.get(word)
         if entry is None:
             self.decode_misses += 1
@@ -124,7 +130,7 @@ class Interpreter:
         """Execute one instruction via its pre-bound step closure."""
         state = self.state
         pc = state.pc
-        word = self.memory.load(pc, 4, vpc=pc)
+        word = self.memory.fetch(pc, vpc=pc)
         entry = self._decode_cache.get(word)
         if entry is None:
             self.decode_misses += 1
@@ -221,6 +227,8 @@ class Interpreter:
             self.console.append(self.state.regs[16] & 0xFF)
         elif function == _PAL_GENTRAP:
             raise Trap(TrapKind.GENTRAP, vpc=pc)
+        elif function in PAL_SYSCALLS:
+            self.pal.call(self.state.regs, function, pc)
         # unknown PAL functions are architectural no-ops in this machine
 
     def console_text(self):

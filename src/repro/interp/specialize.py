@@ -18,7 +18,7 @@ PC advances.  The differential tests hold the two engines to that
 contract.
 """
 
-from repro.isa.opcodes import Kind, PAL_FUNCTIONS
+from repro.isa.opcodes import Kind, PAL_FUNCTIONS, PAL_SYSCALLS
 from repro.isa.registers import ZERO_REG
 from repro.isa.semantics import (
     ALU_OPS,
@@ -202,6 +202,13 @@ def _build_pal(instr):
     elif function == _PAL_PUTC:
         def step(interp, state, regs, pc):
             interp.console.append(regs[16] & 0xFF)
+            state.pc = next_pc = pc + 4
+            return ExecEvent(pc, instr, next_pc)
+    elif function in PAL_SYSCALLS:
+        # closures are process-global (keyed by word), so per-run syscall
+        # state is reached through the ``interp`` parameter
+        def step(interp, state, regs, pc):
+            interp.pal.call(regs, function, pc)
             state.pc = next_pc = pc + 4
             return ExecEvent(pc, instr, next_pc)
     else:

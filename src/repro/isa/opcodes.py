@@ -168,12 +168,29 @@ JUMP_OPS = {
 
 #: CALL_PAL functions used by the simulated machine.  ``halt`` stops the
 #: machine, ``putc`` writes the low byte of R16 to the console, ``gentrap``
-#: raises a software trap (used by the precise-trap tests).
+#: raises a software trap (used by the precise-trap tests).  The remaining
+#: four form the small syscall layer (see :mod:`repro.interp.pal`):
+#: ``getc`` reads the next scripted-input byte into R0 (all-ones on
+#: exhaustion), ``brk`` grows the guest heap (R16 = requested break, R0 =
+#: resulting break), ``protect`` sets page protections (R16 = base, R17 =
+#: size, R18 = R/W/X bits; R0 = 0 on success), and ``yield`` is the
+#: nanosleep-style fuel yield (architecturally a no-op that ends the
+#: current superblock, returning control to the VM at a fragment
+#: boundary).
 PAL_FUNCTIONS = {
     "halt": 0x00,
     "putc": 0x02,
+    "getc": 0x03,
+    "brk": 0x04,
+    "protect": 0x05,
+    "yield": 0x06,
     "gentrap": 0xAA,
 }
+
+#: The PAL functions dispatched through :class:`repro.interp.pal.PalContext`
+#: (everything except halt/putc/gentrap, which the engines inline).
+PAL_SYSCALLS = frozenset((PAL_FUNCTIONS["getc"], PAL_FUNCTIONS["brk"],
+                          PAL_FUNCTIONS["protect"], PAL_FUNCTIONS["yield"]))
 
 MNEMONICS = frozenset(
     list(MEMORY_OPS)

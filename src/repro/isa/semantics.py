@@ -18,16 +18,30 @@ class TrapKind(enum.Enum):
     ACCESS_VIOLATION = "access_violation"
     GENTRAP = "gentrap"
     ILLEGAL = "illegal"
+    #: A page-protection fault: the page is mapped but the access kind
+    #: (read / write / exec, carried on ``Trap.access``) is not permitted.
+    PROTECTION_VIOLATION = "protection_violation"
+    #: VM-internal only, never guest-visible: translated code performed an
+    #: action (a store into translated guest code, a protection flip over
+    #: it) that invalidated installed fragments, so the VM must abandon
+    #: the current translated stint and resume interpretation after the
+    #: instruction.  ``CoDesignedVM._execute_translated`` intercepts this
+    #: kind before trap delivery; it can never reach a ``VMTrap``.
+    RETRANSLATE = "retranslate"
 
 
 class Trap(Exception):
     """A precise architectural trap at a V-ISA instruction."""
 
-    def __init__(self, kind, vpc=None, address=None):
+    def __init__(self, kind, vpc=None, address=None, access=None):
         super().__init__(f"{kind.value} trap at vpc={vpc} addr={address}")
         self.kind = kind
         self.vpc = vpc
         self.address = address
+        #: access kind for protection faults ("read"/"write"/"exec"), and
+        #: the origin marker for internal RETRANSLATE traps ("write" for
+        #: an SMC store, "pal" for a protect syscall).
+        self.access = access
 
 
 def _add64(a, b):

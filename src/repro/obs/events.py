@@ -65,6 +65,8 @@ class EventKind:
     FRAGMENT_CORRUPTED = "fragment_corrupted"
     # tier-2 jit promotion (docs/performance.md)
     JIT_PROMOTED = "jit_promoted"
+    # a guest store hit translated code (docs/robustness.md)
+    SMC_DETECTED = "smc_detected"
 
 
 #: Every kind the VM emits — the strict parser rejects anything else.

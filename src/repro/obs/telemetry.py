@@ -43,6 +43,16 @@ SIZE_BUCKETS = (5, 10, 20, 50, 100, 200, 500)
 #: Bucket bounds for fragment execution counts.
 EXEC_BUCKETS = (1, 10, 100, 1000, 10_000, 100_000)
 
+#: Resilience counters exported under dedicated gauge names; anything
+#: not listed lands in the generic ``faults.*`` namespace.
+_RESILIENCE_GAUGES = {
+    "smc_detected": "smc.detected",
+    "smc_invalidations": "smc.invalidations",
+    "retranslate_deopts": "smc.retranslate_deopts",
+    "stale_captures_discarded": "smc.stale_captures_discarded",
+    "protect_invalidations": "mmu.protect_invalidations",
+}
+
 
 class Telemetry:
     """Live telemetry: registry + event stream + fragment profiler."""
@@ -82,10 +92,13 @@ class Telemetry:
         for fragment in tcache.fragments:
             histogram.observe(fragment.execution_count)
         # degradation gauges appear only when something fired, keeping
-        # fault-free summaries bit-identical to pre-fault-injection runs
+        # fault-free summaries bit-identical to pre-fault-injection runs;
+        # the hostile-guest counters get their own smc.*/mmu.* namespaces
+        # (docs/observability.md) instead of the generic faults.* one
         for name, value in stats.resilience().items():
             if value:
-                registry.gauge(f"faults.{name}").set(value)
+                registry.gauge(_RESILIENCE_GAUGES.get(
+                    name, f"faults.{name}")).set(value)
         if interpreter is not None:
             self.decode_misses = interpreter.decode_misses
 

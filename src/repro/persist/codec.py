@@ -21,10 +21,13 @@ cache state; when it fails, the caller falls back to cold translation
 (a counted miss, never an error).
 
 Records are keyed by :func:`superblock_digest` — a content hash of the
-captured path.  Within one guest image (the store key pins the pristine
-image hash) a superblock is fully determined by its entry, per-entry
-``(vpc, taken, next_vpc)`` path and end condition, since the repo has
-no self-modifying-code surface (ROADMAP item 5).
+captured path *including each entry's raw instruction word*.  The store
+key pins the pristine guest image, but guests can now rewrite their own
+code at run time (the SMC surface), so the path shape alone no longer
+determines the translation: two captures of the same ``(vpc, taken,
+next_vpc)`` sequence may execute different words.  Folding the words in
+makes aliasing impossible — a rewritten instruction yields a different
+digest, and the stale record simply never matches again.
 """
 
 import hashlib
@@ -61,7 +64,7 @@ def superblock_digest(superblock):
         superblock.entry_vpc,
         superblock.end_reason.value,
         superblock.continuation_vpc,
-        [[entry.vpc, bool(entry.taken), entry.next_vpc]
+        [[entry.vpc, bool(entry.taken), entry.next_vpc, entry.word]
          for entry in superblock.entries],
     ]
     return hashlib.sha256(

@@ -41,7 +41,10 @@ from repro.persist.codec import canonical_json
 STORE_SCHEMA_VERSION = 1
 #: Bump when the record *contents* change meaning — any codec or
 #: translator change that alters what a persisted fragment replays to.
-PERSIST_GENERATOR_VERSION = 1
+#: 2: ``superblock_digest`` folds in each entry's raw instruction word
+#: (the SMC surface made path shape alone ambiguous), and
+#: ``program_digest`` covers the program's scripted input.
+PERSIST_GENERATOR_VERSION = 2
 
 STORE_FORMAT = "repro-fragment-store-v1"
 
@@ -65,13 +68,21 @@ _LOAD_CACHE_LIMIT = 8
 
 
 def program_digest(program):
-    """Content hash (hex SHA-256) of a pristine guest program image."""
+    """Content hash (hex SHA-256) of a pristine guest program image.
+
+    The scripted ``getc`` input is part of the identity: two programs
+    with identical segments but different inputs follow different hot
+    paths, and their stores must not alias.
+    """
     sha = hashlib.sha256()
     sha.update(f"entry={program.entry:#x}".encode("ascii"))
     for segment in program.memory.segments:
         sha.update(f"|{segment.name}@{segment.base:#x}+{segment.size:#x}|"
                    .encode("ascii"))
         sha.update(program.memory.read_bytes(segment.base, segment.size))
+    if program.input_script:
+        sha.update(b"|input|")
+        sha.update(program.input_script)
     return sha.hexdigest()
 
 
@@ -245,9 +256,20 @@ class FragmentStore:
         return record
 
     def _quarantine(self, path):
-        """Rename an unparseable store aside so it is never re-probed."""
+        """Rename an unparseable store aside so it is never re-probed.
+
+        A previous quarantine of the same key must not be clobbered
+        (``os.replace`` would silently overwrite it): evidence of
+        repeated corruption is worth keeping, so later quarantines get a
+        counter suffix (``.quarantined.1``, ``.quarantined.2``, ...).
+        """
+        target = path + ".quarantined"
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = f"{path}.quarantined.{suffix}"
         try:
-            os.replace(path, path + ".quarantined")
+            os.replace(path, target)
         except OSError:
             pass
 

@@ -16,6 +16,7 @@ from repro.faults.inject import NULL_INJECTOR as _NULL_INJECTOR
 from repro.faults.plan import FaultSite
 from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.ildp_isa.sizes import instruction_size
+from repro.memory.image import PAGE_SHIFT
 from repro.obs.events import EventKind
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.obs.trace import NULL_TRACER
@@ -88,6 +89,23 @@ class TranslationCache:
         #: RAS links are not tracked: the dual-address return path
         #: re-validates its target via :meth:`fragment_at` at run time.
         self._incoming = {}
+        #: guest page index -> set of fragments translated from it; the
+        #: SMC reverse map.  A page is write-watched in guest memory
+        #: exactly while it has an entry here.
+        self._by_page = {}
+        #: the guest :class:`~repro.memory.image.Memory` whose stores we
+        #: watch, set by :meth:`attach_memory` (None for cache-only use
+        #: in unit tests).
+        self._memory = None
+        #: VM callback ``(vpc, invalidated, flushed)`` fired after an SMC
+        #: store invalidates fragments — lets the VM keep its statistics
+        #: and force a deopt when it happens under translated execution.
+        self._smc_callback = None
+        #: cumulative fragments invalidated by guest self-modifying
+        #: stores (never reset, like ``invalidations``).
+        self.smc_invalidations = 0
+        #: cumulative SMC store events that hit at least one fragment.
+        self.smc_detected = 0
 
     def _layout_dispatch(self):
         address = self.base
@@ -113,6 +131,101 @@ class TranslationCache:
 
     def fragment_count(self):
         return len(self.fragments)
+
+    # -- self-modifying-code watch -------------------------------------------
+
+    def attach_memory(self, memory):
+        """Watch guest stores in ``memory`` for self-modifying code.
+
+        Installs :meth:`_on_code_write` as the memory's code-write hook;
+        from then on every page a fragment translates from is
+        write-watched while fragments cover it, so a guest store landing
+        on translated code precisely invalidates the overlapping
+        fragments (and only those).
+        """
+        self._memory = memory
+        memory.set_code_write_hook(self._on_code_write)
+        for page in self._by_page:
+            memory.watch_page(page)
+
+    def _watch_fragment(self, fragment):
+        for page in fragment.source_pages:
+            watchers = self._by_page.get(page)
+            if watchers is None:
+                watchers = self._by_page[page] = set()
+                if self._memory is not None:
+                    self._memory.watch_page(page)
+            watchers.add(fragment)
+
+    def _unwatch_fragment(self, fragment):
+        for page in fragment.source_pages:
+            watchers = self._by_page.get(page)
+            if watchers is None:
+                continue
+            watchers.discard(fragment)
+            if not watchers:
+                del self._by_page[page]
+                if self._memory is not None:
+                    self._memory.unwatch_page(page)
+
+    def _on_code_write(self, address, size, vpc):
+        """A guest store landed on a watched code page (fires post-write).
+
+        Invalidates exactly the fragments whose source words the store
+        touched — the precise SMC path.  The ``smc`` fault site widens a
+        hit to every fragment on the page (spurious invalidation is
+        behaviour-neutral: the victims simply retranslate).  Aligned
+        stores never straddle a page, so one page lookup suffices.
+        """
+        candidates = self._by_page.get(address >> PAGE_SHIFT)
+        if not candidates:
+            return
+        words = range(address & ~3, address + size, 4)
+        victims = [fragment for fragment in candidates
+                   if any(word in fragment.source_vpcs for word in words)]
+        if victims and self.injector.fire(FaultSite.SMC, vpc=vpc):
+            victims = list(candidates)
+        if not victims:
+            return
+        victims.sort(key=lambda fragment: fragment.fid)
+        self.smc_detected += 1
+        self.smc_invalidations += len(victims)
+        self.telemetry.events.emit(
+            EventKind.SMC_DETECTED, address=address, size=size, vpc=vpc,
+            fids=[fragment.fid for fragment in victims])
+        flushed = False
+        for fragment in victims:
+            if fragment not in self.fragments:
+                continue  # a flush below already removed it
+            if self.invalidate_fragment(fragment) == "flushed":
+                flushed = True
+        if self._smc_callback is not None:
+            self._smc_callback(vpc, len(victims), flushed)
+
+    def invalidate_range(self, base, size):
+        """Invalidate every fragment translated from ``[base, base+size)``.
+
+        The ``protect`` PAL call uses this when a range loses execute
+        permission (and the ``protect`` fault site uses it for spurious
+        invalidation): the VM must stop running stale translations of
+        pages the guest revoked.  Returns ``(invalidated, flushed)``.
+        """
+        if size <= 0:
+            return 0, False
+        first = base >> PAGE_SHIFT
+        last = (base + size - 1) >> PAGE_SHIFT
+        victims = set()
+        for page in range(first, last + 1):
+            victims.update(self._by_page.get(page, ()))
+        if not victims:
+            return 0, False
+        flushed = False
+        for fragment in sorted(victims, key=lambda f: f.fid):
+            if fragment not in self.fragments:
+                continue
+            if self.invalidate_fragment(fragment) == "flushed":
+                flushed = True
+        return len(victims), flushed
 
     # -- installation ----------------------------------------------------------
 
@@ -159,6 +272,7 @@ class TranslationCache:
         self.fragments.append(fragment)
         self._by_entry_vpc[fragment.entry_vpc] = fragment
         self._entry_addresses[fragment.base_address] = fragment
+        self._watch_fragment(fragment)
         self.telemetry.events.emit(
             EventKind.FRAGMENT_CREATED, fid=fragment.fid,
             entry_vpc=fragment.entry_vpc, address=fragment.base_address,
@@ -290,6 +404,7 @@ class TranslationCache:
         self.fragments.remove(fragment)
         del self._by_entry_vpc[fragment.entry_vpc]
         del self._entry_addresses[fragment.base_address]
+        self._unwatch_fragment(fragment)
         self._incoming.pop(fragment.fid, None)
         for sources in self._incoming.values():
             sources.discard(fragment.fid)

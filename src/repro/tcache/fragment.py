@@ -3,6 +3,8 @@
 import enum
 import zlib
 
+from repro.memory.image import PAGE_SHIFT
+
 #: IInstruction fields with semantic meaning — the checksum input.  Layout
 #: fields (address, size) and compilation caches are deliberately excluded
 #: so relocation never invalidates a checksum.
@@ -59,6 +61,16 @@ class Fragment:
         self.n_accumulators = n_accumulators
         self.premature_terminations = premature_terminations
         self.superblock = superblock     # kept for diagnostics/tests
+        #: guest code addresses this fragment translates — the SMC
+        #: overlap set.  V-ISA instructions are 4-byte words, so a store
+        #: overlaps the fragment iff one of its touched word addresses
+        #: is in here.  Chaining patches rewrite iops/targets but never
+        #: vpcs, so both sets are stable for the fragment's lifetime.
+        self.source_vpcs = frozenset(
+            instr.vpc for instr in body if instr.vpc is not None)
+        #: guest page indexes covered — the cache's ``_by_page`` keys.
+        self.source_pages = frozenset(
+            vpc >> PAGE_SHIFT for vpc in self.source_vpcs)
         self.base_address = None         # assigned at layout time
         self.byte_size = None
         self.execution_count = 0

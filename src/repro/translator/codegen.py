@@ -14,7 +14,7 @@ The generator never reorders instructions; it walks the nodes in program
 order, inserting copies and chaining glue exactly where the analyses said.
 """
 
-from repro.isa.opcodes import PAL_FUNCTIONS
+from repro.isa.opcodes import PAL_FUNCTIONS, PAL_SYSCALLS
 from repro.ildp_isa.instruction import IInstruction
 from repro.ildp_isa.opcodes import IFormat, IOp
 from repro.translator.chaining import (
@@ -302,6 +302,15 @@ class CodeGenerator:
             index = em.emit(IInstruction(IOp.GENTRAP, vpc=node.vpc))
             self.pei_table.append((index, node.vpc,
                                    self._recovery_for(node)))
+        elif function in PAL_SYSCALLS:
+            # one syscall-dispatch instruction, then chain to the next
+            # V-PC like putc.  The PEI row covers the internal
+            # RETRANSLATE deopt a protect call can raise.
+            index = em.emit(IInstruction(IOp.SYSCALL, imm=function,
+                                         vpc=node.vpc))
+            self.pei_table.append((index, node.vpc,
+                                   self._recovery_for(node)))
+            emit_direct_exit(em, self._lookup, node.vpc + 4, vpc=node.vpc)
         else:
             # unknown PAL functions are no-ops; nothing is emitted
             pass
@@ -314,14 +323,15 @@ class CodeGenerator:
                              self.superblock.continuation_vpc,
                              vpc=self.superblock.entries[-1].vpc)
         elif reason is EndReason.TRAP_INSTRUCTION:
-            # halt emits nothing further; putc already chained; gentrap
-            # always traps, but fall through must still be safe; unknown
-            # PAL functions are architectural no-ops that emit no code at
-            # all, so the block must chain to the next instruction or the
-            # executor falls off the end of the fragment
+            # halt emits nothing further; putc and the syscalls already
+            # chained; gentrap always traps, but fall through must still
+            # be safe; unknown PAL functions are architectural no-ops
+            # that emit no code at all, so the block must chain to the
+            # next instruction or the executor falls off the fragment
             last = self.nodes[-1]
-            if last.kind is NodeKind.PAL and last.pal_function not in \
-                    (_PAL_HALT, _PAL_PUTC):
+            if last.kind is NodeKind.PAL and \
+                    last.pal_function not in (_PAL_HALT, _PAL_PUTC) and \
+                    last.pal_function not in PAL_SYSCALLS:
                 emit_direct_exit(self.emitter, self._lookup, last.vpc + 4,
                                  vpc=last.vpc)
 

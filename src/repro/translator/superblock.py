@@ -24,15 +24,22 @@ class EndReason(enum.Enum):
 class SuperblockEntry:
     """One Alpha instruction on the captured path."""
 
-    __slots__ = ("vpc", "instr", "taken", "next_vpc")
+    __slots__ = ("vpc", "instr", "taken", "next_vpc", "word")
 
-    def __init__(self, vpc, instr, taken, next_vpc):
+    def __init__(self, vpc, instr, taken, next_vpc, word=None):
         self.vpc = vpc
         self.instr = instr
         #: For control transfers: whether the captured execution took it.
         self.taken = taken
         #: The V-PC the captured execution went to next.
         self.next_vpc = next_vpc
+        #: The raw 32-bit instruction word at capture time.  Install-time
+        #: validation compares it against current guest memory so a
+        #: self-modifying store *during* capture (the page is only
+        #: watched once a fragment is installed) cannot install a stale
+        #: translation; it also feeds ``superblock_digest`` so persisted
+        #: fragments can never alias across code rewrites.
+        self.word = word
 
     def __repr__(self):
         return (f"SuperblockEntry({self.vpc:#x}, {self.instr.mnemonic}, "

@@ -85,13 +85,17 @@ class FragmentExecutor:
     """Executes fragments against shared architected state."""
 
     def __init__(self, config, tcache, memory, console, stats, trace=None,
-                 telemetry=None, verify=False):
+                 telemetry=None, verify=False, pal=None):
         self.config = config
         self.tcache = tcache
         self.memory = memory
         self.console = console
         self.stats = stats
         self.trace = trace
+        #: the interpreter's :class:`repro.interp.pal.PalContext` — the
+        #: SYSCALL iop dispatches through it so translated and
+        #: interpreted CALL_PALs share one input cursor and heap break
+        self.pal = pal
         #: Checksum-verify fragments at entry and at fragment transitions
         #: (both are synchronisation points with complete architected
         #: state, so bailing out there is always safe).  Off by default;
@@ -577,6 +581,9 @@ class FragmentExecutor:
         elif iop is IOp.PUTC:
             self._trace_simple(instr, "int", srcs=(16,))
             self.console.append(self._read_gpr(regs, 16, fmt) & 0xFF)
+        elif iop is IOp.SYSCALL:
+            self._trace_simple(instr, "int", srcs=(16,))
+            self.pal.call(regs, instr.imm, instr.vpc, translated=True)
         elif iop is IOp.GENTRAP:
             raise Trap(TrapKind.GENTRAP, vpc=instr.vpc)
         else:  # pragma: no cover

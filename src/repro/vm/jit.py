@@ -343,6 +343,15 @@ class _Emitter:
         elif iop is IOp.PUTC:
             self.check_gpr(16)
             self.emit("_con.append(regs[16] & 0xFF)")
+        elif iop is IOp.SYSCALL:
+            # PAL syscalls read/write architected GPRs directly through
+            # the shared PalContext (every tier does); a protect call
+            # that invalidates fragments raises the internal RETRANSLATE
+            # trap, so the call sits under a PEI handler like any load.
+            pal = self.bind("_pal", self.ex.pal.call)
+            self.emit("try:")
+            self.emit(f"{pal}(regs, {instr.imm!r}, {instr.vpc!r}, True)", 2)
+            self.pei_handler(index)
         elif iop is IOp.GENTRAP:
             self.flush()
             self.emit(f"ex._jit_pei = {index}")
@@ -376,37 +385,45 @@ class _Emitter:
             fn = self.bind(f"_op_{op}", IALU_OPS[op])
             self.commit(instr, f"{fn}({a}, {b})", False)
 
-    def _emit_access_checks(self, instr, size):
-        """Alignment + page-presence checks, leaving ``_p``/``_o`` bound.
-
-        Mirrors ``Memory.load``/``Memory.store`` exactly: misalignment
-        first, then the page lookup, with identical ``Trap`` payloads.
-        A naturally-aligned access can never straddle a page (``size``
-        divides ``PAGE_SIZE``), so the cross-page slow path is
-        statically dead here and the whole access inlines.
-        """
-        self.bind("_pgget", self.ex.memory._pages.get)
+    def _emit_alignment_check(self, instr, size):
+        """Inline misalignment raise, identical payload to ``Memory``."""
         if size > 1:
             self.bind("_TK_UNALIGNED", TrapKind.UNALIGNED)
             self.emit(f"if _a & {size - 1}:", 2)
             self.emit(f"raise _Trap(_TK_UNALIGNED, {instr.vpc!r}, _a)", 3)
-        self.bind("_TK_ACCESS", TrapKind.ACCESS_VIOLATION)
-        self.emit(f"_p = _pgget(_a >> {PAGE_SHIFT})", 2)
-        self.emit("if _p is None:", 2)
-        self.emit(f"raise _Trap(_TK_ACCESS, {instr.vpc!r}, _a)", 3)
-        self.emit(f"_o = _a & {PAGE_MASK}", 2)
 
     def _emit_load(self, index, instr):
+        """Inline load via the MMU read fast-path dict.
+
+        ``Memory._read_ok`` maps every page index that is mapped *and*
+        readable to its page buffer (maintained eagerly by
+        ``map_segment``/``protect``), so a hit can go straight to the
+        bytes; a miss always faults and delegates to ``Memory.load``,
+        whose slow path raises the identical precise
+        ACCESS_VIOLATION/PROTECTION_VIOLATION trap.  The dict itself is
+        never reassigned (only mutated), so binding its ``.get`` at
+        compile time is safe across protection changes.  A
+        naturally-aligned access can never straddle a page (``size``
+        divides ``PAGE_SIZE``), so the cross-page slow path is
+        statically dead here.
+        """
         size = instr.mem_size
+        self.bind("_rdget", self.ex.memory._read_ok.get)
+        self.bind("_mld", self.ex.memory.load)
         self.emit("try:")
         self.emit(f"_a = {self.address_expr(instr)}", 2)
-        self._emit_access_checks(instr, size)
+        self._emit_alignment_check(instr, size)
+        self.emit(f"_p = _rdget(_a >> {PAGE_SHIFT})", 2)
+        self.emit("if _p is None:", 2)
+        self.emit(f"_r = _mld(_a, {size}, {instr.vpc!r})", 3)
+        self.emit("else:", 2)
+        self.emit(f"_o = _a & {PAGE_MASK}", 3)
         if size == 1:
-            self.emit("_r = _p[_o]", 2)
+            self.emit("_r = _p[_o]", 3)
         else:
             self.bind("_from_bytes", int.from_bytes)
             self.emit(f"_r = _from_bytes(_p[_o:_o + {size}], "
-                      f"\"little\")", 2)
+                      f"\"little\")", 3)
         self.pei_handler(index)
         if instr.mem_signed:
             self.emit(f"_r = _sext(_r, {8 * size})")
@@ -414,20 +431,37 @@ class _Emitter:
         self.commit(instr, "_r", True, simple=True)
 
     def _emit_store(self, index, instr):
+        """Inline store via the MMU write fast-path dict.
+
+        ``Memory._write_ok`` holds only pages that are mapped, writable,
+        already dirty and *unwatched*: a miss is not necessarily a fault
+        — it may be the first store to a clean page (installs the entry)
+        or a store to a code page carrying fragments (fires the SMC
+        hook, which can raise the internal RETRANSLATE trap).
+        ``Memory.store`` handles all of those plus the genuine faults,
+        so misses delegate to it wholesale.
+        """
         size = instr.mem_size
         data, masked = self.operand(instr, instr.data_src)
         # Memory.store keeps the low ``size`` bytes; for 8-byte stores
         # that is MASK64, which ``masked`` operands already satisfy.
         mask = (1 << (8 * size)) - 1
         dexpr = data if masked and size == 8 else f"({data}) & {mask:#x}"
+        self.bind("_wrget", self.ex.memory._write_ok.get)
+        self.bind("_mst", self.ex.memory.store)
         self.emit("try:")
         self.emit(f"_a = {self.address_expr(instr)}", 2)
-        self._emit_access_checks(instr, size)
+        self._emit_alignment_check(instr, size)
+        self.emit(f"_p = _wrget(_a >> {PAGE_SHIFT})", 2)
+        self.emit("if _p is None:", 2)
+        self.emit(f"_mst(_a, {dexpr}, {size}, {instr.vpc!r})", 3)
+        self.emit("else:", 2)
+        self.emit(f"_o = _a & {PAGE_MASK}", 3)
         if size == 1:
-            self.emit(f"_p[_o] = {dexpr}", 2)
+            self.emit(f"_p[_o] = {dexpr}", 3)
         else:
             self.emit(f"_p[_o:_o + {size}] = ({dexpr}).to_bytes("
-                      f"{size}, \"little\")", 2)
+                      f"{size}, \"little\")", 3)
         self.pei_handler(index)
 
     # -- assembly ------------------------------------------------------------

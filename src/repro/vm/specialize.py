@@ -456,6 +456,19 @@ def _build_putc(ex, instr, fmt, track, weight):
     return step
 
 
+def _build_syscall(ex, instr, fmt, track, weight):
+    iop, v_w = instr.iop, instr.v_weight
+    function, vpc = instr.imm, instr.vpc
+
+    def step(ex, regs, state):
+        stats = ex.stats
+        stats.iinstructions_executed += weight
+        stats.iop_counts[iop] += 1
+        stats.source_instructions_executed += v_w
+        ex.pal.call(regs, function, vpc, translated=True)
+    return step
+
+
 def _build_gentrap(ex, instr, fmt, track, weight):
     iop, v_w = instr.iop, instr.v_weight
     vpc = instr.vpc
@@ -487,6 +500,7 @@ _BUILDERS = {
     IOp.TO_DISPATCH: _build_to_dispatch,
     IOp.HALT: _build_halt,
     IOp.PUTC: _build_putc,
+    IOp.SYSCALL: _build_syscall,
     IOp.GENTRAP: _build_gentrap,
 }
 

@@ -48,6 +48,13 @@ class VMStats:
         self.tcache_capacity_flushes = 0
         self.flush_storms_suppressed = 0
         self.corrupt_fragments_detected = 0
+        # -- hostile-guest survival (MMU / SMC / syscalls); zero unless
+        # -- the guest self-modifies or revokes protections
+        self.smc_detected = 0
+        self.smc_invalidations = 0
+        self.protect_invalidations = 0
+        self.retranslate_deopts = 0
+        self.stale_captures_discarded = 0
 
     # -- hooks ---------------------------------------------------------------
 
@@ -175,6 +182,11 @@ class VMStats:
             "capacity_flushes": self.tcache_capacity_flushes,
             "flush_storms_suppressed": self.flush_storms_suppressed,
             "corrupt_fragments_detected": self.corrupt_fragments_detected,
+            "smc_detected": self.smc_detected,
+            "smc_invalidations": self.smc_invalidations,
+            "protect_invalidations": self.protect_invalidations,
+            "retranslate_deopts": self.retranslate_deopts,
+            "stale_captures_discarded": self.stale_captures_discarded,
         }
 
     def render_lines(self):

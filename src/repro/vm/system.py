@@ -14,10 +14,12 @@ simulation methodology describes (Section 4.1):
 from time import perf_counter
 
 from repro.faults.inject import make_injector
+from repro.faults.plan import FaultSite
 from repro.interp.interpreter import Halted, Interpreter
 from repro.interp.profiler import CandidateKind, HotnessProfiler
 from repro.isa.opcodes import Kind
-from repro.isa.semantics import Trap
+from repro.isa.semantics import Trap, TrapKind
+from repro.memory.image import PROT_EXEC
 from repro.obs.events import EventKind
 from repro.obs.telemetry import make_telemetry
 from repro.obs.trace import make_tracer
@@ -91,7 +93,16 @@ class CoDesignedVM:
         self.executor = FragmentExecutor(
             self.config, self.tcache, program.memory,
             self.interpreter.console, self.stats, trace=self.trace,
-            telemetry=self.telemetry, verify=verify)
+            telemetry=self.telemetry, verify=verify,
+            pal=self.interpreter.pal)
+        # hostile-guest wiring: watch guest stores for self-modifying
+        # code, and let protect calls invalidate stale translations
+        self.tcache.attach_memory(program.memory)
+        self.tcache._smc_callback = self._on_smc
+        self.interpreter.pal.on_protect = self._on_protect
+        #: True while the fragment executor is running — an invalidation
+        #: then must deopt the current stint (see ``_on_smc``)
+        self._in_translated = False
         self.halted = False
         self._flush_window_start = 0
         self._flush_window_fragments = 0
@@ -238,14 +249,21 @@ class CoDesignedVM:
     # -- translated-code execution ------------------------------------------------
 
     def _execute_translated(self, fragment, budget):
-        result = self.executor.run(fragment, self.state,
-                                   max_instructions=budget)
+        self._in_translated = True
+        try:
+            result = self.executor.run(fragment, self.state,
+                                       max_instructions=budget)
+        finally:
+            self._in_translated = False
         if result.reason is ExitReason.HALT:
             self.halted = True
         elif result.reason is ExitReason.UNTRANSLATED:
             self.profiler.note_candidate(result.vpc,
                                          CandidateKind.FRAGMENT_EXIT)
         elif result.reason is ExitReason.TRAP:
+            if result.trap.kind is TrapKind.RETRANSLATE:
+                self._deopt_after(result)
+                return
             precise = reconstruct_state(result.fragment, result.body_index,
                                         self.state.regs,
                                         self.executor.accs)
@@ -260,6 +278,68 @@ class CoDesignedVM:
             pass
         elif result.reason is ExitReason.CORRUPT:
             self._recover_corrupt(result.fragment)
+
+    def _deopt_after(self, result):
+        """Resume interpretation after an invalidation mid-fragment.
+
+        The internal RETRANSLATE pseudo-trap (never guest-visible) fires
+        when translated execution invalidates fragments — a
+        self-modifying store hitting watched code, or a ``protect`` call
+        dropping execute permission.  The triggering instruction
+        *completed* (the store wrote, the PAL call returned), so the
+        precise architected state is the PEI recovery state advanced
+        past it; the currently executing fragment may itself be stale
+        (or flushed), so the stint is always abandoned and the outer
+        loop re-enters through lookup/translate with fresh code.
+        """
+        precise = reconstruct_state(result.fragment, result.body_index,
+                                    self.state.regs, self.executor.accs)
+        if result.trap.access == "pal":
+            # the PAL call wrote R0 directly into the live file after
+            # its operands were read; a basic-format recovery map
+            # predates that write and must not clobber it
+            precise.regs[0] = self.state.regs[0]
+        self.state.regs[:] = precise.regs
+        self.state.pc = precise.pc + 4
+        self.stats.retranslate_deopts += 1
+        self.tracer.instant("vm.retranslate_deopt", cat="vm",
+                            vpc=result.trap.vpc,
+                            origin=result.trap.access)
+
+    def _on_smc(self, vpc, invalidated, flushed):
+        """Translation-cache callback: a guest store hit translated code.
+
+        Mirrors the cache's counters into :class:`VMStats` (so the
+        engine-differential suites assert them) and, when the store ran
+        inside translated code, abandons the stint via RETRANSLATE — the
+        store itself has already completed in guest memory.
+        """
+        self.stats.smc_detected += 1
+        self.stats.smc_invalidations += invalidated
+        if flushed:
+            self.stats.tcache_flushes += 1
+        if self._in_translated:
+            raise Trap(TrapKind.RETRANSLATE, vpc=vpc, access="write")
+
+    def _on_protect(self, base, size, prot, vpc):
+        """PAL hook: the guest changed page protections.
+
+        Dropping execute permission invalidates every fragment
+        translated from the range — the guest revoked the code those
+        translations came from, and the interpreter's exec-checked fetch
+        must be the one to (precisely) fault if control returns there.
+        The ``protect`` fault site forces the invalidation spuriously,
+        which is behaviour-neutral: victims simply retranslate.
+        """
+        spurious = self.injector.fire(FaultSite.PROTECT, vpc=vpc)
+        if (prot & PROT_EXEC) and not spurious:
+            return 0
+        invalidated, flushed = self.tcache.invalidate_range(base, size)
+        if invalidated:
+            self.stats.protect_invalidations += invalidated
+            if flushed:
+                self.stats.tcache_flushes += 1
+        return invalidated
 
     def _recover_corrupt(self, fragment):
         """Graceful recovery from a failed fragment integrity check.
@@ -318,14 +398,22 @@ class CoDesignedVM:
         continuation = None
         max_size = self.config.max_superblock
 
+        memory = self.program.memory
+
         while True:
             vpc = self.state.pc
             try:
+                # record the raw word *before* the step: a store may
+                # rewrite its own instruction, and the captured entry
+                # must describe the word that actually executed (the
+                # pre-fetch raises exactly the trap the step would)
+                word = memory.fetch(vpc, vpc=vpc)
                 event = self.interpreter.step()
             except Halted:
                 # include the halt instruction itself and end the block
                 instr = self.interpreter.fetch(vpc)
-                entries.append(SuperblockEntry(vpc, instr, False, vpc + 4))
+                entries.append(SuperblockEntry(vpc, instr, False, vpc + 4,
+                                               word=word))
                 end_reason = EndReason.TRAP_INSTRUCTION
                 self.halted = True
                 break
@@ -339,7 +427,8 @@ class CoDesignedVM:
             if elided_by_translation(event.instr):
                 self.stats.interpreted_elided += 1
             entries.append(SuperblockEntry(event.pc, event.instr,
-                                           event.taken, event.next_pc))
+                                           event.taken, event.next_pc,
+                                           word=word))
             visited.add(event.pc)
             kind = event.instr.kind
 
@@ -384,7 +473,20 @@ class CoDesignedVM:
         PC.  A :class:`TCacheFull` flushes the cache and retries once,
         unless the flush-storm guard vetoes the flush, in which case the
         translation is treated as a plain failure.
+
+        A superblock whose recorded words no longer match guest memory is
+        discarded outright: a store *during* capture rewrote code that
+        was already recorded (the page is only write-watched once a
+        fragment is installed), so translating it would bake stale
+        semantics.  The entry stays hot, and the next visit recaptures
+        the rewritten code.
         """
+        if self._capture_is_stale(superblock):
+            self.stats.stale_captures_discarded += 1
+            self.telemetry.events.emit(
+                EventKind.TRANSLATION_FAILED, vpc=start_vpc,
+                failures=0, reason="stale capture (self-modified)")
+            return
         try:
             result = self.translator.translate(superblock)
         except TranslationError as exc:
@@ -410,6 +512,16 @@ class CoDesignedVM:
         self.profiler.reset(start_vpc)
         if self.config.flush_on_phase_change:
             self._maybe_flush()
+
+    def _capture_is_stale(self, superblock):
+        """Whether any recorded word was rewritten since it was captured."""
+        read = self.program.memory.read_bytes
+        for entry in superblock.entries:
+            if entry.word is None:
+                continue
+            if int.from_bytes(read(entry.vpc, 4), "little") != entry.word:
+                return True
+        return False
 
     def _flush_for_capacity(self):
         """Flush for a capacity miss unless the storm guard vetoes it.

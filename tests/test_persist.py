@@ -337,13 +337,14 @@ class TestEnvOverlay:
 
 
 class TestSessionInternals:
-    def test_session_digest_includes_taken_pattern(self):
+    def test_session_digest_includes_taken_pattern_and_words(self):
         class Entry:
-            def __init__(self, vpc, taken, next_pc):
+            def __init__(self, vpc, taken, next_pc, word=0x47FF041F):
                 self.vpc = vpc
                 self.taken = taken
                 self.next_pc = next_pc
                 self.next_vpc = next_pc
+                self.word = word
 
         class Block:
             entry_vpc = 0x1000
@@ -356,7 +357,12 @@ class TestSessionInternals:
 
         a = superblock_digest(Block)
         Block.entries = [Entry(0x1000, True, 0x1004)]
-        assert superblock_digest(Block) != a
+        b = superblock_digest(Block)
+        assert b != a
+        # self-modified code: the same path over different words must
+        # never share a digest
+        Block.entries = [Entry(0x1000, True, 0x1004, word=0x40230403)]
+        assert superblock_digest(Block) not in (a, b)
 
     def test_canonical_json_is_order_insensitive(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == \
